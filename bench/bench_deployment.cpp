@@ -1,0 +1,145 @@
+// Reproduces the Section B.1 containerization-solutions comparison:
+// deployment overhead, image size, and execution-time overhead for
+// Docker, Singularity and Shifter (on Lenox, the machine that has all
+// three), plus how deployment scales with node count (on MareNostrum4's
+// geometry for Singularity, Lenox's for the others).
+//
+// Expected shape (paper + common knowledge of the era): the flat
+// single-file images (SIF/squashfs) are smaller than the gzip'd layer
+// stack; Docker deploys slowest (daemon + per-node layer pulls + serial
+// container creation) and its deployment cost grows with node count;
+// Singularity stages once on the shared filesystem and is nearly flat;
+// Shifter pays a one-time central gateway conversion; steady-state
+// execution overhead is ~0 for the HPC runtimes and small-but-nonzero for
+// Docker even before networking enters.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "container/builder.hpp"
+#include "container/deployment.hpp"
+#include "hw/presets.hpp"
+#include "net/presets.hpp"
+#include "sim/table.hpp"
+#include "sim/units.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+using hpcs::bench::emit;
+using hpcs::sim::TextTable;
+using namespace hpcs::units;
+
+int main() {
+  const auto lenox = hpcs::hw::presets::lenox();
+  const hc::ImageBuilder builder(lenox.node);
+
+  // --- Table: image size & build/convert time per technology --------------
+  {
+    TextTable t({"technology", "format", "image size [MiB]",
+                 "wire size [MiB]", "native build [s]",
+                 "docker->native convert [s]"});
+    const auto docker_build =
+        builder.build(hs::alya_recipe(lenox.node.cpu.arch,
+                                      hc::BuildMode::SelfContained),
+                      hc::ImageFormat::DockerLayered);
+    for (auto kind : {hc::RuntimeKind::Docker, hc::RuntimeKind::Singularity,
+                      hc::RuntimeKind::Shifter}) {
+      const auto rt = hc::ContainerRuntime::make(kind);
+      const auto native =
+          builder.build(hs::alya_recipe(lenox.node.cpu.arch,
+                                        hc::BuildMode::SelfContained),
+                        rt->native_format());
+      double convert_time = 0.0;
+      if (kind == hc::RuntimeKind::Docker) {
+        convert_time = 0.0;  // already native
+      } else if (kind == hc::RuntimeKind::Shifter) {
+        convert_time =
+            rt->image_gateway_time(docker_build.image, lenox.node);
+      } else {
+        convert_time =
+            builder.convert(docker_build.image, rt->native_format())
+                .build_time;
+      }
+      t.add_row({std::string(rt->name()),
+                 std::string(to_string(rt->native_format())),
+                 TextTable::num(static_cast<double>(
+                                    native.image.uncompressed_bytes()) /
+                                    MiB,
+                                1),
+                 TextTable::num(static_cast<double>(
+                                    native.image.transfer_bytes()) /
+                                    MiB,
+                                1),
+                 TextTable::num(native.build_time, 1),
+                 TextTable::num(convert_time, 1)});
+    }
+    std::cout << "== Section B.1 — image size and build cost ==\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- Figure: deployment makespan vs node count ---------------------------
+  {
+    hs::Figure fig;
+    fig.title =
+        "Section B.1 — deployment overhead vs node count (Lenox geometry "
+        "for Docker/Shifter, MareNostrum4 for scale points)";
+    fig.x_label = "nodes";
+    fig.y_label = "deployment makespan [s]";
+
+    // On Lenox (max 4 nodes) compare all three at 1..4 nodes.
+    const int lenox_nodes[] = {1, 2, 4};
+    for (auto kind : {hc::RuntimeKind::Docker, hc::RuntimeKind::Singularity,
+                      hc::RuntimeKind::Shifter}) {
+      const auto rt = hc::ContainerRuntime::make(kind);
+      const auto image = hs::alya_image(lenox, kind,
+                                        hc::BuildMode::SystemSpecific);
+      hc::DeploymentSimulator sim(lenox);
+      hs::Series s{.name = std::string(rt->name()) + " (Lenox)"};
+      for (int n : lenox_nodes)
+        s.add(std::to_string(n),
+              sim.deploy(*rt, image, n, 28).total_time);
+      fig.series.push_back(std::move(s));
+    }
+    emit(fig, "b1_deployment_lenox.csv");
+  }
+  {
+    // Singularity at scale on MareNostrum4: 1..256 nodes, near-flat.
+    const auto mn4 = hpcs::hw::presets::marenostrum4();
+    const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Singularity);
+    const auto image = hs::alya_image(mn4, hc::RuntimeKind::Singularity,
+                                      hc::BuildMode::SystemSpecific);
+    hc::DeploymentSimulator sim(mn4);
+    hs::Figure fig;
+    fig.title = "Section B.1 — Singularity deployment at scale (MN4)";
+    fig.x_label = "nodes";
+    fig.y_label = "deployment makespan [s]";
+    hs::Series s{.name = "singularity (shared-FS staging)"};
+    for (int n : {1, 4, 16, 64, 256})
+      s.add(std::to_string(n), sim.deploy(*rt, image, n, 48).total_time);
+    fig.series.push_back(std::move(s));
+    emit(fig, "b1_deployment_mn4.csv");
+  }
+
+  // --- Table: steady-state execution overhead factors ----------------------
+  {
+    TextTable t({"technology", "daemon", "SUID", "namespaces",
+                 "compute overhead", "intra-node transport"});
+    for (auto kind :
+         {hc::RuntimeKind::BareMetal, hc::RuntimeKind::Docker,
+          hc::RuntimeKind::Singularity, hc::RuntimeKind::Shifter}) {
+      const auto rt = hc::ContainerRuntime::make(kind);
+      const auto shm = hpcs::net::presets::shared_memory();
+      t.add_row({std::string(rt->name()),
+                 rt->uses_root_daemon() ? "yes" : "no",
+                 rt->suid_exec() ? "yes" : "no",
+                 rt->namespaces().describe(),
+                 TextTable::num(rt->compute_overhead_factor(), 4),
+                 std::string(rt->intranode_path(shm).name())});
+    }
+    std::cout << "== Section B.1 — execution-time mechanisms ==\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

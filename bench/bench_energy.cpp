@@ -1,0 +1,79 @@
+// Energy-to-solution extension (Mont-Blanc angle): the paper's ThunderX
+// machine exists because energy, not time, is the metric Arm HPC competes
+// on.  Two experiments:
+//
+//  E1. Energy to solution of the artery CFD case across the three
+//      architectures (4 full nodes each, bare-metal): time-to-solution
+//      and energy-to-solution rank machines differently.
+//  E2. The energy cost of containerization on Lenox: Docker's longer
+//      runtimes are also wasted watt-hours; the HPC runtimes are free.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/presets.hpp"
+#include "sim/table.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+namespace hp = hpcs::hw::presets;
+using hpcs::bench::emit;
+using hpcs::bench::make_scenario;
+using hpcs::sim::TextTable;
+
+int main() {
+  const hs::ExperimentRunner runner;
+  constexpr int kTimeSteps = 10;
+
+  // --- E1: three architectures, bare metal ----------------------------------
+  {
+    TextTable t({"cluster", "arch", "time [s]", "energy [kJ]",
+                 "avg node power [W]", "energy vs MN4"});
+    double mn4_energy = 0.0;
+    for (const auto& cluster :
+         {hp::marenostrum4(), hp::cte_power(), hp::thunderx()}) {
+      const int rpn = cluster.node.cpu.cores();
+      const auto r = runner.run(
+          make_scenario(cluster, hc::RuntimeKind::BareMetal,
+                        hs::AppCase::ArteryCfd, 4, 4 * rpn, 1, kTimeSteps));
+      if (mn4_energy == 0.0) mn4_energy = r.energy_j;
+      t.add_row({cluster.name,
+                 std::string(to_string(cluster.node.cpu.arch)),
+                 TextTable::num(r.total_time, 2),
+                 TextTable::num(r.energy_j / 1e3, 2),
+                 TextTable::num(r.avg_node_power_w, 0),
+                 TextTable::num(r.energy_j / mn4_energy, 2) + "x"});
+    }
+    std::cout << "== Energy E1 — energy to solution across architectures "
+                 "(artery CFD, 4 nodes) ==\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- E2: energy cost of containerization on Lenox --------------------------
+  {
+    hs::Figure fig;
+    fig.title =
+        "Energy E2 — campaign energy per runtime (Lenox, artery CFD)";
+    fig.x_label = "ranks x threads";
+    fig.y_label = "energy [kJ]";
+    const auto lenox = hp::lenox();
+    for (auto kind :
+         {hc::RuntimeKind::BareMetal, hc::RuntimeKind::Singularity,
+          hc::RuntimeKind::Docker}) {
+      hs::Series s{.name = std::string(to_string(kind))};
+      for (auto [ranks, threads] : {std::pair{8, 14}, {28, 4}, {112, 1}}) {
+        auto sc = make_scenario(lenox, kind, hs::AppCase::ArteryCfd, 4,
+                                ranks, threads, kTimeSteps);
+        if (kind != hc::RuntimeKind::BareMetal)
+          sc.image = hs::alya_image(lenox, kind,
+                                    hc::BuildMode::SystemSpecific);
+        s.add(std::to_string(ranks) + "x" + std::to_string(threads),
+              runner.run(sc).energy_j / 1e3);
+      }
+      fig.series.push_back(std::move(s));
+    }
+    emit(fig, "energy_lenox_runtimes.csv");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Reproduces Fig. 1: "Average elapsed time of the artery CFD case in
+// Lenox" — bare-metal vs Docker vs Singularity vs Shifter over the hybrid
+// decompositions 8x14, 16x7, 28x4, 56x2, 112x1 of Lenox's 112 cores.
+//
+// Expected shape (paper): the HPC-designed containers (Shifter and
+// Singularity) reach close to bare-metal performance at every
+// decomposition, whereas Docker degrades as the job scales in MPI ranks.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/presets.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+using hpcs::bench::emit;
+using hpcs::bench::make_scenario;
+
+int main() {
+  const auto lenox = hpcs::hw::presets::lenox();
+  const hs::ExperimentRunner runner;
+  constexpr int kTimeSteps = 10;
+
+  const std::pair<int, int> kConfigs[] = {
+      {8, 14}, {16, 7}, {28, 4}, {56, 2}, {112, 1}};
+
+  struct Variant {
+    const char* name;
+    hc::RuntimeKind runtime;
+  };
+  const Variant kVariants[] = {
+      {"Bare-metal", hc::RuntimeKind::BareMetal},
+      {"Singularity", hc::RuntimeKind::Singularity},
+      {"Shifter", hc::RuntimeKind::Shifter},
+      {"Docker", hc::RuntimeKind::Docker},
+  };
+
+  hs::Figure fig;
+  fig.title =
+      "Fig. 1 — Average elapsed time of the artery CFD case in Lenox";
+  fig.x_label = "ranks x threads";
+  fig.y_label = "avg time per simulated campaign [s] (10 time steps)";
+
+  for (const auto& v : kVariants) {
+    hs::Series series{.name = v.name};
+    for (const auto& [ranks, threads] : kConfigs) {
+      auto s = make_scenario(lenox, v.runtime, hs::AppCase::ArteryCfd, 4,
+                             ranks, threads, kTimeSteps);
+      if (v.runtime != hc::RuntimeKind::BareMetal) {
+        // On its own cluster every image is built system-specific; the
+        // build-mode axis is Fig. 2/3's subject.  (Docker cannot use the
+        // host fabric regardless of mode.)
+        s.image = hs::alya_image(lenox, v.runtime,
+                                 hc::BuildMode::SystemSpecific);
+      }
+      const auto r = runner.run(s);
+      series.add(std::to_string(ranks) + "x" + std::to_string(threads),
+                 r.total_time);
+    }
+    fig.series.push_back(std::move(series));
+  }
+
+  emit(fig, "fig1_lenox_runtimes.csv");
+
+  // Companion detail: communication fraction per variant at the extremes,
+  // showing *why* Docker degrades (bridged messaging).
+  hs::Figure detail;
+  detail.title = "Fig. 1 detail — communication fraction of a time step";
+  detail.x_label = "ranks x threads";
+  detail.y_label = "communication fraction";
+  for (const auto& v : kVariants) {
+    hs::Series series{.name = v.name};
+    for (const auto& [ranks, threads] : {std::pair{8, 14}, {112, 1}}) {
+      auto s = make_scenario(lenox, v.runtime, hs::AppCase::ArteryCfd, 4,
+                             ranks, threads, kTimeSteps);
+      if (v.runtime != hc::RuntimeKind::BareMetal)
+        s.image = hs::alya_image(lenox, v.runtime,
+                                 hc::BuildMode::SystemSpecific);
+      series.add(std::to_string(ranks) + "x" + std::to_string(threads),
+                 runner.run(s).comm_fraction);
+    }
+    detail.series.push_back(std::move(series));
+  }
+  emit(detail, "fig1_lenox_comm_fraction.csv");
+  return 0;
+}

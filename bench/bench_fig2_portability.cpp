@@ -1,0 +1,75 @@
+// Reproduces Fig. 2: "Average elapsed time of artery CFD case in
+// CTE-POWER" — bare-metal vs Singularity with a *system-specific* image
+// (host MPI + fabric libraries bind-mounted) vs Singularity with a
+// *self-contained* image (bundled generic MPI), over 2..16 nodes.
+//
+// Expected shape (paper): the integrated (system-specific) container
+// equals bare-metal; the self-contained container cannot use the Mellanox
+// EDR network, falls back to TCP over the management Ethernet, and falls
+// increasingly behind as the node count grows.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/presets.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+using hpcs::bench::emit;
+using hpcs::bench::make_scenario;
+
+int main() {
+  const auto cte = hpcs::hw::presets::cte_power();
+  const hs::ExperimentRunner runner;
+  constexpr int kTimeSteps = 10;
+  const int kNodes[] = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+
+  hs::Figure fig;
+  fig.title =
+      "Fig. 2 — Average elapsed time of artery CFD case in CTE-POWER";
+  fig.x_label = "nodes";
+  fig.y_label = "avg time per simulated campaign [s] (10 time steps)";
+
+  struct Variant {
+    const char* name;
+    hc::RuntimeKind runtime;
+    hc::BuildMode mode;
+  };
+  const Variant kVariants[] = {
+      {"Bare-metal", hc::RuntimeKind::BareMetal,
+       hc::BuildMode::SystemSpecific},
+      {"Singularity system-specific", hc::RuntimeKind::Singularity,
+       hc::BuildMode::SystemSpecific},
+      {"Singularity self-contained", hc::RuntimeKind::Singularity,
+       hc::BuildMode::SelfContained},
+  };
+
+  for (const auto& v : kVariants) {
+    hs::Series series{.name = v.name};
+    for (int nodes : kNodes) {
+      auto s = make_scenario(cte, v.runtime, hs::AppCase::ArteryCfd, nodes,
+                             nodes * 40, 1, kTimeSteps);
+      if (v.runtime != hc::RuntimeKind::BareMetal)
+        s.image = hs::alya_image(cte, v.runtime, v.mode);
+      series.add(std::to_string(nodes), runner.run(s).total_time);
+    }
+    fig.series.push_back(std::move(series));
+  }
+
+  emit(fig, "fig2_ctepower_portability.csv");
+
+  // Slowdown of the self-contained image vs bare-metal per node count —
+  // the quantity that makes the divergence explicit.
+  hs::Figure ratio;
+  ratio.title = "Fig. 2 detail — self-contained slowdown vs bare-metal";
+  ratio.x_label = "nodes";
+  ratio.y_label = "time ratio";
+  hs::Series rs{.name = "self-contained / bare-metal"};
+  const auto& bm = fig.series[0];
+  const auto& self = fig.series[2];
+  for (std::size_t i = 0; i < bm.x.size(); ++i)
+    rs.add(bm.x[i], self.y[i] / bm.y[i]);
+  ratio.series.push_back(std::move(rs));
+  emit(ratio, "fig2_ctepower_slowdown.csv");
+  return 0;
+}

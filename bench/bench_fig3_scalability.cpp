@@ -1,0 +1,93 @@
+// Reproduces Fig. 3: "Scalability plot of Alya artery FSI case in
+// MareNostrum4" — speedup over 4..256 nodes (up to 12,288 cores) for
+// bare-metal, Singularity system-specific, and Singularity self-contained,
+// with the ideal line (speedup = nodes/4, so 64 at 256 nodes).
+//
+// Expected shape (paper): bare-metal and the integrated container keep
+// scaling to 256 nodes (leveraging the Omni-Path network); the
+// self-contained container stops scaling at 32 nodes.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/presets.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+using hpcs::bench::emit;
+using hpcs::bench::make_scenario;
+
+int main() {
+  const auto mn4 = hpcs::hw::presets::marenostrum4();
+  const hs::ExperimentRunner runner;
+  constexpr int kTimeSteps = 5;
+  const int kNodes[] = {4, 8, 16, 32, 64, 128, 256};
+
+  struct Variant {
+    const char* name;
+    hc::RuntimeKind runtime;
+    hc::BuildMode mode;
+  };
+  const Variant kVariants[] = {
+      {"Bare-metal", hc::RuntimeKind::BareMetal,
+       hc::BuildMode::SystemSpecific},
+      {"Singularity system-specific", hc::RuntimeKind::Singularity,
+       hc::BuildMode::SystemSpecific},
+      {"Singularity self-contained", hc::RuntimeKind::Singularity,
+       hc::BuildMode::SelfContained},
+  };
+
+  hs::Figure times;
+  times.title =
+      "Fig. 3 (times) — artery FSI on MareNostrum4, 4..256 nodes";
+  times.x_label = "nodes";
+  times.y_label = "avg time per simulated campaign [s] (5 time steps)";
+
+  hs::Figure fig;
+  fig.title =
+      "Fig. 3 — Scalability of the Alya artery FSI case in MareNostrum4";
+  fig.x_label = "nodes";
+  fig.y_label = "speedup vs the 4-node run (ideal = nodes/4)";
+
+  for (const auto& v : kVariants) {
+    hs::Series tser{.name = v.name};
+    std::vector<std::string> labels;
+    std::vector<double> values;
+    for (int nodes : kNodes) {
+      auto s = make_scenario(mn4, v.runtime, hs::AppCase::ArteryFsi, nodes,
+                             nodes * 48, 1, kTimeSteps);
+      if (v.runtime != hc::RuntimeKind::BareMetal)
+        s.image = hs::alya_image(mn4, v.runtime, v.mode);
+      const auto r = runner.run(s);
+      labels.push_back(std::to_string(nodes));
+      values.push_back(r.total_time);
+      tser.add(labels.back(), r.total_time);
+    }
+    times.series.push_back(tser);
+    fig.series.push_back(hs::speedup_series(v.name, labels, values,
+                                            values.front(), 1.0));
+  }
+
+  // Ideal speedup line: nodes / 4.
+  hs::Series ideal{.name = "Ideal"};
+  for (int nodes : kNodes)
+    ideal.add(std::to_string(nodes), static_cast<double>(nodes) / 4.0);
+  fig.series.push_back(std::move(ideal));
+
+  emit(fig, "fig3_mn4_fsi_speedup.csv");
+  emit(times, "fig3_mn4_fsi_times.csv");
+
+  // Where the self-contained curve saturates: the paper calls out 32
+  // nodes; print the saturation node count (first point whose speedup gain
+  // from doubling is < 15%).
+  const auto& self = fig.series[2];
+  for (std::size_t i = 1; i < self.y.size(); ++i) {
+    if (self.y[i] / self.y[i - 1] < 1.15) {
+      std::cout << "self-contained stops scaling at " << self.x[i - 1]
+                << " nodes (speedup " << self.y[i - 1] << " -> " << self.y[i]
+                << " at " << self.x[i] << ")\n";
+      break;
+    }
+  }
+  return 0;
+}

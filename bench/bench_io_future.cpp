@@ -1,0 +1,97 @@
+// The paper's future work, executed: "a deeper evaluation of I/O and
+// distributed storage performance using containers."
+//
+// Three experiments on MareNostrum4's geometry with a GPFS-like parallel
+// filesystem:
+//
+//  F1. Application-startup library storm vs node count: bare metal
+//      hammers the PFS metadata server; loop-mounted images resolve
+//      everything locally.  (The well-known container I/O *win*.)
+//  F2. Checkpoint bandwidth per runtime: bind-mounted PFS targets make
+//      containers indistinguishable from bare metal.
+//  F3. The OverlayFS hazard: checkpointing into Docker's container
+//      filesystem (copy-up, data stranded on the node).
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "container/io_model.hpp"
+#include "hw/presets.hpp"
+#include "sim/table.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+using hpcs::bench::emit;
+using hpcs::sim::TextTable;
+
+int main() {
+  const auto mn4 = hpcs::hw::presets::marenostrum4();
+  const hc::IoSimulator sim(hc::PfsModel{}, mn4);
+
+  // --- F1: startup storm ----------------------------------------------------
+  {
+    hs::Figure fig;
+    fig.title =
+        "Future work F1 — startup library storm (2000 files x 256 KiB "
+        "per rank) vs nodes";
+    fig.x_label = "nodes";
+    fig.y_label = "storm completion time [s]";
+    hs::Series bm{.name = "bare-metal (PFS metadata)"};
+    hs::Series sing{.name = "singularity (image-local)"};
+    for (int nodes : {4, 16, 64, 256}) {
+      bm.add(std::to_string(nodes),
+             sim.startup_storm(hc::RuntimeKind::BareMetal, nodes, 48, 2000,
+                               256 * 1024)
+                 .time);
+      sing.add(std::to_string(nodes),
+               sim.startup_storm(hc::RuntimeKind::Singularity, nodes, 48,
+                                 2000, 256 * 1024)
+                   .time);
+    }
+    fig.series = {bm, sing};
+    emit(fig, "future_io_storm.csv");
+  }
+
+  // --- F2: checkpoint bandwidth per runtime ---------------------------------
+  {
+    TextTable t({"runtime", "checkpoint 256 MiB/rank, 64 nodes [s]",
+                 "PFS data [GiB]", "MDS ops"});
+    for (auto k : {hc::RuntimeKind::BareMetal, hc::RuntimeKind::Docker,
+                   hc::RuntimeKind::Singularity, hc::RuntimeKind::Shifter}) {
+      const auto r =
+          sim.checkpoint_write(k, 64, 48, 256ull << 20, false);
+      t.add_row({std::string(to_string(k)), TextTable::num(r.time, 2),
+                 TextTable::num(static_cast<double>(r.pfs_data_bytes) /
+                                    static_cast<double>(1ull << 30),
+                                1),
+                 std::to_string(r.pfs_metadata_ops)});
+    }
+    std::cout << "== Future work F2 — checkpoint to bind-mounted PFS ==\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+
+  // --- F3: the OverlayFS hazard ----------------------------------------------
+  {
+    TextTable t({"write target", "time [s]", "data on PFS [GiB]", "note"});
+    const auto good = sim.checkpoint_write(hc::RuntimeKind::Docker, 4, 48,
+                                           256ull << 20, false);
+    const auto bad = sim.checkpoint_write(hc::RuntimeKind::Docker, 4, 48,
+                                          256ull << 20, true);
+    t.add_row({"bind-mounted /gpfs (correct)", TextTable::num(good.time, 2),
+               TextTable::num(static_cast<double>(good.pfs_data_bytes) /
+                                  static_cast<double>(1ull << 30),
+                              1),
+               "data safe on the PFS"});
+    t.add_row({"container rootfs (hazard)", TextTable::num(bad.time, 2),
+               TextTable::num(static_cast<double>(bad.pfs_data_bytes) /
+                                  static_cast<double>(1ull << 30),
+                              1),
+               "copy-up + data stranded on the node"});
+    std::cout << "== Future work F3 — where you write matters ==\n";
+    t.print(std::cout);
+    std::cout << "\n(read-only squashfs rootfs (Singularity/Shifter) "
+                 "refuses the bad write outright)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// \brief Shared helpers for the paper-figure bench binaries.
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "core/images.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+
+namespace hpcs::bench {
+
+/// Ensures ./results exists and returns "results/<name>".
+inline std::string results_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  return (std::filesystem::path("results") / name).string();
+}
+
+/// Prints the figure and mirrors it to results/<csv_name>; reports where.
+inline void emit(const hpcs::study::Figure& fig, const std::string& csv_name) {
+  fig.print(std::cout);
+  const auto path = results_path(csv_name);
+  if (fig.save_csv(path)) {
+    (void)fig.save_gnuplot(path + ".gp", path);
+    std::cout << "[saved " << path << " (+ .gp plot script)]\n\n";
+  } else {
+    std::cout << "[warning: could not write " << path << "]\n\n";
+  }
+}
+
+/// Builds a scenario for one figure point.
+inline hpcs::study::Scenario make_scenario(
+    const hpcs::hw::ClusterSpec& cluster, hpcs::container::RuntimeKind rt,
+    hpcs::study::AppCase app, int nodes, int ranks, int threads,
+    int time_steps) {
+  hpcs::study::Scenario s{.cluster = cluster,
+                          .runtime = rt,
+                          .app = app,
+                          .nodes = nodes,
+                          .ranks = ranks,
+                          .threads = threads,
+                          .time_steps = time_steps};
+  return s;
+}
+
+}  // namespace hpcs::bench

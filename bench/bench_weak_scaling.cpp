@@ -1,0 +1,95 @@
+// Weak-scaling companion to Fig. 3: grow the artery mesh with the node
+// count (fixed ~25k elements/core) instead of fixing the global problem.
+// Weak scaling is what production campaigns actually do — and it
+// separates the two self-contained failure modes: the latency wall
+// (allreduce stages over TCP grow with log p regardless of problem size)
+// from the bandwidth wall (halo bytes stay constant per rank here).
+//
+// Expected shape: bare-metal / system-specific efficiency decays only
+// logarithmically (reduction stages); self-contained decays much faster
+// on the management network.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/presets.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+using hpcs::bench::emit;
+using hpcs::bench::make_scenario;
+
+int main() {
+  const auto mn4 = hpcs::hw::presets::marenostrum4();
+  const hs::ExperimentRunner runner;
+  constexpr int kTimeSteps = 5;
+  const int kNodes[] = {4, 8, 16, 32, 64, 128, 256};
+  // ~25k elements per core at every scale.
+  const std::uint64_t elements_per_core = 25'000;
+
+  struct Variant {
+    const char* name;
+    hc::RuntimeKind runtime;
+    hc::BuildMode mode;
+  };
+  const Variant kVariants[] = {
+      {"Bare-metal", hc::RuntimeKind::BareMetal,
+       hc::BuildMode::SystemSpecific},
+      {"Singularity system-specific", hc::RuntimeKind::Singularity,
+       hc::BuildMode::SystemSpecific},
+      {"Singularity self-contained", hc::RuntimeKind::Singularity,
+       hc::BuildMode::SelfContained},
+  };
+
+  hs::Figure fig;
+  fig.title =
+      "Weak scaling — artery FSI on MareNostrum4, ~25k elements/core";
+  fig.x_label = "nodes";
+  fig.y_label = "weak-scaling efficiency per solver iteration";
+
+  for (const auto& v : kVariants) {
+    std::vector<std::string> labels;
+    std::vector<double> times;
+    for (int nodes : kNodes) {
+      const auto cores = static_cast<std::uint64_t>(nodes) * 48u;
+      const hs::MeshSpec mesh{.elements = elements_per_core * cores,
+                              .nodes = elements_per_core * cores * 103 /
+                                       100};
+      auto s = make_scenario(mn4, v.runtime, hs::AppCase::ArteryFsi, nodes,
+                             nodes * 48, 1, kTimeSteps);
+      if (v.runtime != hc::RuntimeKind::BareMetal)
+        s.image = hs::alya_image(mn4, v.runtime, v.mode);
+      const auto model = hpcs::alya::WorkloadModel::default_fsi();
+      const auto r = runner.run(s, model, mesh);
+      // Normalize out the cbrt(N) growth of CG iteration counts: weak
+      // scaling compares time *per solver iteration*.
+      const auto iters =
+          model.per_rank(mesh.elements, mesh.nodes, s.ranks)
+              .solver_iterations;
+      labels.push_back(std::to_string(nodes));
+      times.push_back(r.avg_step_time / static_cast<double>(iters));
+    }
+    hs::Series eff{.name = v.name};
+    for (std::size_t i = 0; i < labels.size(); ++i)
+      eff.add(labels[i], times.front() / times[i]);
+    fig.series.push_back(std::move(eff));
+  }
+  emit(fig, "weak_scaling_mn4.csv");
+
+  // The self-contained / bare-metal gap per node count: weak scaling
+  // keeps per-rank messages big, so the TCP fallback costs far less than
+  // in the strong-scaling Fig. 3 — running *larger* problems per core is
+  // a legitimate mitigation when only a portable image is available.
+  hs::Figure gap;
+  gap.title = "Weak scaling — self-contained slowdown vs bare-metal";
+  gap.x_label = "nodes";
+  gap.y_label = "time ratio";
+  hs::Series ratio{.name = "self-contained / bare-metal"};
+  const auto& bm = fig.series[0];
+  const auto& self = fig.series[2];
+  for (std::size_t i = 0; i < bm.x.size(); ++i)
+    ratio.add(bm.x[i], bm.y[i] / self.y[i]);
+  gap.series.push_back(std::move(ratio));
+  emit(gap, "weak_scaling_mn4_gap.csv");
+  return 0;
+}

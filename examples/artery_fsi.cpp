@@ -1,0 +1,65 @@
+// artery_fsi: runs the *real* coupled fluid-structure simulation — blood
+// flow in the lumen (Nastin) + elastic vessel wall (Solidz) — with the
+// strongly-coupled Aitken-relaxed Dirichlet-Neumann scheme the FSI
+// workload model is parameterized from.
+//
+// Build & run:  ./build/examples/artery_fsi
+
+#include <iostream>
+
+#include "alya/fsi.hpp"
+#include "sim/table.hpp"
+
+namespace ha = hpcs::alya;
+using hpcs::sim::TextTable;
+
+int main() {
+  const ha::TubeParams lumen_params{.radius = 1.0, .length = 4.0,
+                                    .cross_cells = 6, .axial_cells = 8};
+  const ha::WallParams wall_params{.inner_radius = 1.0,
+                                   .thickness = 0.3,
+                                   .length = 4.0,
+                                   .radial_cells = 2,
+                                   .circumferential_cells = 16,
+                                   .axial_cells = 8};
+  const auto lumen = ha::lumen_mesh(lumen_params);
+  const auto wall = ha::wall_mesh(wall_params);
+  std::cout << "fluid mesh: " << lumen.element_count() << " hexes; "
+            << "wall mesh: " << wall.element_count() << " hexes\n";
+
+  ha::FsiParams params;
+  params.fluid.density = 1.0;
+  params.fluid.viscosity = 1.0;
+  params.fluid.inlet_pressure = 16.0;
+  params.fluid.dt = 5e-3;
+  params.solid.youngs_modulus = 1500.0;
+  params.solid.poisson_ratio = 0.3;
+  ha::ThreadPool pool(4);
+  ha::FsiDriver driver(lumen, wall, params, &pool);
+  std::cout << "interface: " << driver.interface_size()
+            << " coupled wall nodes\n\n";
+
+  TextTable t({"step", "coupling iters", "converged",
+               "mean radial wall displacement"});
+  for (int s = 1; s <= 40; ++s) {
+    const auto r = driver.step();
+    if (s % 5 == 0)
+      t.add_row({std::to_string(s), std::to_string(r.coupling_iterations),
+                 r.converged ? "yes" : "no",
+                 TextTable::num(r.mean_radial_displacement, 6)});
+  }
+  t.print(std::cout);
+
+  const auto& c = driver.counters();
+  std::cout << "\ntotals: " << c.steps << " steps, "
+            << c.coupling_iterations << " coupling iterations ("
+            << static_cast<double>(c.coupling_iterations) /
+                   static_cast<double>(c.steps)
+            << "/step), " << c.solid_cg_iterations
+            << " solid CG iterations, " << c.interface_exchanges
+            << " interface exchanges\n";
+  std::cout << "\nThe pressurized artery dilates outward as the flow "
+               "develops — the coupled behaviour the paper's FSI use case "
+               "exercises at 12k cores.\n";
+  return 0;
+}

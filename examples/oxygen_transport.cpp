@@ -1,0 +1,79 @@
+// oxygen_transport: couples the real nastin velocity field with the
+// temper scalar module — oxygen enters with the blood at the inlet, is
+// carried down the artery by the Poiseuille flow, and is absorbed by the
+// vessel wall.  Prints the axial oxygen profile and the wall uptake.
+//
+// Build & run:  ./build/examples/oxygen_transport
+
+#include <cmath>
+#include <iostream>
+
+#include "alya/nastin.hpp"
+#include "alya/temper.hpp"
+#include "alya/tube_mesh.hpp"
+#include "sim/table.hpp"
+
+namespace ha = hpcs::alya;
+using hpcs::sim::TextTable;
+
+int main() {
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{
+      .radius = 1.0, .length = 4.0, .cross_cells = 6, .axial_cells = 16});
+  std::cout << "artery segment: " << mesh.element_count() << " hexes\n";
+
+  // 1. Develop the flow.
+  ha::FluidParams fp;
+  fp.density = 1.0;
+  fp.viscosity = 1.0;
+  fp.inlet_pressure = 16.0;
+  fp.dt = 5e-3;
+  ha::ThreadPool pool(4);
+  ha::NastinSolver fluid(mesh, fp, &pool);
+  const int fsteps = fluid.run_to_steady_state(1e-4, 800);
+  std::cout << "flow developed in " << fsteps
+            << " steps (centerline u ~ 1)\n";
+
+  // 2. Transport oxygen through it.
+  ha::ScalarParams sp;
+  sp.diffusivity = 0.02;  // Peclet ~ 200: advection-dominated
+  sp.dt = 2e-3;
+  sp.inlet_value = 1.0;   // arterial oxygen saturation (normalized)
+  sp.absorb_at_wall = true;
+  ha::TemperSolver oxygen(mesh, sp, &pool);
+  const int osteps =
+      oxygen.run_to_steady_state(fluid.velocity(), 1e-8, 4000);
+  std::cout << "oxygen field steady after " << osteps << " steps\n\n";
+
+  // 3. Axial profile: centerline vs near-wall concentration.
+  TextTable t({"z", "centerline c", "near-wall c", "section mean"});
+  for (double z : {0.0, 1.0, 2.0, 3.0, 4.0}) {
+    double c_center = 0, c_wall = 0, sum = 0;
+    double best_c = 1e9, best_w = 1e9;
+    int n = 0;
+    for (ha::Index i = 0; i < mesh.node_count(); ++i) {
+      const auto& p = mesh.node(i);
+      if (std::abs(p.z - z) > 0.15) continue;
+      const double r = std::hypot(p.x, p.y);
+      const double c = oxygen.concentration()[static_cast<std::size_t>(i)];
+      sum += c;
+      ++n;
+      if (r < best_c) {
+        best_c = r;
+        c_center = c;
+      }
+      if (std::abs(r - 0.9) < best_w) {
+        best_w = std::abs(r - 0.9);
+        c_wall = c;
+      }
+    }
+    t.add_row({TextTable::num(z, 1), TextTable::num(c_center, 4),
+               TextTable::num(c_wall, 4),
+               TextTable::num(n ? sum / n : 0.0, 4)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe advection-dominated core carries oxygen far "
+               "downstream while the absorbing wall depletes the "
+               "near-wall layer — the concentration boundary layer of "
+               "arterial mass transfer.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// study_cli: run any single scenario of the study from the command line.
+//
+//   ./build/examples/study_cli --cluster cte-power --runtime singularity
+//       --mode self-contained --nodes 16 --app artery-cfd
+//
+// Prints the result row (avg step time, communication split, energy,
+// deployment) and, with --timeline, the per-step phase timeline.
+
+#include <iostream>
+
+#include "core/cli.hpp"
+#include "core/runner.hpp"
+#include "sim/table.hpp"
+
+namespace hs = hpcs::study;
+using hpcs::sim::TextTable;
+
+int main(int argc, char** argv) {
+  hs::CliOptions opts;
+  try {
+    opts = hs::parse_cli(
+        std::span<const char* const>(argv + 1, static_cast<std::size_t>(argc - 1)));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  if (opts.help) {
+    std::cout << hs::cli_usage();
+    return 0;
+  }
+
+  try {
+    const auto scenario = hs::to_scenario(opts);
+    hs::RunnerOptions ropts;
+    ropts.record_timeline = opts.timeline;
+    const hs::ExperimentRunner runner(ropts);
+    const auto r = runner.run(scenario);
+
+    std::cout << "scenario: " << r.label << "\n\n";
+    TextTable t({"metric", "value"});
+    t.add_row({"avg step time [s]", TextTable::num(r.avg_step_time, 5)});
+    t.add_row({"campaign time [s]", TextTable::num(r.total_time, 4)});
+    t.add_row({"step stddev [s]", TextTable::num(r.step_times.stddev(), 6)});
+    t.add_row({"compute / step [s]", TextTable::num(r.compute_time, 5)});
+    t.add_row({"halo / step [s]", TextTable::num(r.halo_time, 5)});
+    t.add_row({"reductions / step [s]",
+               TextTable::num(r.reduction_time, 5)});
+    t.add_row({"communication fraction",
+               TextTable::num(r.comm_fraction, 3)});
+    t.add_row({"energy [kJ]", TextTable::num(r.energy_j / 1e3, 3)});
+    t.add_row({"avg node power [W]", TextTable::num(r.avg_node_power_w, 0)});
+    t.add_row({"deployment [s]",
+               TextTable::num(r.deployment.total_time, 3)});
+    t.print(std::cout);
+
+    if (opts.timeline && !r.timeline.empty()) {
+      std::cout << "\nphase totals over the campaign:\n";
+      TextTable pt({"phase", "total [s]"});
+      for (const auto& [phase, total] : r.timeline.totals())
+        pt.add_row({std::string(to_string(phase)),
+                    TextTable::num(total, 5)});
+      pt.print(std::cout);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

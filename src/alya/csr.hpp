@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file csr.hpp
+/// \brief Compressed-sparse-row matrix with threaded SpMV.
+///
+/// The FEM operators assemble into this structure; its SpMV is the hot
+/// kernel of the pressure/elasticity solves and is instrumented (FLOPs,
+/// DRAM traffic) so that real runs produce the operation counts the
+/// performance model replays on the simulated clusters.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "alya/mesh.hpp"
+#include "alya/threading.hpp"
+
+namespace hpcs::alya {
+
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds the pattern from a node adjacency list (entry (i,j) exists iff
+  /// j is in adjacency[i]); values start at zero.  Adjacency lists must be
+  /// sorted and include the diagonal.
+  static CsrMatrix from_pattern(
+      const std::vector<std::vector<Index>>& adjacency);
+
+  Index rows() const noexcept { return static_cast<Index>(row_ptr_.size()) - 1; }
+  Index nnz() const noexcept { return static_cast<Index>(cols_.size()); }
+
+  /// Adds \p value to entry (row, col).
+  /// \throws std::out_of_range if the entry is not in the pattern.
+  void add(Index row, Index col, double value);
+
+  /// Reads entry (row, col); zero if absent from the pattern.
+  double get(Index row, Index col) const noexcept;
+
+  /// Resets all values to zero, keeping the pattern.
+  void clear_values() noexcept;
+
+  /// Multiplies every stored value by \p factor (e.g. to form dt*D*K).
+  void scale(double factor) noexcept;
+
+  /// y = A x.  If \p pool is non-null the rows are split across it.
+  void spmv(std::span<const double> x, std::span<double> y,
+            ThreadPool* pool = nullptr) const;
+
+  /// Extracts the diagonal (for Jacobi preconditioning).
+  std::vector<double> diagonal() const;
+
+  /// Symmetric Dirichlet elimination: for each (dof, value) constraint,
+  /// moves the column contribution to \p rhs, zeroes row and column, puts
+  /// 1 on the diagonal and the value into rhs[dof].  Keeps the matrix
+  /// symmetric so CG remains applicable.
+  void apply_dirichlet(const std::vector<Index>& dofs,
+                       const std::vector<double>& values,
+                       std::span<double> rhs);
+
+  /// FLOPs of one SpMV (2 per stored entry).
+  double spmv_flops() const noexcept { return 2.0 * static_cast<double>(nnz()); }
+
+  /// Approximate DRAM traffic of one SpMV: values + column indices + the
+  /// row pointer stream + input/output vectors.
+  double spmv_bytes() const noexcept;
+
+  const std::vector<Index>& row_ptr() const noexcept { return row_ptr_; }
+  const std::vector<Index>& col_indices() const noexcept { return cols_; }
+  const std::vector<double>& values() const noexcept { return vals_; }
+
+ private:
+  std::vector<Index> row_ptr_;
+  std::vector<Index> cols_;
+  std::vector<double> vals_;
+
+  Index find(Index row, Index col) const noexcept;  // -1 if absent
+};
+
+}  // namespace hpcs::alya

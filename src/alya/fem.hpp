@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file fem.hpp
+/// \brief FEM operators on trilinear hex meshes.
+///
+/// Provides the discrete operators the fluid and solid modules are built
+/// from: scalar stiffness (Laplacian), lumped mass, L2-projected gradient /
+/// divergence / advection, and the 3-dof linear-elasticity stiffness.
+/// Assembly is serial (deterministic); the solver kernels (SpMV, vector
+/// ops) are the threaded hot path, matching Alya's profile where the
+/// implicit solve dominates.
+
+#include <span>
+#include <vector>
+
+#include "alya/csr.hpp"
+#include "alya/mesh.hpp"
+
+namespace hpcs::alya {
+
+/// Assembles the scalar stiffness matrix K_ij = ∫ ∇N_i · ∇N_j dΩ into a
+/// matrix with the mesh's node-adjacency pattern.
+CsrMatrix assemble_laplacian(const Mesh& mesh);
+
+/// Lumped (row-sum) mass vector m_i = ∫ N_i dΩ.
+std::vector<double> lumped_mass(const Mesh& mesh);
+
+/// L2-projected nodal gradient of a scalar field:
+/// g_i = (1/m_i) Σ_e ∫ N_i ∇p dΩ.
+std::vector<Vec3> nodal_gradient(const Mesh& mesh,
+                                 std::span<const double> p);
+
+/// L2-projected nodal divergence of a vector field:
+/// d_i = (1/m_i) Σ_e ∫ N_i (∇·u) dΩ.
+std::vector<double> nodal_divergence(const Mesh& mesh,
+                                     std::span<const Vec3> u);
+
+/// L2-projected advection term a_i = (1/m_i) Σ_e ∫ N_i (u·∇)u dΩ.
+std::vector<Vec3> advection_term(const Mesh& mesh, std::span<const Vec3> u);
+
+/// Assembles the linear-elasticity stiffness (Young's modulus \p E,
+/// Poisson ratio \p nu) with 3 dofs per node (dof = 3*node + component).
+CsrMatrix assemble_elasticity(const Mesh& mesh, double E, double nu);
+
+/// Expands a node adjacency to the 3-dof-per-node block pattern.
+std::vector<std::vector<Index>> vector_dof_adjacency(
+    const std::vector<std::vector<Index>>& node_adjacency);
+
+/// Approximate FLOP count of assembling one hex element's scalar stiffness
+/// (used by the workload model; calibrated against the implementation).
+inline constexpr double kLaplacianAssemblyFlopsPerElement = 5200.0;
+
+}  // namespace hpcs::alya

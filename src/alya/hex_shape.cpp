@@ -1,0 +1,90 @@
+#include "alya/hex_shape.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcs::alya::hex {
+
+std::array<double, 8> shape(double xi, double eta, double zeta) noexcept {
+  std::array<double, 8> n{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    n[i] = 0.125 * (1.0 + xi * kNodeXi[i][0]) * (1.0 + eta * kNodeXi[i][1]) *
+           (1.0 + zeta * kNodeXi[i][2]);
+  }
+  return n;
+}
+
+std::array<std::array<double, 3>, 8> shape_deriv(double xi, double eta,
+                                                 double zeta) noexcept {
+  std::array<std::array<double, 3>, 8> d{};
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double sx = kNodeXi[i][0];
+    const double sy = kNodeXi[i][1];
+    const double sz = kNodeXi[i][2];
+    d[i][0] = 0.125 * sx * (1.0 + eta * sy) * (1.0 + zeta * sz);
+    d[i][1] = 0.125 * sy * (1.0 + xi * sx) * (1.0 + zeta * sz);
+    d[i][2] = 0.125 * sz * (1.0 + xi * sx) * (1.0 + eta * sy);
+  }
+  return d;
+}
+
+JacobianResult jacobian(const std::array<Vec3, 8>& x, double xi, double eta,
+                        double zeta) {
+  const auto dN = shape_deriv(xi, eta, zeta);
+  // J[a][b] = d x_b / d xi_a
+  double J[3][3] = {{0, 0, 0}, {0, 0, 0}, {0, 0, 0}};
+  for (std::size_t i = 0; i < 8; ++i) {
+    const double c[3] = {x[i].x, x[i].y, x[i].z};
+    for (int a = 0; a < 3; ++a)
+      for (int b = 0; b < 3; ++b) J[a][b] += dN[i][static_cast<std::size_t>(a)] * c[b];
+  }
+  const double det = J[0][0] * (J[1][1] * J[2][2] - J[1][2] * J[2][1]) -
+                     J[0][1] * (J[1][0] * J[2][2] - J[1][2] * J[2][0]) +
+                     J[0][2] * (J[1][0] * J[2][1] - J[1][1] * J[2][0]);
+  JacobianResult r;
+  r.det = det;
+  if (std::abs(det) < 1e-300) return r;  // caller checks det > 0
+  // inv(J) (Jinv[a][b] = d xi_a / d x_b ... careful with convention):
+  // We need dN/dx_b = sum_a dN/dxi_a * dxi_a/dx_b = sum_a dN/dxi_a * invJ[a][b]
+  // where invJ = J^{-1} with J as defined above (J[a][b] = dx_b/dxi_a), so
+  // J^{-1}[a][b] satisfies sum_c J[a][c]... invert the 3x3 directly.
+  double inv[3][3];
+  inv[0][0] = (J[1][1] * J[2][2] - J[1][2] * J[2][1]) / det;
+  inv[0][1] = (J[0][2] * J[2][1] - J[0][1] * J[2][2]) / det;
+  inv[0][2] = (J[0][1] * J[1][2] - J[0][2] * J[1][1]) / det;
+  inv[1][0] = (J[1][2] * J[2][0] - J[1][0] * J[2][2]) / det;
+  inv[1][1] = (J[0][0] * J[2][2] - J[0][2] * J[2][0]) / det;
+  inv[1][2] = (J[0][2] * J[1][0] - J[0][0] * J[1][2]) / det;
+  inv[2][0] = (J[1][0] * J[2][1] - J[1][1] * J[2][0]) / det;
+  inv[2][1] = (J[0][1] * J[2][0] - J[0][0] * J[2][1]) / det;
+  inv[2][2] = (J[0][0] * J[1][1] - J[0][1] * J[1][0]) / det;
+  // With M[a][b] = dx_b/dxi_a, the chain rule gives
+  //   dN/dx_b = sum_a (M^{-1})[b][a] * dN/dxi_a.
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t b = 0; b < 3; ++b) {
+      double v = 0.0;
+      for (std::size_t a = 0; a < 3; ++a) v += inv[b][a] * dN[i][a];
+      r.dNdx[i][b] = v;
+    }
+  }
+  return r;
+}
+
+std::array<std::array<double, 3>, 8> gauss_points() noexcept {
+  std::array<std::array<double, 3>, 8> gp{};
+  std::size_t k = 0;
+  for (int a = -1; a <= 1; a += 2)
+    for (int b = -1; b <= 1; b += 2)
+      for (int c = -1; c <= 1; c += 2)
+        gp[k++] = {kGauss * a, kGauss * b, kGauss * c};
+  return gp;
+}
+
+std::array<Vec3, 8> gather_coords(const Mesh& mesh, Index e) {
+  const auto& el = mesh.element(e);
+  std::array<Vec3, 8> x{};
+  for (std::size_t i = 0; i < 8; ++i) x[i] = mesh.node(el[i]);
+  return x;
+}
+
+}  // namespace hpcs::alya::hex

@@ -1,0 +1,128 @@
+#include "alya/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <utility>
+
+#include "alya/hex_shape.hpp"
+
+namespace hpcs::alya {
+
+double Vec3::norm() const { return std::sqrt(x * x + y * y + z * z); }
+
+Mesh::Mesh(std::vector<Vec3> nodes, std::vector<Hex> elements)
+    : nodes_(std::move(nodes)), elements_(std::move(elements)) {
+  if (nodes_.empty()) throw std::invalid_argument("Mesh: no nodes");
+  if (elements_.empty()) throw std::invalid_argument("Mesh: no elements");
+  const auto n = static_cast<Index>(nodes_.size());
+  for (const auto& e : elements_)
+    for (Index v : e)
+      if (v < 0 || v >= n)
+        throw std::invalid_argument("Mesh: element references bad node");
+}
+
+void Mesh::set_node_group(const std::string& name, std::vector<Index> group) {
+  for (Index v : group)
+    if (v < 0 || v >= node_count())
+      throw std::invalid_argument("Mesh: node group references bad node");
+  std::sort(group.begin(), group.end());
+  group.erase(std::unique(group.begin(), group.end()), group.end());
+  node_groups_[name] = std::move(group);
+}
+
+bool Mesh::has_node_group(const std::string& name) const {
+  return node_groups_.count(name) != 0;
+}
+
+const std::vector<Index>& Mesh::node_group(const std::string& name) const {
+  const auto it = node_groups_.find(name);
+  if (it == node_groups_.end())
+    throw std::out_of_range("Mesh: unknown node group '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> Mesh::node_group_names() const {
+  std::vector<std::string> out;
+  out.reserve(node_groups_.size());
+  for (const auto& [k, v] : node_groups_) out.push_back(k);
+  return out;
+}
+
+const std::vector<std::vector<Index>>& Mesh::node_to_elements() const {
+  if (node_to_elements_.empty()) {
+    node_to_elements_.assign(static_cast<std::size_t>(node_count()), {});
+    for (Index e = 0; e < element_count(); ++e)
+      for (Index v : element(e))
+        node_to_elements_[static_cast<std::size_t>(v)].push_back(e);
+  }
+  return node_to_elements_;
+}
+
+std::vector<std::vector<Index>> Mesh::node_adjacency() const {
+  std::vector<std::set<Index>> adj(static_cast<std::size_t>(node_count()));
+  for (const auto& e : elements_)
+    for (Index a : e)
+      for (Index b : e) adj[static_cast<std::size_t>(a)].insert(b);
+  std::vector<std::vector<Index>> out(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i)
+    out[i].assign(adj[i].begin(), adj[i].end());
+  return out;
+}
+
+std::vector<std::vector<Index>> Mesh::element_adjacency() const {
+  // Two hexes are face-adjacent when they share 4 nodes.
+  const auto& n2e = node_to_elements();
+  std::vector<std::vector<Index>> out(
+      static_cast<std::size_t>(element_count()));
+  for (Index e = 0; e < element_count(); ++e) {
+    std::map<Index, int> shared;
+    for (Index v : element(e))
+      for (Index other : n2e[static_cast<std::size_t>(v)])
+        if (other != e) ++shared[other];
+    for (const auto& [other, cnt] : shared)
+      if (cnt >= 4) out[static_cast<std::size_t>(e)].push_back(other);
+  }
+  return out;
+}
+
+void Mesh::validate() const {
+  for (Index e = 0; e < element_count(); ++e) {
+    const auto coords = hex::gather_coords(*this, e);
+    for (const auto& gp : hex::gauss_points()) {
+      const auto j = hex::jacobian(coords, gp[0], gp[1], gp[2]);
+      if (!(j.det > 0.0))
+        throw std::runtime_error("Mesh: inverted/degenerate element " +
+                                 std::to_string(e));
+    }
+  }
+}
+
+void Mesh::bounding_box(Vec3& lo, Vec3& hi) const {
+  lo = hi = nodes_.front();
+  for (const auto& p : nodes_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    lo.z = std::min(lo.z, p.z);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+    hi.z = std::max(hi.z, p.z);
+  }
+}
+
+double Mesh::total_volume() const {
+  double v = 0.0;
+  for (Index e = 0; e < element_count(); ++e) v += hex_volume(*this, e);
+  return v;
+}
+
+double hex_volume(const Mesh& mesh, Index element) {
+  const auto coords = hex::gather_coords(mesh, element);
+  double v = 0.0;
+  for (const auto& gp : hex::gauss_points())
+    v += hex::jacobian(coords, gp[0], gp[1], gp[2]).det;
+  return v;
+}
+
+}  // namespace hpcs::alya

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file mesh.hpp
+/// \brief Unstructured hexahedral mesh container and adjacency queries.
+///
+/// The artery use cases run on hex meshes produced by tube_mesh.hpp but the
+/// container is fully unstructured: coordinates + 8-node connectivity.
+/// Boundary condition sets are stored as named node groups.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hpcs::alya {
+
+using Index = std::int64_t;
+
+struct Vec3 {
+  double x = 0, y = 0, z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const;
+  bool operator==(const Vec3&) const = default;
+};
+
+/// 8-node hexahedron, nodes in the standard trilinear (VTK) ordering:
+/// bottom face counter-clockwise (0-3), then top face (4-7).
+using Hex = std::array<Index, 8>;
+
+class Mesh {
+ public:
+  Mesh() = default;
+  Mesh(std::vector<Vec3> nodes, std::vector<Hex> elements);
+
+  Index node_count() const noexcept {
+    return static_cast<Index>(nodes_.size());
+  }
+  Index element_count() const noexcept {
+    return static_cast<Index>(elements_.size());
+  }
+  const std::vector<Vec3>& nodes() const noexcept { return nodes_; }
+  const std::vector<Hex>& elements() const noexcept { return elements_; }
+  const Vec3& node(Index i) const { return nodes_[static_cast<std::size_t>(i)]; }
+  const Hex& element(Index e) const {
+    return elements_[static_cast<std::size_t>(e)];
+  }
+
+  /// Registers a named node set (inlet, outlet, wall, interface...).
+  void set_node_group(const std::string& name, std::vector<Index> nodes);
+  bool has_node_group(const std::string& name) const;
+  const std::vector<Index>& node_group(const std::string& name) const;
+  std::vector<std::string> node_group_names() const;
+
+  /// Node -> incident elements (CSR-like, built lazily and cached).
+  const std::vector<std::vector<Index>>& node_to_elements() const;
+
+  /// Node -> neighbor nodes sharing an element (includes self), sorted.
+  /// This is exactly the sparsity pattern of an assembled FEM operator.
+  std::vector<std::vector<Index>> node_adjacency() const;
+
+  /// Element -> face-adjacent elements (shared quad face).
+  std::vector<std::vector<Index>> element_adjacency() const;
+
+  /// Geometric checks: every hex must have positive volume at all corners.
+  /// \throws std::runtime_error naming the first inverted element.
+  void validate() const;
+
+  /// Axis-aligned bounding box.
+  void bounding_box(Vec3& lo, Vec3& hi) const;
+
+  /// Total mesh volume (sum of hex volumes by 2x2x2 quadrature).
+  double total_volume() const;
+
+ private:
+  std::vector<Vec3> nodes_;
+  std::vector<Hex> elements_;
+  std::map<std::string, std::vector<Index>> node_groups_;
+  mutable std::vector<std::vector<Index>> node_to_elements_;  // cache
+};
+
+/// Volume of one hexahedron (2x2x2 Gauss integration of |J|).
+double hex_volume(const Mesh& mesh, Index element);
+
+}  // namespace hpcs::alya

@@ -1,0 +1,185 @@
+#include "alya/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace hpcs::alya {
+
+Index PartStats::total_halo_nodes() const {
+  Index total = 0;
+  for (const auto& [nbr, n] : halo_nodes) total += n;
+  return total;
+}
+
+namespace {
+
+Vec3 centroid(const Mesh& mesh, Index e) {
+  Vec3 c{};
+  for (Index v : mesh.element(e)) {
+    const Vec3& p = mesh.node(v);
+    c = c + p;
+  }
+  return c * 0.125;
+}
+
+/// Recursively assigns parts [part_lo, part_lo+nparts) to the element id
+/// range [begin, end) of `ids`, splitting at the weighted median of the
+/// longest bounding-box axis.
+void rcb(const Mesh& mesh, std::vector<Index>& ids,
+         std::vector<Vec3>& cents, std::size_t begin, std::size_t end,
+         int part_lo, int nparts, std::vector<int>& element_part) {
+  if (nparts == 1) {
+    for (std::size_t i = begin; i < end; ++i)
+      element_part[static_cast<std::size_t>(ids[i])] = part_lo;
+    return;
+  }
+  // Bounding box of the subset's centroids.
+  Vec3 lo = cents[begin], hi = cents[begin];
+  for (std::size_t i = begin; i < end; ++i) {
+    const Vec3& c = cents[i];
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    lo.z = std::min(lo.z, c.z);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+    hi.z = std::max(hi.z, c.z);
+  }
+  const double dx = hi.x - lo.x, dy = hi.y - lo.y, dz = hi.z - lo.z;
+  int axis = 2;
+  if (dx >= dy && dx >= dz)
+    axis = 0;
+  else if (dy >= dx && dy >= dz)
+    axis = 1;
+
+  const int left_parts = nparts / 2;
+  const int right_parts = nparts - left_parts;
+  const std::size_t count = end - begin;
+  const std::size_t left_count =
+      count * static_cast<std::size_t>(left_parts) /
+      static_cast<std::size_t>(nparts);
+
+  auto key = [axis](const Vec3& c) {
+    return axis == 0 ? c.x : (axis == 1 ? c.y : c.z);
+  };
+  // Sort ids and centroids together by the split axis within the range.
+  std::vector<std::size_t> order(count);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(left_count),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     const double ka = key(cents[begin + a]);
+                     const double kb = key(cents[begin + b]);
+                     if (ka != kb) return ka < kb;
+                     return ids[begin + a] < ids[begin + b];  // stable ties
+                   });
+  std::vector<Index> tmp_ids(count);
+  std::vector<Vec3> tmp_cents(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    tmp_ids[i] = ids[begin + order[i]];
+    tmp_cents[i] = cents[begin + order[i]];
+  }
+  std::copy(tmp_ids.begin(), tmp_ids.end(),
+            ids.begin() + static_cast<std::ptrdiff_t>(begin));
+  std::copy(tmp_cents.begin(), tmp_cents.end(),
+            cents.begin() + static_cast<std::ptrdiff_t>(begin));
+
+  rcb(mesh, ids, cents, begin, begin + left_count, part_lo, left_parts,
+      element_part);
+  rcb(mesh, ids, cents, begin + left_count, end, part_lo + left_parts,
+      right_parts, element_part);
+}
+
+}  // namespace
+
+MeshPartition::MeshPartition(const Mesh& mesh, int parts) : parts_(parts) {
+  if (parts < 1) throw std::invalid_argument("MeshPartition: parts < 1");
+  if (static_cast<Index>(parts) > mesh.element_count())
+    throw std::invalid_argument(
+        "MeshPartition: more parts than elements");
+
+  const auto ne = static_cast<std::size_t>(mesh.element_count());
+  element_part_.assign(ne, 0);
+  std::vector<Index> ids(ne);
+  std::iota(ids.begin(), ids.end(), Index{0});
+  std::vector<Vec3> cents(ne);
+  for (std::size_t i = 0; i < ne; ++i)
+    cents[i] = centroid(mesh, static_cast<Index>(i));
+  rcb(mesh, ids, cents, 0, ne, 0, parts, element_part_);
+  compute_stats(mesh);
+}
+
+int MeshPartition::part_of_element(Index e) const {
+  if (e < 0 || static_cast<std::size_t>(e) >= element_part_.size())
+    throw std::out_of_range("MeshPartition: bad element id");
+  return element_part_[static_cast<std::size_t>(e)];
+}
+
+void MeshPartition::compute_stats(const Mesh& mesh) {
+  stats_.assign(static_cast<std::size_t>(parts_), PartStats{});
+
+  for (std::size_t e = 0; e < element_part_.size(); ++e)
+    ++stats_[static_cast<std::size_t>(element_part_[e])].elements;
+
+  // Parts touching each node.
+  const auto nn = static_cast<std::size_t>(mesh.node_count());
+  std::vector<std::set<int>> node_parts(nn);
+  for (Index e = 0; e < mesh.element_count(); ++e) {
+    const int p = element_part_[static_cast<std::size_t>(e)];
+    for (Index v : mesh.element(e))
+      node_parts[static_cast<std::size_t>(v)].insert(p);
+  }
+
+  for (std::size_t v = 0; v < nn; ++v) {
+    const auto& ps = node_parts[v];
+    if (ps.empty()) continue;  // orphan node (none in our meshes)
+    const int owner = *ps.begin();
+    stats_[static_cast<std::size_t>(owner)].owned_nodes++;
+    for (int p : ps) {
+      stats_[static_cast<std::size_t>(p)].local_nodes++;
+      // A node shared by several parts is halo between every pair.
+      for (int q : ps)
+        if (q != p)
+          stats_[static_cast<std::size_t>(p)].halo_nodes[q]++;
+    }
+  }
+}
+
+const PartStats& MeshPartition::stats(int part) const {
+  if (part < 0 || part >= parts_)
+    throw std::out_of_range("MeshPartition: bad part id");
+  return stats_[static_cast<std::size_t>(part)];
+}
+
+double MeshPartition::element_imbalance() const {
+  Index mx = 0, total = 0;
+  for (const auto& s : stats_) {
+    mx = std::max(mx, s.elements);
+    total += s.elements;
+  }
+  const double avg =
+      static_cast<double>(total) / static_cast<double>(parts_);
+  return avg > 0 ? static_cast<double>(mx) / avg : 1.0;
+}
+
+double MeshPartition::avg_neighbors() const {
+  double total = 0;
+  for (const auto& s : stats_) total += s.neighbor_count();
+  return total / static_cast<double>(parts_);
+}
+
+Index MeshPartition::max_halo_nodes() const {
+  Index mx = 0;
+  for (const auto& s : stats_) mx = std::max(mx, s.total_halo_nodes());
+  return mx;
+}
+
+double MeshPartition::avg_halo_nodes() const {
+  double total = 0;
+  for (const auto& s : stats_)
+    total += static_cast<double>(s.total_halo_nodes());
+  return total / static_cast<double>(parts_);
+}
+
+}  // namespace hpcs::alya

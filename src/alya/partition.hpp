@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file partition.hpp
+/// \brief Domain decomposition: recursive coordinate bisection + halo stats.
+///
+/// Alya decomposes the mesh across MPI ranks; each rank owns a contiguous
+/// chunk of elements and exchanges halo (interface) node values with its
+/// neighbors every solver iteration.  The partition statistics extracted
+/// here — elements per rank, interface nodes per neighbor pair, neighbor
+/// counts — are what the performance model replays at scale, and the
+/// surface-to-volume law they follow is verified by tests.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "alya/mesh.hpp"
+
+namespace hpcs::alya {
+
+struct PartStats {
+  Index elements = 0;      ///< elements owned by the part
+  Index local_nodes = 0;   ///< nodes touched by owned elements (incl. halo)
+  Index owned_nodes = 0;   ///< nodes this part owns (lowest-part rule)
+  /// Neighbor part -> number of shared interface nodes (halo exchange
+  /// message size in node-values).
+  std::map<int, Index> halo_nodes;
+
+  Index total_halo_nodes() const;
+  int neighbor_count() const { return static_cast<int>(halo_nodes.size()); }
+};
+
+class MeshPartition {
+ public:
+  /// Partitions \p mesh into \p parts pieces by recursive coordinate
+  /// bisection over element centroids (weighted splits handle non-power-of-
+  /// two part counts; piece sizes differ by at most one element).
+  MeshPartition(const Mesh& mesh, int parts);
+
+  int parts() const noexcept { return parts_; }
+  int part_of_element(Index e) const;
+  const std::vector<int>& element_parts() const noexcept {
+    return element_part_;
+  }
+  const PartStats& stats(int part) const;
+
+  /// Imbalance: max elements per part / average elements per part.
+  double element_imbalance() const;
+
+  /// Average number of neighbor parts per part.
+  double avg_neighbors() const;
+
+  /// Largest halo (interface nodes summed over neighbors) of any part.
+  Index max_halo_nodes() const;
+
+  /// Average halo nodes per part.
+  double avg_halo_nodes() const;
+
+ private:
+  void compute_stats(const Mesh& mesh);
+
+  int parts_;
+  std::vector<int> element_part_;
+  std::vector<PartStats> stats_;
+};
+
+}  // namespace hpcs::alya

@@ -1,0 +1,110 @@
+#include "alya/threading.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace hpcs::alya {
+
+struct ThreadPool::Impl {
+  std::vector<std::thread> workers;
+  std::mutex mutex;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+
+  // Current job state (guarded by mutex except the atomics).
+  const std::function<void(std::size_t, std::size_t)>* job = nullptr;
+  std::size_t job_n = 0;
+  std::uint64_t generation = 0;
+  int pending = 0;
+  std::exception_ptr first_error;
+  bool shutting_down = false;
+
+  void worker_loop(int id, int nthreads) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t, std::size_t)>* my_job;
+      std::size_t n;
+      {
+        std::unique_lock lk(mutex);
+        cv_work.wait(lk,
+                     [&] { return shutting_down || generation != seen; });
+        if (shutting_down) return;
+        seen = generation;
+        my_job = job;
+        n = job_n;
+      }
+      try {
+        const auto t = static_cast<std::size_t>(nthreads);
+        const auto i = static_cast<std::size_t>(id);
+        const std::size_t chunk = (n + t - 1) / t;
+        const std::size_t begin = std::min(n, i * chunk);
+        const std::size_t end = std::min(n, begin + chunk);
+        if (begin < end) (*my_job)(begin, end);
+      } catch (...) {
+        std::lock_guard lk(mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard lk(mutex);
+        if (--pending == 0) cv_done.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  if (threads < 1) throw std::invalid_argument("ThreadPool: threads < 1");
+  impl_ = new Impl;
+  if (threads_ > 1) {
+    impl_->workers.reserve(static_cast<std::size_t>(threads_));
+    for (int i = 0; i < threads_; ++i)
+      impl_->workers.emplace_back(
+          [this, i] { impl_->worker_loop(i, threads_); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->cv_work.notify_all();
+  for (auto& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_ == 1) {
+    fn(0, n);
+    return;
+  }
+  {
+    std::unique_lock lk(impl_->mutex);
+    impl_->job = &fn;
+    impl_->job_n = n;
+    impl_->pending = threads_;
+    impl_->first_error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->cv_work.notify_all();
+  {
+    std::unique_lock lk(impl_->mutex);
+    impl_->cv_done.wait(lk, [&] { return impl_->pending == 0; });
+    if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+  }
+}
+
+void parallel_for_each(ThreadPool& pool, std::size_t n,
+                       const std::function<void(std::size_t)>& body) {
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) body(i);
+  });
+}
+
+}  // namespace hpcs::alya

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file threading.hpp
+/// \brief Minimal thread pool with a static-schedule parallel_for.
+///
+/// The real solver kernels (assembly, SpMV, vector updates) run through
+/// this pool, mirroring Alya's OpenMP parallelization.  The pool uses
+/// static chunking — the same schedule OpenMP's `schedule(static)` gives —
+/// so results are deterministic for associative-free loops (all our loops
+/// write disjoint outputs).
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace hpcs::alya {
+
+class ThreadPool {
+ public:
+  /// Creates \p threads workers (>= 1).  threads == 1 runs inline.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const noexcept { return threads_; }
+
+  /// Runs fn(begin, end) over [0, n) split into near-equal contiguous
+  /// chunks, one per worker; blocks until all chunks complete.
+  /// Exceptions thrown by fn are rethrown (first one wins).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <thread>/<condition_variable> out of the header
+  int threads_;
+};
+
+/// Convenience: per-index body.
+void parallel_for_each(ThreadPool& pool, std::size_t n,
+                       const std::function<void(std::size_t)>& body);
+
+}  // namespace hpcs::alya

@@ -1,0 +1,149 @@
+#include "alya/tube_mesh.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hpcs::alya {
+
+void TubeParams::validate() const {
+  if (radius <= 0 || length <= 0)
+    throw std::invalid_argument("TubeParams: non-positive dimensions");
+  if (cross_cells < 2 || axial_cells < 1)
+    throw std::invalid_argument("TubeParams: too few cells");
+  if (cross_cells % 2 != 0)
+    throw std::invalid_argument(
+        "TubeParams: cross_cells must be even (axis-symmetric grid)");
+}
+
+void WallParams::validate() const {
+  if (inner_radius <= 0 || thickness <= 0 || length <= 0)
+    throw std::invalid_argument("WallParams: non-positive dimensions");
+  if (radial_cells < 1 || circumferential_cells < 4 || axial_cells < 1)
+    throw std::invalid_argument("WallParams: too few cells");
+}
+
+Mesh lumen_mesh(const TubeParams& p) {
+  p.validate();
+  const int n = p.cross_cells;
+  const int nz = p.axial_cells;
+  const int nn = n + 1;  // nodes per side
+
+  auto node_id = [&](int i, int j, int k) -> Index {
+    return static_cast<Index>((k * nn + j) * nn + i);
+  };
+
+  std::vector<Vec3> nodes;
+  nodes.reserve(static_cast<std::size_t>(nn) * static_cast<std::size_t>(nn) *
+                static_cast<std::size_t>(nz + 1));
+  for (int k = 0; k <= nz; ++k) {
+    const double z = p.length * static_cast<double>(k) / nz;
+    for (int j = 0; j <= n; ++j) {
+      const double v = -1.0 + 2.0 * static_cast<double>(j) / n;
+      for (int i = 0; i <= n; ++i) {
+        const double u = -1.0 + 2.0 * static_cast<double>(i) / n;
+        // Square-to-disk (elliptical) mapping; |(X,Y)| <= radius with the
+        // square boundary landing exactly on the circle.
+        const double X = u * std::sqrt(1.0 - 0.5 * v * v) * p.radius;
+        const double Y = v * std::sqrt(1.0 - 0.5 * u * u) * p.radius;
+        nodes.push_back(Vec3{X, Y, z});
+      }
+    }
+  }
+
+  std::vector<Hex> elems;
+  elems.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(nz));
+  for (int k = 0; k < nz; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        elems.push_back(Hex{node_id(i, j, k), node_id(i + 1, j, k),
+                            node_id(i + 1, j + 1, k), node_id(i, j + 1, k),
+                            node_id(i, j, k + 1), node_id(i + 1, j, k + 1),
+                            node_id(i + 1, j + 1, k + 1),
+                            node_id(i, j + 1, k + 1)});
+
+  Mesh mesh(std::move(nodes), std::move(elems));
+
+  std::vector<Index> inlet, outlet, wall;
+  for (int j = 0; j <= n; ++j)
+    for (int i = 0; i <= n; ++i) {
+      inlet.push_back(node_id(i, j, 0));
+      outlet.push_back(node_id(i, j, nz));
+    }
+  for (int k = 0; k <= nz; ++k)
+    for (int j = 0; j <= n; ++j)
+      for (int i = 0; i <= n; ++i)
+        if (i == 0 || i == n || j == 0 || j == n)
+          wall.push_back(node_id(i, j, k));
+  mesh.set_node_group("inlet", std::move(inlet));
+  mesh.set_node_group("outlet", std::move(outlet));
+  mesh.set_node_group("wall", std::move(wall));
+  mesh.validate();
+  return mesh;
+}
+
+Mesh wall_mesh(const WallParams& p) {
+  p.validate();
+  const int nt = p.circumferential_cells;
+  const int nr = p.radial_cells;
+  const int nz = p.axial_cells;
+
+  // Nodes: (theta index wraps, radial, axial).
+  auto node_id = [&](int it, int ir, int iz) -> Index {
+    const int t = it % nt;  // periodic
+    return static_cast<Index>((iz * (nr + 1) + ir) * nt + t);
+  };
+
+  std::vector<Vec3> nodes(
+      static_cast<std::size_t>(nt) * static_cast<std::size_t>(nr + 1) *
+      static_cast<std::size_t>(nz + 1));
+  for (int iz = 0; iz <= nz; ++iz) {
+    const double z = p.length * static_cast<double>(iz) / nz;
+    for (int ir = 0; ir <= nr; ++ir) {
+      const double r =
+          p.inner_radius + p.thickness * static_cast<double>(ir) / nr;
+      for (int it = 0; it < nt; ++it) {
+        const double th =
+            2.0 * std::numbers::pi * static_cast<double>(it) / nt;
+        nodes[static_cast<std::size_t>(node_id(it, ir, iz))] =
+            Vec3{r * std::cos(th), r * std::sin(th), z};
+      }
+    }
+  }
+
+  // Orientation (r, theta, z) is right-handed.
+  std::vector<Hex> elems;
+  elems.reserve(static_cast<std::size_t>(nt) * static_cast<std::size_t>(nr) *
+                static_cast<std::size_t>(nz));
+  for (int iz = 0; iz < nz; ++iz)
+    for (int it = 0; it < nt; ++it)
+      for (int ir = 0; ir < nr; ++ir)
+        elems.push_back(Hex{node_id(it, ir, iz), node_id(it, ir + 1, iz),
+                            node_id(it + 1, ir + 1, iz),
+                            node_id(it + 1, ir, iz), node_id(it, ir, iz + 1),
+                            node_id(it, ir + 1, iz + 1),
+                            node_id(it + 1, ir + 1, iz + 1),
+                            node_id(it + 1, ir, iz + 1)});
+
+  Mesh mesh(std::move(nodes), std::move(elems));
+
+  std::vector<Index> inner, outer, ends;
+  for (int iz = 0; iz <= nz; ++iz)
+    for (int it = 0; it < nt; ++it) {
+      inner.push_back(node_id(it, 0, iz));
+      outer.push_back(node_id(it, nr, iz));
+    }
+  for (int ir = 0; ir <= nr; ++ir)
+    for (int it = 0; it < nt; ++it) {
+      ends.push_back(node_id(it, ir, 0));
+      ends.push_back(node_id(it, ir, nz));
+    }
+  mesh.set_node_group("inner", std::move(inner));
+  mesh.set_node_group("outer", std::move(outer));
+  mesh.set_node_group("ends", std::move(ends));
+  mesh.validate();
+  return mesh;
+}
+
+}  // namespace hpcs::alya

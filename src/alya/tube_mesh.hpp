@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file tube_mesh.hpp
+/// \brief Parametric artery meshes: the fluid lumen and the vessel wall.
+///
+/// The paper's two use cases run on an artery geometry.  We generate:
+///
+///  * lumen_mesh  — the blood volume: a straight circular pipe meshed with
+///    hexes via the standard square-to-disk ("squircle") mapping, which
+///    avoids the degenerate axis of polar grids.  Node groups: "inlet"
+///    (z = 0), "outlet" (z = length), "wall" (lateral surface).
+///
+///  * wall_mesh   — the arterial wall: an annular shell around the lumen,
+///    structured (radial x circumferential x axial) with periodic
+///    circumferential connectivity.  Node groups: "inner" (the FSI
+///    interface), "outer", "ends".
+
+#include "alya/mesh.hpp"
+
+namespace hpcs::alya {
+
+struct TubeParams {
+  double radius = 0.01;   ///< lumen radius [m] (~1 cm artery)
+  double length = 0.1;    ///< segment length [m]
+  int cross_cells = 8;    ///< cells per side of the mapped square section
+  int axial_cells = 16;   ///< cells along the axis
+
+  void validate() const;
+};
+
+struct WallParams {
+  double inner_radius = 0.01;
+  double thickness = 0.002;
+  double length = 0.1;
+  int radial_cells = 2;
+  int circumferential_cells = 16;
+  int axial_cells = 16;
+
+  void validate() const;
+};
+
+/// Generates the fluid (lumen) mesh; guaranteed positive-Jacobian hexes.
+Mesh lumen_mesh(const TubeParams& params);
+
+/// Generates the solid (wall) mesh; guaranteed positive-Jacobian hexes.
+Mesh wall_mesh(const WallParams& params);
+
+}  // namespace hpcs::alya

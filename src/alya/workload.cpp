@@ -1,0 +1,129 @@
+#include "alya/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcs::alya {
+
+void StepWorkload::validate() const {
+  if (solver_iterations < 0 || halo_neighbors < 0 ||
+      halo_exchanges_per_iteration < 0 || extra_halo_exchanges < 0)
+    throw std::invalid_argument("StepWorkload: negative counts");
+  if (coupling_iterations < 1.0)
+    throw std::invalid_argument("StepWorkload: coupling_iterations < 1");
+  if (assembly.flops < 0 || per_iteration.flops < 0)
+    throw std::invalid_argument("StepWorkload: negative work");
+}
+
+void WorkloadModel::validate() const {
+  if (assembly_flops_per_element <= 0 || solver_flops_per_node_iter <= 0 ||
+      cg_iter_coefficient <= 0 || halo_coefficient <= 0 ||
+      bytes_per_halo_node <= 0)
+    throw std::invalid_argument("WorkloadModel: non-positive constants");
+  if (coupling_iterations < 1.0 || solid_work_fraction < 0.0)
+    throw std::invalid_argument("WorkloadModel: bad FSI constants");
+  if (typical_neighbors < 1)
+    throw std::invalid_argument("WorkloadModel: typical_neighbors < 1");
+}
+
+WorkloadModel WorkloadModel::default_cfd() { return WorkloadModel{}; }
+
+WorkloadModel WorkloadModel::default_fsi() {
+  WorkloadModel m;
+  // Strong coupling needs a handful of sub-iterations per step; the solid
+  // instance adds ~15% work (the wall mesh is thin compared to the lumen)
+  // and the interface exchange moves traction + displacement vectors.
+  m.coupling_iterations = 4.0;
+  m.solid_work_fraction = 0.15;
+  m.interface_bytes_per_rank = 6.0 * 1024.0;
+  return m;
+}
+
+WorkloadModel WorkloadModel::calibrate_cfd(const NastinSolver& run,
+                                           const MeshPartition& part) {
+  const auto& c = run.counters();
+  if (c.steps < 1)
+    throw std::invalid_argument("calibrate_cfd: run has taken no steps");
+  const auto& mesh = run.mesh();
+  const double steps = static_cast<double>(c.steps);
+  const double elements = static_cast<double>(mesh.element_count());
+  const double nodes = static_cast<double>(mesh.node_count());
+
+  WorkloadModel m;
+  m.assembly_flops_per_element = c.assembly_flops / steps / elements;
+  m.assembly_bytes_per_element = c.assembly_bytes / steps / elements;
+
+  const double iters_per_step =
+      static_cast<double>(c.pressure_iterations) / steps;
+  if (iters_per_step < 1)
+    throw std::invalid_argument("calibrate_cfd: no solver iterations");
+  m.solver_flops_per_node_iter =
+      c.solver_flops / steps / iters_per_step / nodes;
+  m.solver_bytes_per_node_iter =
+      c.solver_bytes / steps / iters_per_step / nodes;
+  // Scale iteration counts from the *cold-start* solve: production runs
+  // re-mesh / restart often enough that warm-started steady-state counts
+  // (often 1-2 iterations) are not representative.
+  m.cg_iter_coefficient =
+      static_cast<double>(c.max_pressure_iterations) / std::cbrt(nodes);
+  m.reductions_per_iteration = 3;
+
+  // Halo law from the actual partition.
+  const double epr = elements / static_cast<double>(part.parts());
+  m.halo_coefficient = part.avg_halo_nodes() / std::pow(epr, 2.0 / 3.0);
+  m.typical_neighbors =
+      std::max(1, static_cast<int>(std::lround(part.avg_neighbors())));
+  m.validate();
+  return m;
+}
+
+StepWorkload WorkloadModel::per_rank(std::uint64_t global_elements,
+                                     std::uint64_t global_nodes,
+                                     int ranks) const {
+  validate();
+  if (ranks < 1) throw std::invalid_argument("per_rank: ranks < 1");
+  if (global_elements == 0 || global_nodes == 0)
+    throw std::invalid_argument("per_rank: empty problem");
+  if (static_cast<std::uint64_t>(ranks) > global_elements)
+    throw std::invalid_argument("per_rank: more ranks than elements");
+
+  const double epr = static_cast<double>(global_elements) /
+                     static_cast<double>(ranks);
+  const double npr =
+      static_cast<double>(global_nodes) / static_cast<double>(ranks);
+
+  StepWorkload w;
+  const double solid_scale = 1.0 + solid_work_fraction;
+  w.assembly.flops = assembly_flops_per_element * epr * solid_scale;
+  w.assembly.mem_bytes = assembly_bytes_per_element * epr * solid_scale;
+  w.solver_iterations = std::max(
+      1, static_cast<int>(std::lround(
+             cg_iter_coefficient *
+             std::cbrt(static_cast<double>(global_nodes)))));
+  w.per_iteration.flops = solver_flops_per_node_iter * npr * solid_scale;
+  w.per_iteration.mem_bytes =
+      solver_bytes_per_node_iter * npr * solid_scale;
+  w.reductions_per_iteration = reductions_per_iteration;
+  w.reduction_bytes = 8;
+
+  const double halo_nodes = halo_coefficient * std::pow(epr, 2.0 / 3.0);
+  const int neighbors =
+      ranks == 1 ? 0 : std::min(typical_neighbors, ranks - 1);
+  w.halo_neighbors = neighbors;
+  w.halo_bytes_per_neighbor =
+      neighbors == 0
+          ? 0
+          : static_cast<std::uint64_t>(std::llround(
+                halo_nodes * bytes_per_halo_node /
+                static_cast<double>(neighbors)));
+  w.halo_exchanges_per_iteration = 1;
+  w.extra_halo_exchanges = 4;
+
+  w.coupling_iterations = coupling_iterations;
+  w.interface_bytes =
+      static_cast<std::uint64_t>(std::llround(interface_bytes_per_rank));
+  w.validate();
+  return w;
+}
+
+}  // namespace hpcs::alya

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file workload.hpp
+/// \brief Workload descriptors: what one rank does per time step.
+///
+/// The performance study replays Alya's per-time-step behaviour on the
+/// simulated clusters.  A StepWorkload carries the per-rank operation
+/// counts; a WorkloadModel produces them for any (mesh size, rank count)
+/// from calibration constants that can either come from the built-in
+/// defaults or be *measured* by instrumented runs of the real solver
+/// (calibrate_cfd), with the agreement between the two verified by tests:
+///
+///   * compute work per rank scales as 1/p (perfect element balance, which
+///     the RCB partitioner delivers to within a few %);
+///   * halo size per rank follows the surface-to-volume law c·(E/p)^(2/3);
+///   * CG iteration counts grow with the global problem's diameter,
+///     ~cbrt(N) under Jacobi preconditioning.
+
+#include <cstdint>
+
+#include "alya/nastin.hpp"
+#include "alya/partition.hpp"
+#include "hw/compute.hpp"
+
+namespace hpcs::alya {
+
+/// Per-rank, per-time-step workload consumed by the study runner.
+struct StepWorkload {
+  /// Matrix-free operator work (advection, divergence, gradient) per step.
+  hw::KernelWork assembly{};
+  /// Implicit (pressure / elasticity) solve: iterations per step and
+  /// per-rank work per iteration.
+  int solver_iterations = 0;
+  hw::KernelWork per_iteration{};
+  int reductions_per_iteration = 3;      ///< CG: p·q, ||r||, r·z
+  std::uint64_t reduction_bytes = 8;
+  /// Halo exchange: one per SpMV inside the solve, plus a few per step for
+  /// the velocity field updates.
+  int halo_exchanges_per_iteration = 1;
+  int extra_halo_exchanges = 4;
+  std::uint64_t halo_bytes_per_neighbor = 0;
+  int halo_neighbors = 6;
+  /// FSI strong coupling: outer iterations per step (1 for plain CFD) and
+  /// the interface traction/displacement payload exchanged per iteration.
+  double coupling_iterations = 1.0;
+  std::uint64_t interface_bytes = 0;
+
+  void validate() const;
+};
+
+/// Calibration constants mapping (mesh, ranks) -> StepWorkload.
+struct WorkloadModel {
+  double assembly_flops_per_element = 10400.0;
+  double assembly_bytes_per_element = 1920.0;
+  /// Per mesh node, per solver iteration (SpMV row of ~27 nnz + vector ops).
+  double solver_flops_per_node_iter = 90.0;
+  double solver_bytes_per_node_iter = 900.0;
+  /// iterations(step) = coeff * cbrt(global nodes)
+  double cg_iter_coefficient = 2.0;
+  int reductions_per_iteration = 3;
+  /// halo nodes per rank = coeff * (elements/rank)^(2/3)
+  double halo_coefficient = 6.0;
+  int typical_neighbors = 6;
+  double bytes_per_halo_node = 8.0;
+  /// FSI extras (coupling_iterations == 1 for plain CFD).
+  double coupling_iterations = 1.0;
+  /// Solid solve adds this fraction of the fluid solve work per coupling
+  /// iteration (the wall mesh is much smaller than the lumen).
+  double solid_work_fraction = 0.0;
+  double interface_bytes_per_rank = 0.0;
+
+  /// Defaults representative of the artery CFD case.
+  static WorkloadModel default_cfd();
+  /// Defaults for the FSI case (two code instances, strong coupling).
+  static WorkloadModel default_fsi();
+
+  /// Measures the constants from an instrumented run: \p run must have
+  /// taken at least one step; \p part supplies the halo statistics.
+  static WorkloadModel calibrate_cfd(const NastinSolver& run,
+                                     const MeshPartition& part);
+
+  /// Produces the per-rank workload for a global problem of
+  /// \p global_elements hexes / \p global_nodes nodes split over \p ranks.
+  StepWorkload per_rank(std::uint64_t global_elements,
+                        std::uint64_t global_nodes, int ranks) const;
+
+  void validate() const;
+};
+
+}  // namespace hpcs::alya

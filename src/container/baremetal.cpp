@@ -1,0 +1,3 @@
+#include "container/baremetal.hpp"
+
+// All members are defined inline; this TU anchors the vtable.

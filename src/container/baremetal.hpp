@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file baremetal.hpp
+/// \brief The non-containerized reference execution "runtime".
+
+#include "container/runtime.hpp"
+
+namespace hpcs::container {
+
+class BareMetalRuntime final : public ContainerRuntime {
+ public:
+  RuntimeKind kind() const noexcept override { return RuntimeKind::BareMetal; }
+  std::string_view name() const noexcept override { return "bare-metal"; }
+  std::string_view version() const noexcept override { return "-"; }
+  ImageFormat native_format() const noexcept override {
+    // Bare metal runs the host install; format is irrelevant but the
+    // interface requires one — report the flat host filesystem as SIF-like.
+    return ImageFormat::SingularitySif;
+  }
+  NamespaceSet namespaces() const noexcept override { return {}; }
+  CgroupConfig cgroups() const noexcept override {
+    return CgroupConfig::none();
+  }
+  bool uses_root_daemon() const noexcept override { return false; }
+  bool suid_exec() const noexcept override { return false; }
+  double node_service_time(const hw::NodeModel&) const override { return 0.0; }
+  double instantiate_time(const Image&, const hw::NodeModel&) const override {
+    return 0.0;
+  }
+  bool can_use_host_fabric(const Image&) const noexcept override {
+    return true;
+  }
+};
+
+}  // namespace hpcs::container

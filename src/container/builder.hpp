@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file builder.hpp
+/// \brief Image builder: recipe -> image, plus format conversion.
+///
+/// Models the two build techniques the paper evaluates (Section B.2):
+/// building natively into each runtime's format, and converting a Docker
+/// image (docker2singularity / Shifter image gateway).  Build and
+/// conversion *times* are part of the deployment-overhead comparison.
+
+#include <cstdint>
+
+#include "container/image.hpp"
+#include "container/recipe.hpp"
+#include "hw/node.hpp"
+
+namespace hpcs::container {
+
+/// Outcome of a build or conversion: the image plus the time it took on the
+/// build host.
+struct BuildResult {
+  Image image;
+  double build_time = 0.0;  ///< seconds on the build host
+};
+
+class ImageBuilder {
+ public:
+  /// \param build_host node model of the machine running the builds
+  ///        (package installation and compression are disk/CPU bound).
+  explicit ImageBuilder(hw::NodeModel build_host);
+
+  /// Builds \p recipe into \p format.  Layered builds keep one layer per
+  /// layer-producing step; flat builds (SIF/squashfs) merge everything into
+  /// a single deduplicated, compressed layer.
+  BuildResult build(const Recipe& recipe, ImageFormat format) const;
+
+  /// Converts an existing image to another format (e.g. docker2singularity,
+  /// or the Shifter gateway's docker -> squashfs).  Identity conversions
+  /// return a zero-time copy.
+  ///
+  /// \throws std::invalid_argument for unsupported directions (flat formats
+  ///         cannot be converted back into layered Docker images).
+  BuildResult convert(const Image& src, ImageFormat target) const;
+
+ private:
+  double layer_write_time(std::uint64_t bytes) const;
+  double compress_time(std::uint64_t bytes) const;
+
+  hw::NodeModel host_;
+};
+
+}  // namespace hpcs::container

@@ -1,0 +1,36 @@
+#include "container/cgroups.hpp"
+
+#include "sim/units.hpp"
+
+namespace hpcs::container {
+
+using namespace hpcs::units;
+
+double CgroupConfig::setup_time() const noexcept {
+  double t = 0.0;
+  if (cpu_accounting) t += 6.0 * ms;
+  if (memory_accounting) t += 10.0 * ms;
+  if (blkio_accounting) t += 5.0 * ms;
+  if (has_memory_limit) t += 2.0 * ms;
+  return t;
+}
+
+double CgroupConfig::compute_overhead_factor() const noexcept {
+  double f = 1.0;
+  if (cpu_accounting) f += 0.002;
+  if (memory_accounting) f += 0.006;
+  if (blkio_accounting) f += 0.001;
+  if (has_memory_limit) f += 0.004;
+  return f;
+}
+
+CgroupConfig CgroupConfig::docker_default() noexcept {
+  return CgroupConfig{.cpu_accounting = true,
+                      .memory_accounting = true,
+                      .blkio_accounting = true,
+                      .has_memory_limit = false};
+}
+
+CgroupConfig CgroupConfig::none() noexcept { return CgroupConfig{}; }
+
+}  // namespace hpcs::container

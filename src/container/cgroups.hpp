@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file cgroups.hpp
+/// \brief Control-group model: setup cost and steady-state overhead.
+///
+/// Docker places every container in its own cgroup hierarchy with CPU and
+/// memory accounting; Singularity/Shifter jobs run inside whatever cgroup
+/// the batch system created, adding nothing of their own.  Accounting
+/// overhead on compute-bound code is small but measurable.
+
+namespace hpcs::container {
+
+struct CgroupConfig {
+  bool cpu_accounting = false;
+  bool memory_accounting = false;
+  bool blkio_accounting = false;
+  bool has_memory_limit = false;
+
+  /// Per-container hierarchy creation time [s].
+  double setup_time() const noexcept;
+
+  /// Multiplicative slowdown on compute kernels (>= 1.0).  Page-counter
+  /// updates on the memory controller dominate; with a hard memory limit
+  /// reclaim pressure adds a little more.
+  double compute_overhead_factor() const noexcept;
+
+  /// Docker's default configuration (all accounting on, no hard limit).
+  static CgroupConfig docker_default() noexcept;
+  /// No cgroup management (bare-metal, Singularity, Shifter).
+  static CgroupConfig none() noexcept;
+};
+
+}  // namespace hpcs::container

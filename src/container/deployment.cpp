@@ -1,0 +1,153 @@
+#include "container/deployment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "container/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "sim/rng.hpp"
+
+namespace hpcs::container {
+
+DeploymentSimulator::DeploymentSimulator(hw::ClusterSpec cluster,
+                                         std::uint64_t seed)
+    : cluster_(std::move(cluster)), seed_(seed) {
+  cluster_.validate();
+}
+
+void DeploymentSimulator::seed_node_cache(const Image& image) {
+  for (const auto& l : image.layers()) node_cache_.insert(l.id);
+}
+
+DeploymentResult DeploymentSimulator::deploy_bare_metal(
+    int nodes, int ranks_per_node) const {
+  if (nodes < 1 || nodes > cluster_.node_count || ranks_per_node < 1)
+    throw std::invalid_argument("deploy_bare_metal: bad geometry");
+  DeploymentResult r;
+  r.nodes = nodes;
+  r.containers = 0;
+  for (int i = 0; i < nodes; ++i) r.node_ready_times.add(0.0);
+  return r;
+}
+
+DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
+                                             const Image& image, int nodes,
+                                             int ranks_per_node) {
+  if (nodes < 1 || nodes > cluster_.node_count)
+    throw std::invalid_argument("deploy: node count outside cluster");
+  if (ranks_per_node < 1 ||
+      ranks_per_node > cluster_.node.cpu.cores())
+    throw std::invalid_argument("deploy: ranks_per_node outside node");
+  if (runtime.kind() == RuntimeKind::BareMetal)
+    return deploy_bare_metal(nodes, ranks_per_node);
+
+  // Validates runtime availability and ISA compatibility.
+  (void)resolve_comm_paths(runtime, &image, cluster_);
+
+  sim::Engine engine;
+  sim::Rng rng(seed_);
+  sim::Resource registry_streams(
+      engine, static_cast<std::size_t>(cluster_.registry_streams));
+
+  DeploymentResult result;
+  result.nodes = nodes;
+
+  const bool per_rank_containers = runtime.kind() == RuntimeKind::Docker;
+  result.containers = per_rank_containers ? nodes * ranks_per_node : nodes;
+
+  // --- central phase: gateway conversion (Shifter) or shared-FS staging
+  //     (Singularity); Docker has no central phase. -------------------------
+  double central_done = 0.0;
+  const bool node_local_pull =
+      runtime.native_format() == ImageFormat::DockerLayered;
+  if (runtime.kind() == RuntimeKind::Shifter) {
+    central_done = runtime.image_gateway_time(image, cluster_.node);
+    result.bytes_transferred += image.transfer_bytes();  // gateway pull
+  } else if (!node_local_pull) {
+    // Stage the flat image once onto the shared filesystem.
+    central_done = static_cast<double>(image.transfer_bytes()) /
+                   cluster_.registry_bw;
+    result.bytes_transferred += image.transfer_bytes();
+  }
+  result.gateway_time = central_done;
+
+  // --- per-node phase -------------------------------------------------------
+  const double egress_share =
+      cluster_.registry_bw /
+      static_cast<double>(std::min(nodes, cluster_.registry_streams));
+  const double downlink = cluster_.fabric.bandwidth();
+  const double pull_bw = std::min(downlink, egress_share);
+
+  std::vector<double> ready(static_cast<std::size_t>(nodes), 0.0);
+  for (int n = 0; n < nodes; ++n) {
+    auto node_rng = rng.child(static_cast<std::uint64_t>(n));
+    const double jitter = node_rng.lognormal_median(1.0, 0.03);
+
+    // 1. Node service (root daemon) startup.
+    const double service =
+        runtime.node_service_time(cluster_.node) * jitter;
+    result.max_service_time = std::max(result.max_service_time, service);
+
+    // 2. Image materialization on the node.
+    double pull = 0.0;
+    std::uint64_t wire_bytes = 0;
+    if (node_local_pull) {
+      // Skip layers already in the node cache from earlier deployments.
+      const double ratio = compression_ratio(image.format());
+      std::uint64_t uncompressed = 0;
+      for (const auto& l : image.layers())
+        if (!node_cache_.count(l.id)) uncompressed += l.bytes;
+      wire_bytes = static_cast<std::uint64_t>(
+          static_cast<double>(uncompressed) * ratio);
+      const double transfer = static_cast<double>(wire_bytes) / pull_bw;
+      const double extract =
+          static_cast<double>(uncompressed) / cluster_.node.disk_write_bw;
+      pull = (transfer + extract) * jitter;
+      result.bytes_transferred += wire_bytes;
+    } else {
+      // Open/mount from the shared filesystem: metadata page-in only.
+      pull = (static_cast<double>(image.transfer_bytes()) * 0.002 /
+              cluster_.node.disk_read_bw) *
+             jitter;
+    }
+    result.max_pull_time = std::max(result.max_pull_time, pull);
+
+    // 3. Container instantiation.
+    const double inst_one =
+        runtime.instantiate_time(image, cluster_.node) * jitter;
+    // Docker serializes container creation through the daemon; the HPC
+    // runtimes exec per rank in parallel, so only one instantiation time
+    // is paid per node.
+    const double inst = per_rank_containers
+                            ? inst_one * static_cast<double>(ranks_per_node)
+                            : inst_one;
+    result.max_instantiate_time = std::max(result.max_instantiate_time, inst);
+
+    const std::size_t idx = static_cast<std::size_t>(n);
+    if (node_local_pull) {
+      // The pull contends for a registry stream; daemon start happens first
+      // on the node, then the pull queues at the registry.
+      engine.schedule(service, [&, idx, pull, inst]() {
+        registry_streams.request(pull, [&, idx, inst]() {
+          engine.schedule(inst, [&, idx]() { ready[idx] = engine.now(); });
+        });
+      });
+    } else {
+      // Shared-FS path: wait for the central phase, then mount + exec.
+      engine.schedule_at(central_done, [&, idx, service, pull, inst]() {
+        engine.schedule(service + pull + inst,
+                        [&, idx]() { ready[idx] = engine.now(); });
+      });
+    }
+  }
+
+  engine.run();
+  for (double t : ready) result.node_ready_times.add(t);
+  result.total_time = result.node_ready_times.max();
+  return result;
+}
+
+}  // namespace hpcs::container

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file deployment.hpp
+/// \brief Discrete-event simulation of the image deployment pipeline.
+///
+/// Deployment is everything between "job granted N nodes" and "every rank's
+/// container is running".  The pipeline differs sharply per technology and
+/// is one of the paper's three comparison axes (Section B.1):
+///
+///  * Docker      — the daemon starts on each node, then each node pulls
+///                  every layer from the registry (contended), extracts it
+///                  to local disk, and instantiates one container per rank
+///                  serially through the daemon.
+///  * Singularity — the flat SIF is staged *once* to the shared filesystem;
+///                  each node then does a cheap SUID exec + mount per rank
+///                  (in parallel).
+///  * Shifter     — the central gateway converts the Docker image to
+///                  squashfs once; nodes loop-mount it from the shared FS.
+///  * bare-metal  — nothing to deploy.
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "container/image.hpp"
+#include "container/registry.hpp"
+#include "container/runtime.hpp"
+#include "hw/cluster.hpp"
+#include "sim/stats.hpp"
+
+namespace hpcs::container {
+
+struct DeploymentResult {
+  double total_time = 0.0;    ///< makespan: job grant -> all containers up
+  double gateway_time = 0.0;  ///< central conversion/staging component
+  double max_service_time = 0.0;      ///< slowest per-node daemon start
+  double max_pull_time = 0.0;         ///< slowest per-node image fetch
+  double max_instantiate_time = 0.0;  ///< slowest per-node container spawn
+  std::uint64_t bytes_transferred = 0;  ///< aggregate wire traffic
+  int nodes = 0;
+  int containers = 0;
+  sim::Samples node_ready_times;  ///< distribution across nodes
+};
+
+class DeploymentSimulator {
+ public:
+  /// \param cluster target machine (copied)
+  /// \param seed    deterministic jitter stream for per-node variation
+  explicit DeploymentSimulator(hw::ClusterSpec cluster,
+                               std::uint64_t seed = 42);
+
+  /// Simulates deploying \p image with \p runtime onto \p nodes nodes
+  /// running \p ranks_per_node ranks each.  Docker instantiates one
+  /// container per rank; the HPC runtimes join ranks to one container
+  /// environment per node.
+  ///
+  /// \throws std::invalid_argument for bad node counts,
+  ///         RuntimeUnavailableError / ExecFormatError per transport rules.
+  DeploymentResult deploy(const ContainerRuntime& runtime, const Image& image,
+                          int nodes, int ranks_per_node);
+
+  /// Bare-metal "deployment" (always zero; provided for uniform reporting).
+  DeploymentResult deploy_bare_metal(int nodes, int ranks_per_node) const;
+
+  /// Layer digests cached on the nodes from previous deployments (the
+  /// simulator models a homogeneous cache: the same job pool re-runs the
+  /// same images).  Docker-layered pulls skip cached layers; flat images
+  /// are cached whole by digest.
+  void seed_node_cache(const Image& image);
+  void clear_node_cache() noexcept { node_cache_.clear(); }
+  std::size_t cached_layers() const noexcept { return node_cache_.size(); }
+
+ private:
+  hw::ClusterSpec cluster_;
+  std::uint64_t seed_;
+  std::set<std::string> node_cache_;
+};
+
+}  // namespace hpcs::container

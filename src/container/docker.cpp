@@ -1,0 +1,50 @@
+#include "container/docker.hpp"
+
+#include "sim/units.hpp"
+
+namespace hpcs::container {
+
+using namespace hpcs::units;
+
+double DockerRuntime::node_service_time(const hw::NodeModel&) const {
+  // dockerd + containerd cold start.
+  return 1.4;
+}
+
+double DockerRuntime::instantiate_time(const Image& image,
+                                       const hw::NodeModel&) const {
+  // runc spawn + full namespace set + cgroup hierarchy + one OverlayFS
+  // mount per layer.
+  const double overlay =
+      22.0 * ms * static_cast<double>(image.layers().size());
+  return 0.12 + namespace_setup_time(namespaces()) +
+         cgroups().setup_time() + overlay;
+}
+
+net::Fabric DockerRuntime::internode_path(const net::Fabric& base) const {
+  // veth pair + docker0 bridge + iptables NAT on both endpoints.  The
+  // bulk throughput hit at 1GbE rates is mild (veth can nearly saturate
+  // the link), but every packet takes a software-forwarded path whose
+  // per-packet CPU work queues up when many containers communicate at
+  // once — hence the per-flow latency penalty.
+  return base.with_overlay(base.name() + " via docker0 bridge",
+                           /*extra_latency=*/55.0 * us,
+                           /*extra_overhead=*/8.0 * us,
+                           /*bw_efficiency=*/0.93,
+                           /*per_flow_latency=*/2.0 * us);
+}
+
+net::Fabric DockerRuntime::intranode_path(const net::Fabric&) const {
+  // Ranks live in different containers: MPI's shm transport cannot cross
+  // the IPC/Mount namespace boundary, so the loopback TCP path through the
+  // bridge is used instead of host shared memory.
+  net::LogGpParams p;
+  p.L = 35.0 * us;
+  p.o = 6.0 * us;
+  p.g = 6.0 * us;
+  p.G = 1.0 / (1.2 * GB);
+  return net::Fabric("docker bridge loopback", net::Transport::Tcp, p,
+                     10.0 * GB, /*per_flow_latency=*/1.0 * us);
+}
+
+}  // namespace hpcs::container

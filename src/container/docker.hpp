@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file docker.hpp
+/// \brief Docker runtime model (version 1.11, as deployed on Lenox).
+///
+/// Docker's design choices the model encodes (paper Section I.A):
+///  * a root-owned daemon mediates every container operation;
+///  * containers unshare the full namespace set and live in their own
+///    cgroup hierarchy (full isolation from the host);
+///  * the Network namespace attaches containers to the docker0 bridge:
+///    every MPI message pays the veth + bridge + NAT path, and the host's
+///    kernel-bypass fabrics are unreachable;
+///  * the IPC/Mount isolation also breaks MPI's cross-process shared-memory
+///    transport between ranks in different containers, so even intra-node
+///    traffic goes through the bridge loopback.
+
+#include "container/runtime.hpp"
+
+namespace hpcs::container {
+
+class DockerRuntime final : public ContainerRuntime {
+ public:
+  RuntimeKind kind() const noexcept override { return RuntimeKind::Docker; }
+  std::string_view name() const noexcept override { return "docker"; }
+  std::string_view version() const noexcept override { return "1.11.1"; }
+  ImageFormat native_format() const noexcept override {
+    return ImageFormat::DockerLayered;
+  }
+  NamespaceSet namespaces() const noexcept override {
+    return NamespaceSet::full();
+  }
+  CgroupConfig cgroups() const noexcept override {
+    return CgroupConfig::docker_default();
+  }
+  bool uses_root_daemon() const noexcept override { return true; }
+  bool suid_exec() const noexcept override { return false; }
+
+  double node_service_time(const hw::NodeModel& node) const override;
+  double instantiate_time(const Image& image,
+                          const hw::NodeModel& node) const override;
+
+  bool can_use_host_fabric(const Image&) const noexcept override {
+    // The network namespace hides the host HCAs/HFIs regardless of what
+    // the image bundles.
+    return false;
+  }
+
+  net::Fabric internode_path(const net::Fabric& base) const override;
+  net::Fabric intranode_path(const net::Fabric& host_shm) const override;
+};
+
+}  // namespace hpcs::container

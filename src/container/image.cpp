@@ -1,0 +1,79 @@
+#include "container/image.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::container {
+
+std::string_view to_string(ImageFormat f) noexcept {
+  switch (f) {
+    case ImageFormat::DockerLayered:
+      return "docker-layered";
+    case ImageFormat::SingularitySif:
+      return "singularity-sif";
+    case ImageFormat::ShifterSquashfs:
+      return "shifter-squashfs";
+  }
+  return "?";
+}
+
+std::string_view to_string(BuildMode m) noexcept {
+  switch (m) {
+    case BuildMode::SystemSpecific:
+      return "system-specific";
+    case BuildMode::SelfContained:
+      return "self-contained";
+  }
+  return "?";
+}
+
+Image::Image(std::string name, std::string tag, ImageFormat format,
+             hw::CpuArch arch, BuildMode mode, std::vector<Layer> layers)
+    : name_(std::move(name)),
+      tag_(std::move(tag)),
+      format_(format),
+      arch_(arch),
+      mode_(mode),
+      layers_(std::move(layers)) {
+  if (name_.empty()) throw std::invalid_argument("Image: empty name");
+  if (layers_.empty()) throw std::invalid_argument("Image: no layers");
+  if (format_ != ImageFormat::DockerLayered && layers_.size() != 1)
+    throw std::invalid_argument(
+        "Image: flat formats (SIF/squashfs) must have exactly one layer");
+  for (const auto& l : layers_)
+    if (l.id.empty() || l.bytes == 0)
+      throw std::invalid_argument("Image: invalid layer");
+}
+
+std::string Image::reference() const { return name_ + ":" + tag_; }
+
+std::uint64_t Image::uncompressed_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& l : layers_) total += l.bytes;
+  return total;
+}
+
+std::uint64_t Image::transfer_bytes() const noexcept {
+  const double ratio = compression_ratio(format_);
+  double total = 0.0;
+  for (const auto& l : layers_) total += static_cast<double>(l.bytes) * ratio;
+  // Layered images additionally carry per-layer manifest/metadata overhead.
+  if (format_ == ImageFormat::DockerLayered)
+    total += 4096.0 * static_cast<double>(layers_.size());
+  return static_cast<std::uint64_t>(std::llround(total));
+}
+
+double compression_ratio(ImageFormat f) noexcept {
+  switch (f) {
+    case ImageFormat::DockerLayered:
+      return 0.48;  // gzip of mixed binaries/text
+    case ImageFormat::SingularitySif:
+      return 0.40;  // squashfs (zlib) flat image, dedup across layers
+    case ImageFormat::ShifterSquashfs:
+      return 0.42;  // squashfs via the gateway
+  }
+  return 1.0;
+}
+
+}  // namespace hpcs::container

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file image.hpp
+/// \brief Container image model: layers, formats, build modes.
+///
+/// The three formats model the three technologies' on-disk representations:
+///
+///  * DockerLayered   — a stack of tar layers unioned by OverlayFS; pulled
+///                      layer-by-layer (compressed), extracted to disk.
+///  * SingularitySif  — one flat squashfs-compressed file, mounted read-only.
+///  * ShifterSquashfs — one squashfs file produced centrally by the image
+///                      gateway from a Docker image, then loop-mounted.
+///
+/// BuildMode encodes the portability trade-off at the center of the paper:
+/// a *self-contained* image bundles its own MPI and runs anywhere (same
+/// ISA), but its generic MPI cannot drive the host's RDMA fabric; a
+/// *system-specific* image expects the host MPI/fabric stack bind-mounted
+/// in, reaching bare-metal speed at the price of portability.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/cpu.hpp"
+
+namespace hpcs::container {
+
+enum class ImageFormat { DockerLayered, SingularitySif, ShifterSquashfs };
+enum class BuildMode { SystemSpecific, SelfContained };
+
+std::string_view to_string(ImageFormat f) noexcept;
+std::string_view to_string(BuildMode m) noexcept;
+
+/// One filesystem layer (or the single flat layer for SIF/squashfs).
+struct Layer {
+  std::string id;              ///< content digest (unique per content)
+  std::uint64_t bytes = 0;     ///< uncompressed size on disk
+  std::string created_by;      ///< recipe step that produced it
+};
+
+class Image {
+ public:
+  Image(std::string name, std::string tag, ImageFormat format,
+        hw::CpuArch arch, BuildMode mode, std::vector<Layer> layers);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::string& tag() const noexcept { return tag_; }
+  std::string reference() const;  ///< "name:tag"
+  ImageFormat format() const noexcept { return format_; }
+  hw::CpuArch arch() const noexcept { return arch_; }
+  BuildMode mode() const noexcept { return mode_; }
+  const std::vector<Layer>& layers() const noexcept { return layers_; }
+
+  /// Total uncompressed bytes across layers.
+  std::uint64_t uncompressed_bytes() const noexcept;
+
+  /// Bytes actually shipped over the wire / stored in single-file formats.
+  /// Layered images transfer gzip'd layers; SIF/squashfs store compressed.
+  std::uint64_t transfer_bytes() const noexcept;
+
+  /// Whether the image bundles its own MPI stack (always true for
+  /// self-contained; system-specific images rely on the host's).
+  bool bundles_mpi() const noexcept {
+    return mode_ == BuildMode::SelfContained;
+  }
+
+  /// True when the image can exec on a node of the given ISA.
+  bool runs_on(hw::CpuArch node_arch) const noexcept {
+    return arch_ == node_arch;
+  }
+
+ private:
+  std::string name_;
+  std::string tag_;
+  ImageFormat format_;
+  hw::CpuArch arch_;
+  BuildMode mode_;
+  std::vector<Layer> layers_;
+};
+
+/// Compression ratio applied to a layer when shipped/stored, per format.
+/// (gzip for registry layers, squashfs-xz style for flat images.)
+double compression_ratio(ImageFormat f) noexcept;
+
+}  // namespace hpcs::container

@@ -1,0 +1,52 @@
+#include "container/namespaces.hpp"
+
+#include "sim/units.hpp"
+
+namespace hpcs::container {
+
+using namespace hpcs::units;
+
+std::string_view to_string(Namespace ns) noexcept {
+  switch (ns) {
+    case Namespace::Mount:
+      return "mnt";
+    case Namespace::Pid:
+      return "pid";
+    case Namespace::Net:
+      return "net";
+    case Namespace::Ipc:
+      return "ipc";
+    case Namespace::Uts:
+      return "uts";
+    case Namespace::User:
+      return "user";
+    case Namespace::Cgroup:
+      return "cgroup";
+  }
+  return "?";
+}
+
+std::string NamespaceSet::describe() const {
+  std::string out;
+  for (int i = 0; i < kNamespaceCount; ++i) {
+    const auto ns = static_cast<Namespace>(i);
+    if (!contains(ns)) continue;
+    if (!out.empty()) out += ',';
+    out += to_string(ns);
+  }
+  return out.empty() ? "none" : out;
+}
+
+double namespace_setup_time(NamespaceSet set) noexcept {
+  double t = 0.0;
+  if (set.contains(Namespace::Mount)) t += 25.0 * ms;  // pivot_root + mounts
+  if (set.contains(Namespace::Pid)) t += 5.0 * ms;
+  if (set.contains(Namespace::Net)) t += 180.0 * ms;  // veth + bridge + NAT
+  if (set.contains(Namespace::Ipc)) t += 3.0 * ms;
+  if (set.contains(Namespace::Uts)) t += 1.0 * ms;
+  if (set.contains(Namespace::User)) t += 8.0 * ms;  // uid/gid map writes
+  if (set.contains(Namespace::Cgroup)) t += 4.0 * ms;
+  return t;
+}
+
+}  // namespace hpcs::container

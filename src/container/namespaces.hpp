@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file namespaces.hpp
+/// \brief Linux namespace model.
+///
+/// The paper (Section I.A) distinguishes the runtimes precisely by which
+/// namespaces they create: Docker unshares *all* of them (full isolation,
+/// including a Network namespace that forces MPI traffic through a virtual
+/// bridge), while Singularity and Shifter create only Mount and PID
+/// namespaces, leaving the container on the host network and able to talk
+/// to the fabric directly.
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+namespace hpcs::container {
+
+enum class Namespace : std::uint8_t {
+  Mount = 0,
+  Pid,
+  Net,
+  Ipc,
+  Uts,
+  User,
+  Cgroup,
+};
+inline constexpr int kNamespaceCount = 7;
+
+std::string_view to_string(Namespace ns) noexcept;
+
+/// Small value-type bitset of namespaces.
+class NamespaceSet {
+ public:
+  constexpr NamespaceSet() = default;
+  constexpr NamespaceSet(std::initializer_list<Namespace> list) {
+    for (auto ns : list) bits_ |= bit(ns);
+  }
+
+  constexpr bool contains(Namespace ns) const { return bits_ & bit(ns); }
+  constexpr NamespaceSet& add(Namespace ns) {
+    bits_ |= bit(ns);
+    return *this;
+  }
+  constexpr int count() const {
+    int n = 0;
+    for (int i = 0; i < kNamespaceCount; ++i)
+      if (bits_ & (1u << i)) ++n;
+    return n;
+  }
+  constexpr bool operator==(const NamespaceSet&) const = default;
+
+  /// All seven namespaces (Docker's default isolation).
+  static constexpr NamespaceSet full() {
+    return NamespaceSet{Namespace::Mount, Namespace::Pid,  Namespace::Net,
+                        Namespace::Ipc,   Namespace::Uts,  Namespace::User,
+                        Namespace::Cgroup};
+  }
+  /// Mount + PID only (Singularity / Shifter).
+  static constexpr NamespaceSet hpc_minimal() {
+    return NamespaceSet{Namespace::Mount, Namespace::Pid};
+  }
+
+  std::string describe() const;
+
+ private:
+  static constexpr std::uint8_t bit(Namespace ns) {
+    return static_cast<std::uint8_t>(1u << static_cast<std::uint8_t>(ns));
+  }
+  std::uint8_t bits_ = 0;
+};
+
+/// One-time cost of unsharing \p set when instantiating a container
+/// [seconds].  Net namespace setup dominates (veth pair + bridge attach).
+double namespace_setup_time(NamespaceSet set) noexcept;
+
+}  // namespace hpcs::container

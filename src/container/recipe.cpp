@@ -1,0 +1,249 @@
+#include "container/recipe.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::container {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  auto b = s.find_first_not_of(" \t\r");
+  auto e = s.find_last_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) out.push_back(tok);
+  return out;
+}
+
+hw::CpuArch parse_arch(const std::string& s) {
+  if (s == "x86_64") return hw::CpuArch::X86_64;
+  if (s == "ppc64le") return hw::CpuArch::Ppc64le;
+  if (s == "aarch64") return hw::CpuArch::Aarch64;
+  throw std::invalid_argument("Recipe: unknown ARCH '" + s + "'");
+}
+
+BuildMode parse_mode(const std::string& s) {
+  if (s == "system-specific") return BuildMode::SystemSpecific;
+  if (s == "self-contained") return BuildMode::SelfContained;
+  throw std::invalid_argument("Recipe: unknown MODE '" + s + "'");
+}
+
+[[noreturn]] void fail_at(std::size_t line_no, const std::string& msg) {
+  throw std::invalid_argument("Recipe line " + std::to_string(line_no) +
+                              ": " + msg);
+}
+
+}  // namespace
+
+std::uint64_t parse_size(const std::string& token) {
+  static const struct {
+    const char* suffix;
+    std::uint64_t mult;
+  } kUnits[] = {{"GiB", 1ull << 30}, {"MiB", 1ull << 20},
+                {"KiB", 1ull << 10}, {"B", 1}};
+  for (const auto& u : kUnits) {
+    const std::string suf = u.suffix;
+    if (token.size() > suf.size() &&
+        token.compare(token.size() - suf.size(), suf.size(), suf) == 0) {
+      const std::string num = token.substr(0, token.size() - suf.size());
+      std::size_t pos = 0;
+      const double v = std::stod(num, &pos);
+      if (pos != num.size() || v < 0)
+        throw std::invalid_argument("bad size literal '" + token + "'");
+      return static_cast<std::uint64_t>(v * static_cast<double>(u.mult));
+    }
+  }
+  throw std::invalid_argument("size literal '" + token +
+                              "' needs a KiB/MiB/GiB/B suffix");
+}
+
+Recipe::Recipe(std::string image_name, std::string tag, hw::CpuArch arch,
+               BuildMode mode)
+    : name_(std::move(image_name)),
+      tag_(std::move(tag)),
+      arch_(arch),
+      mode_(mode) {
+  if (name_.empty()) throw std::invalid_argument("Recipe: empty image name");
+  if (tag_.empty()) tag_ = "latest";
+}
+
+Recipe& Recipe::from(std::string base, std::uint64_t bytes) {
+  steps_.push_back({StepKind::From, std::move(base), bytes});
+  return *this;
+}
+Recipe& Recipe::run(std::string command, std::uint64_t bytes) {
+  steps_.push_back({StepKind::Run, std::move(command), bytes});
+  return *this;
+}
+Recipe& Recipe::copy(std::string path, std::uint64_t bytes) {
+  steps_.push_back({StepKind::Copy, std::move(path), bytes});
+  return *this;
+}
+Recipe& Recipe::bundle_mpi(std::string mpi_name, std::uint64_t bytes) {
+  steps_.push_back({StepKind::BundleMpi, std::move(mpi_name), bytes});
+  return *this;
+}
+Recipe& Recipe::bind(std::string host_path) {
+  steps_.push_back({StepKind::Bind, std::move(host_path), 0});
+  return *this;
+}
+Recipe& Recipe::env(std::string key_value) {
+  steps_.push_back({StepKind::Env, std::move(key_value), 0});
+  return *this;
+}
+Recipe& Recipe::label(std::string key_value) {
+  steps_.push_back({StepKind::Label, std::move(key_value), 0});
+  return *this;
+}
+
+std::vector<std::string> Recipe::bind_paths() const {
+  std::vector<std::string> out;
+  for (const auto& s : steps_)
+    if (s.kind == StepKind::Bind) out.push_back(s.detail);
+  return out;
+}
+
+bool Recipe::has_bundled_mpi() const noexcept {
+  return std::any_of(steps_.begin(), steps_.end(), [](const RecipeStep& s) {
+    return s.kind == StepKind::BundleMpi;
+  });
+}
+
+std::size_t Recipe::layer_steps() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : steps_)
+    if (s.bytes > 0) ++n;
+  return n;
+}
+
+std::uint64_t Recipe::content_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& s : steps_) total += s.bytes;
+  return total;
+}
+
+void Recipe::validate() const {
+  if (steps_.empty() || steps_.front().kind != StepKind::From)
+    throw std::invalid_argument("Recipe: first step must be FROM");
+  const auto froms =
+      std::count_if(steps_.begin(), steps_.end(), [](const RecipeStep& s) {
+        return s.kind == StepKind::From;
+      });
+  if (froms != 1)
+    throw std::invalid_argument("Recipe: exactly one FROM step required");
+  if (mode_ == BuildMode::SelfContained) {
+    if (!has_bundled_mpi())
+      throw std::invalid_argument(
+          "Recipe: self-contained image must BUNDLE an MPI stack");
+    if (!bind_paths().empty())
+      throw std::invalid_argument(
+          "Recipe: self-contained image must not BIND host paths");
+  } else {
+    if (has_bundled_mpi())
+      throw std::invalid_argument(
+          "Recipe: system-specific image must not BUNDLE mpi "
+          "(it binds the host stack)");
+    if (bind_paths().empty())
+      throw std::invalid_argument(
+          "Recipe: system-specific image must BIND at least one host path");
+  }
+}
+
+Recipe Recipe::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  std::string name = "image", tag = "latest";
+  hw::CpuArch arch = hw::CpuArch::X86_64;
+  BuildMode mode = BuildMode::SelfContained;
+  struct Parsed {
+    std::size_t line_no;
+    std::vector<std::string> toks;
+  };
+  std::vector<Parsed> body;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto toks = tokenize(line);
+    const std::string& op = toks[0];
+    if (op == "NAME") {
+      if (toks.size() != 2) fail_at(line_no, "NAME needs one argument");
+      const auto colon = toks[1].find(':');
+      if (colon == std::string::npos) {
+        name = toks[1];
+      } else {
+        name = toks[1].substr(0, colon);
+        tag = toks[1].substr(colon + 1);
+      }
+    } else if (op == "ARCH") {
+      if (toks.size() != 2) fail_at(line_no, "ARCH needs one argument");
+      arch = parse_arch(toks[1]);
+    } else if (op == "MODE") {
+      if (toks.size() != 2) fail_at(line_no, "MODE needs one argument");
+      mode = parse_mode(toks[1]);
+    } else {
+      body.push_back({line_no, std::move(toks)});
+    }
+  }
+
+  Recipe r(name, tag, arch, mode);
+  for (auto& [ln, toks] : body) {
+    const std::string& op = toks[0];
+    try {
+      if (op == "FROM") {
+        if (toks.size() != 3) fail_at(ln, "FROM <base> <size>");
+        r.from(toks[1], parse_size(toks[2]));
+      } else if (op == "RUN") {
+        if (toks.size() < 3) fail_at(ln, "RUN <command...> <size>");
+        std::string cmd;
+        for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+          if (i > 1) cmd += ' ';
+          cmd += toks[i];
+        }
+        r.run(cmd, parse_size(toks.back()));
+      } else if (op == "COPY") {
+        if (toks.size() != 4) fail_at(ln, "COPY <src> <dst> <size>");
+        r.copy(toks[1] + " -> " + toks[2], parse_size(toks[3]));
+      } else if (op == "BUNDLE") {
+        if (toks.size() != 4 || toks[1] != "mpi")
+          fail_at(ln, "BUNDLE mpi <name> <size>");
+        r.bundle_mpi(toks[2], parse_size(toks[3]));
+      } else if (op == "BIND") {
+        if (toks.size() != 2) fail_at(ln, "BIND <host-path>");
+        r.bind(toks[1]);
+      } else if (op == "ENV") {
+        if (toks.size() != 2) fail_at(ln, "ENV <key=value>");
+        r.env(toks[1]);
+      } else if (op == "LABEL") {
+        if (toks.size() != 2) fail_at(ln, "LABEL <key=value>");
+        r.label(toks[1]);
+      } else {
+        fail_at(ln, "unknown directive '" + op + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      // Re-wrap size-literal errors with the line number.
+      const std::string msg = e.what();
+      if (msg.rfind("Recipe line", 0) == 0) throw;
+      fail_at(ln, msg);
+    }
+  }
+  r.validate();
+  return r;
+}
+
+}  // namespace hpcs::container

@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file recipe.hpp
+/// \brief Build recipe (Dockerfile-like) describing an image's contents.
+///
+/// A recipe is an ordered list of steps; each step contributes one layer.
+/// Recipes can be constructed programmatically or parsed from a small
+/// Dockerfile-like text format:
+///
+///     FROM centos:7
+///     ARCH x86_64
+///     MODE self-contained
+///     RUN yum install compiler-rt 180MiB
+///     BUNDLE mpi openmpi-3.0 210MiB
+///     COPY alya /opt/alya 95MiB
+///     BIND /gpfs/apps/mpi          # system-specific images only
+///
+/// Sizes use the suffixes KiB/MiB/GiB.  BUNDLE mpi forces self-contained
+/// mode semantics (the image carries its own MPI); BIND marks host paths to
+/// be bind-mounted at run time (the system-specific technique).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "container/image.hpp"
+
+namespace hpcs::container {
+
+enum class StepKind { From, Run, Copy, BundleMpi, Bind, Env, Label };
+
+struct RecipeStep {
+  StepKind kind = StepKind::Run;
+  std::string detail;        ///< package name, path, or key=value
+  std::uint64_t bytes = 0;   ///< layer contribution (0 for BIND/ENV/LABEL)
+};
+
+class Recipe {
+ public:
+  Recipe(std::string image_name, std::string tag, hw::CpuArch arch,
+         BuildMode mode);
+
+  /// Parses the text format documented in the file header.
+  /// \throws std::invalid_argument with a line-numbered message on errors.
+  static Recipe parse(const std::string& text);
+
+  Recipe& from(std::string base, std::uint64_t bytes);
+  Recipe& run(std::string command, std::uint64_t bytes);
+  Recipe& copy(std::string path, std::uint64_t bytes);
+  Recipe& bundle_mpi(std::string mpi_name, std::uint64_t bytes);
+  Recipe& bind(std::string host_path);
+  Recipe& env(std::string key_value);
+  Recipe& label(std::string key_value);
+
+  const std::string& image_name() const noexcept { return name_; }
+  const std::string& tag() const noexcept { return tag_; }
+  hw::CpuArch arch() const noexcept { return arch_; }
+  BuildMode mode() const noexcept { return mode_; }
+  const std::vector<RecipeStep>& steps() const noexcept { return steps_; }
+
+  /// Host paths the container expects bind-mounted (system-specific only).
+  std::vector<std::string> bind_paths() const;
+
+  /// True if some step bundles an MPI stack into the image.
+  bool has_bundled_mpi() const noexcept;
+
+  /// Number of steps that produce filesystem layers.
+  std::size_t layer_steps() const noexcept;
+
+  /// Sum of all layer-producing step sizes.
+  std::uint64_t content_bytes() const noexcept;
+
+  /// Checks recipe consistency: exactly one FROM (first), self-contained
+  /// recipes must BUNDLE mpi, system-specific ones must BIND at least one
+  /// host path and must not BUNDLE mpi.  \throws std::invalid_argument.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::string tag_;
+  hw::CpuArch arch_;
+  BuildMode mode_;
+  std::vector<RecipeStep> steps_;
+};
+
+/// Parses a size literal like "210MiB"; returns bytes.
+std::uint64_t parse_size(const std::string& token);
+
+}  // namespace hpcs::container

@@ -1,0 +1,66 @@
+#include "container/runtime.hpp"
+
+#include <stdexcept>
+
+#include "container/baremetal.hpp"
+#include "container/docker.hpp"
+#include "container/shifter.hpp"
+#include "container/singularity.hpp"
+
+namespace hpcs::container {
+
+std::string_view to_string(RuntimeKind k) noexcept {
+  switch (k) {
+    case RuntimeKind::BareMetal:
+      return "bare-metal";
+    case RuntimeKind::Docker:
+      return "docker";
+    case RuntimeKind::Singularity:
+      return "singularity";
+    case RuntimeKind::Shifter:
+      return "shifter";
+  }
+  return "?";
+}
+
+RuntimeKind runtime_from_string(const std::string& name) {
+  if (name == "bare-metal" || name == "baremetal") return RuntimeKind::BareMetal;
+  if (name == "docker") return RuntimeKind::Docker;
+  if (name == "singularity") return RuntimeKind::Singularity;
+  if (name == "shifter") return RuntimeKind::Shifter;
+  throw std::invalid_argument("unknown runtime '" + name + "'");
+}
+
+double ContainerRuntime::image_gateway_time(const Image&,
+                                            const hw::NodeModel&) const {
+  return 0.0;
+}
+
+double ContainerRuntime::compute_overhead_factor() const noexcept {
+  return cgroups().compute_overhead_factor();
+}
+
+net::Fabric ContainerRuntime::internode_path(const net::Fabric& base) const {
+  return base;
+}
+
+net::Fabric ContainerRuntime::intranode_path(
+    const net::Fabric& host_shm) const {
+  return host_shm;
+}
+
+std::unique_ptr<ContainerRuntime> ContainerRuntime::make(RuntimeKind kind) {
+  switch (kind) {
+    case RuntimeKind::BareMetal:
+      return std::make_unique<BareMetalRuntime>();
+    case RuntimeKind::Docker:
+      return std::make_unique<DockerRuntime>();
+    case RuntimeKind::Singularity:
+      return std::make_unique<SingularityRuntime>();
+    case RuntimeKind::Shifter:
+      return std::make_unique<ShifterRuntime>();
+  }
+  throw std::invalid_argument("ContainerRuntime::make: bad kind");
+}
+
+}  // namespace hpcs::container

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file runtime.hpp
+/// \brief Container-runtime interface and factory.
+///
+/// A ContainerRuntime bundles everything the study needs to know about one
+/// technology: which namespaces/cgroups it sets up, how containers are
+/// instantiated (root daemon vs SUID exec), its native image format, the
+/// communication paths MPI ranks get, and the resulting overheads.
+///
+/// Execution model per runtime (matching 2018 practice):
+///  * bare-metal    — no containment at all; the reference.
+///  * Docker        — root-owned daemon; one container *per MPI rank*,
+///                    each in a full namespace set attached to the docker0
+///                    bridge.  Full isolation breaks both the host RDMA
+///                    fabric and cross-container shared memory.
+///  * Singularity   — SUID starter; the container joins the job's processes
+///                    with Mount+PID namespaces only, so ranks use host shm
+///                    and (for system-specific images) the host fabric.
+///  * Shifter       — like Singularity at run time; images are converted
+///                    once by a central image gateway and loop-mounted.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "container/cgroups.hpp"
+#include "container/image.hpp"
+#include "container/namespaces.hpp"
+#include "hw/node.hpp"
+#include "net/fabric.hpp"
+
+namespace hpcs::container {
+
+enum class RuntimeKind { BareMetal, Docker, Singularity, Shifter };
+
+std::string_view to_string(RuntimeKind k) noexcept;
+
+/// Parses "docker" / "singularity" / "shifter" / "bare-metal".
+RuntimeKind runtime_from_string(const std::string& name);
+
+class ContainerRuntime {
+ public:
+  virtual ~ContainerRuntime() = default;
+
+  virtual RuntimeKind kind() const noexcept = 0;
+  virtual std::string_view name() const noexcept = 0;
+  /// Version deployed on the paper's clusters.
+  virtual std::string_view version() const noexcept = 0;
+
+  /// Image format the runtime executes natively.
+  virtual ImageFormat native_format() const noexcept = 0;
+
+  /// Namespaces unshared for each container.
+  virtual NamespaceSet namespaces() const noexcept = 0;
+
+  /// Cgroup configuration applied per container.
+  virtual CgroupConfig cgroups() const noexcept = 0;
+
+  /// True if a root-owned daemon must run on every node (Docker).
+  virtual bool uses_root_daemon() const noexcept = 0;
+
+  /// True if containers start via a SUID helper (Singularity/Shifter).
+  virtual bool suid_exec() const noexcept = 0;
+
+  /// One-time per-node service startup cost [s] (daemon launch).
+  virtual double node_service_time(const hw::NodeModel& node) const = 0;
+
+  /// Once-per-image central preparation [s] (Shifter's gateway conversion
+  /// runs on a login/gateway node before any compute node can mount it).
+  virtual double image_gateway_time(const Image& image,
+                                    const hw::NodeModel& gateway) const;
+
+  /// Per-container instantiation on a node that already has the image
+  /// locally [s]: namespace/cgroup setup + rootfs mount + exec.
+  virtual double instantiate_time(const Image& image,
+                                  const hw::NodeModel& node) const = 0;
+
+  /// Multiplicative slowdown on compute kernels (>= 1.0).
+  virtual double compute_overhead_factor() const noexcept;
+
+  /// Whether MPI inside this runtime can open the host's RDMA fabric for
+  /// the given image (depends on namespaces *and* the image's build mode).
+  virtual bool can_use_host_fabric(const Image& image) const noexcept = 0;
+
+  /// Communication path between ranks on *different* nodes, given the path
+  /// the image's MPI can reach (fabric or management network; the caller
+  /// resolves that via can_use_host_fabric).
+  virtual net::Fabric internode_path(const net::Fabric& base) const;
+
+  /// Communication path between ranks on the *same* node.
+  virtual net::Fabric intranode_path(const net::Fabric& host_shm) const;
+
+  /// Factory for the four technologies.
+  static std::unique_ptr<ContainerRuntime> make(RuntimeKind kind);
+};
+
+}  // namespace hpcs::container

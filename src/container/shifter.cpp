@@ -1,0 +1,29 @@
+#include "container/shifter.hpp"
+
+#include "sim/units.hpp"
+
+namespace hpcs::container {
+
+using namespace hpcs::units;
+
+double ShifterRuntime::image_gateway_time(const Image& image,
+                                          const hw::NodeModel& gateway) const {
+  // The gateway pulls the Docker layers, flattens the union filesystem and
+  // writes a squashfs: read + recompress + write, plus fixed service
+  // latency for the gateway job.
+  const auto raw = static_cast<double>(image.uncompressed_bytes());
+  constexpr double kSquashBw = 4.0 * 150.0e6;  // mksquashfs, 4 threads
+  return 8.0 + raw / gateway.disk_read_bw + raw / kSquashBw +
+         raw * 0.42 / gateway.disk_write_bw;
+}
+
+double ShifterRuntime::instantiate_time(const Image& image,
+                                        const hw::NodeModel& node) const {
+  // udiRoot setup + loop mount of the squashfs from the shared filesystem.
+  const double metadata_bytes =
+      static_cast<double>(image.transfer_bytes()) * 0.002;
+  return 140.0 * ms + namespace_setup_time(namespaces()) +
+         metadata_bytes / node.disk_read_bw;
+}
+
+}  // namespace hpcs::container

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file shifter.hpp
+/// \brief Shifter runtime model (16.08, as on Lenox).
+///
+/// Shifter shares Singularity's run-time philosophy (SUID, Mount+PID
+/// namespaces, host network/IPC) but its image path differs: users submit
+/// Docker images, a central *image gateway* converts them to squashfs once,
+/// and compute nodes loop-mount the converted file from the parallel
+/// filesystem.  The one-time gateway conversion is the dominant deployment
+/// cost; the per-node cost is a cheap mount.
+
+#include "container/runtime.hpp"
+
+namespace hpcs::container {
+
+class ShifterRuntime final : public ContainerRuntime {
+ public:
+  RuntimeKind kind() const noexcept override { return RuntimeKind::Shifter; }
+  std::string_view name() const noexcept override { return "shifter"; }
+  std::string_view version() const noexcept override { return "16.08.3"; }
+  ImageFormat native_format() const noexcept override {
+    return ImageFormat::ShifterSquashfs;
+  }
+  NamespaceSet namespaces() const noexcept override {
+    return NamespaceSet::hpc_minimal();
+  }
+  CgroupConfig cgroups() const noexcept override {
+    return CgroupConfig::none();
+  }
+  bool uses_root_daemon() const noexcept override { return false; }
+  bool suid_exec() const noexcept override { return true; }
+
+  double node_service_time(const hw::NodeModel&) const override { return 0.0; }
+  double image_gateway_time(const Image& image,
+                            const hw::NodeModel& gateway) const override;
+  double instantiate_time(const Image& image,
+                          const hw::NodeModel& node) const override;
+
+  bool can_use_host_fabric(const Image& image) const noexcept override {
+    return image.mode() == BuildMode::SystemSpecific;
+  }
+};
+
+}  // namespace hpcs::container

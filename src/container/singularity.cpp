@@ -1,0 +1,20 @@
+#include "container/singularity.hpp"
+
+#include "sim/units.hpp"
+
+namespace hpcs::container {
+
+using namespace hpcs::units;
+
+double SingularityRuntime::instantiate_time(const Image& image,
+                                            const hw::NodeModel& node) const {
+  // SUID starter exec + squashfs (SIF) mount; mount cost scales with the
+  // superblock/metadata read, approximated by a small fraction of the
+  // image read at disk rate.
+  const double metadata_bytes =
+      static_cast<double>(image.transfer_bytes()) * 0.002;
+  return 90.0 * ms + namespace_setup_time(namespaces()) +
+         metadata_bytes / node.disk_read_bw;
+}
+
+}  // namespace hpcs::container

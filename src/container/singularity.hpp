@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file singularity.hpp
+/// \brief Singularity runtime model (2.4/2.5 series, as on the BSC machines).
+///
+/// Singularity starts containers through a SUID helper — no daemon — and
+/// unshares only the Mount and PID namespaces.  Ranks stay on the host
+/// network and IPC domain, so MPI keeps its shared-memory transport
+/// intra-node and, when the image was built system-specific (host MPI and
+/// fabric libraries bind-mounted), the kernel-bypass fabric inter-node.
+
+#include "container/runtime.hpp"
+
+namespace hpcs::container {
+
+class SingularityRuntime final : public ContainerRuntime {
+ public:
+  RuntimeKind kind() const noexcept override {
+    return RuntimeKind::Singularity;
+  }
+  std::string_view name() const noexcept override { return "singularity"; }
+  std::string_view version() const noexcept override { return "2.4.5"; }
+  ImageFormat native_format() const noexcept override {
+    return ImageFormat::SingularitySif;
+  }
+  NamespaceSet namespaces() const noexcept override {
+    return NamespaceSet::hpc_minimal();
+  }
+  CgroupConfig cgroups() const noexcept override {
+    return CgroupConfig::none();
+  }
+  bool uses_root_daemon() const noexcept override { return false; }
+  bool suid_exec() const noexcept override { return true; }
+
+  double node_service_time(const hw::NodeModel&) const override { return 0.0; }
+  double instantiate_time(const Image& image,
+                          const hw::NodeModel& node) const override;
+
+  bool can_use_host_fabric(const Image& image) const noexcept override {
+    // Host network is visible; whether the fabric is *usable* depends on
+    // the MPI inside: only system-specific builds link the host stack.
+    return image.mode() == BuildMode::SystemSpecific;
+  }
+};
+
+}  // namespace hpcs::container

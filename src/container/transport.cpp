@@ -1,0 +1,50 @@
+#include "container/transport.hpp"
+
+namespace hpcs::container {
+
+ExecFormatError::ExecFormatError(const Image& image,
+                                 const hw::ClusterSpec& cluster)
+    : std::runtime_error("cannot exec " + std::string(to_string(image.arch())) +
+                         " image '" + image.reference() + "' on " +
+                         cluster.name + " (" +
+                         std::string(to_string(cluster.node.cpu.arch)) +
+                         "): exec format error") {}
+
+RuntimeUnavailableError::RuntimeUnavailableError(
+    const ContainerRuntime& rt, const hw::ClusterSpec& cluster)
+    : std::runtime_error(std::string(rt.name()) + " is not installed on " +
+                         cluster.name) {}
+
+CommPaths resolve_comm_paths(const ContainerRuntime& runtime,
+                             const Image* image,
+                             const hw::ClusterSpec& cluster) {
+  cluster.validate();
+  if (!cluster.has_runtime(std::string(runtime.name())))
+    throw RuntimeUnavailableError(runtime, cluster);
+
+  const bool containerized = runtime.kind() != RuntimeKind::BareMetal;
+  if (containerized && image == nullptr)
+    throw std::invalid_argument(
+        "resolve_comm_paths: containerized runtime requires an image");
+  if (image != nullptr && !image->runs_on(cluster.node.cpu.arch))
+    throw ExecFormatError(*image, cluster);
+
+  const bool host_fabric =
+      !containerized || runtime.can_use_host_fabric(*image);
+
+  // Pick the raw inter-node medium the MPI library can open.
+  const net::Fabric* base = &cluster.fabric;
+  if (!host_fabric && cluster.fabric.transport() == net::Transport::Rdma) {
+    // Generic (bundled) MPI without the host fabric stack falls back to
+    // TCP sockets, which only the Ethernet management network carries.
+    base = &cluster.management;
+  }
+
+  CommPaths paths{runtime.internode_path(*base),
+                  runtime.intranode_path(cluster.intranode),
+                  host_fabric &&
+                      cluster.fabric.transport() == net::Transport::Rdma};
+  return paths;
+}
+
+}  // namespace hpcs::container

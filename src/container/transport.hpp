@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file transport.hpp
+/// \brief Resolves the communication paths an MPI job actually gets for a
+///        given (runtime, image, cluster) combination.
+///
+/// This is the crux of the paper's portability result.  The decision table:
+///
+///   runtime      image mode        inter-node path           intra-node
+///   -----------  ----------------  ------------------------  -----------
+///   bare-metal   (none)            high-speed fabric         host shm
+///   singularity  system-specific   high-speed fabric         host shm
+///   singularity  self-contained    TCP (fabric if already    host shm
+///                                  Ethernet, else management)
+///   shifter      (same rules as singularity)
+///   docker       any               TCP via docker0 bridge    bridge loopback
+///
+/// Additionally, an image built for a different ISA cannot exec at all
+/// (ExecFormatError), which is what the cross-architecture portability
+/// experiment (Section B.2) probes.
+
+#include <stdexcept>
+
+#include "container/image.hpp"
+#include "container/runtime.hpp"
+#include "hw/cluster.hpp"
+#include "net/fabric.hpp"
+
+namespace hpcs::container {
+
+/// Thrown when an image's ISA does not match the node's (the kernel's
+/// "exec format error").
+class ExecFormatError : public std::runtime_error {
+ public:
+  ExecFormatError(const Image& image, const hw::ClusterSpec& cluster);
+};
+
+/// Thrown when the requested runtime is not installed on the cluster.
+class RuntimeUnavailableError : public std::runtime_error {
+ public:
+  RuntimeUnavailableError(const ContainerRuntime& rt,
+                          const hw::ClusterSpec& cluster);
+};
+
+struct CommPaths {
+  net::Fabric internode;
+  net::Fabric intranode;
+  bool uses_host_fabric = false;  ///< true when the RDMA fabric is reachable
+};
+
+/// Resolves the paths per the table above.
+///
+/// \param image nullptr for bare-metal execution; required otherwise.
+/// \throws ExecFormatError, RuntimeUnavailableError, std::invalid_argument
+CommPaths resolve_comm_paths(const ContainerRuntime& runtime,
+                             const Image* image,
+                             const hw::ClusterSpec& cluster);
+
+}  // namespace hpcs::container

@@ -1,0 +1,140 @@
+#include "core/cli.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "core/images.hpp"
+#include "hw/presets.hpp"
+
+namespace hpcs::study {
+
+namespace {
+
+int parse_int(const std::string& flag, const std::string& value) {
+  int out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size())
+    throw std::invalid_argument(flag + ": not an integer: '" + value + "'");
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc{} || ptr != value.data() + value.size())
+    throw std::invalid_argument(flag + ": not an integer: '" + value + "'");
+  return out;
+}
+
+}  // namespace
+
+CliOptions parse_cli(std::span<const char* const> args) {
+  CliOptions o;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string flag = args[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument(flag + ": missing value");
+      return args[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      o.help = true;
+    } else if (flag == "--timeline") {
+      o.timeline = true;
+    } else if (flag == "--cluster") {
+      o.cluster = value();
+    } else if (flag == "--runtime") {
+      o.runtime = value();
+    } else if (flag == "--mode") {
+      o.mode = value();
+    } else if (flag == "--app") {
+      o.app = value();
+    } else if (flag == "--nodes") {
+      o.nodes = parse_int(flag, value());
+    } else if (flag == "--ranks") {
+      o.ranks = parse_int(flag, value());
+    } else if (flag == "--threads") {
+      o.threads = parse_int(flag, value());
+    } else if (flag == "--steps") {
+      o.steps = parse_int(flag, value());
+    } else if (flag == "--seed") {
+      o.seed = parse_u64(flag, value());
+    } else {
+      throw std::invalid_argument("unknown flag '" + flag + "'\n" +
+                                  cli_usage());
+    }
+  }
+  return o;
+}
+
+hw::ClusterSpec cluster_by_name(const std::string& name) {
+  if (name == "lenox") return hw::presets::lenox();
+  if (name == "marenostrum4" || name == "mn4")
+    return hw::presets::marenostrum4();
+  if (name == "cte-power" || name == "cte_power" || name == "power9")
+    return hw::presets::cte_power();
+  if (name == "thunderx") return hw::presets::thunderx();
+  throw std::invalid_argument(
+      "unknown cluster '" + name +
+      "' (try lenox, marenostrum4, cte-power, thunderx)");
+}
+
+Scenario to_scenario(const CliOptions& o) {
+  const auto cluster = cluster_by_name(o.cluster);
+  const auto runtime = container::runtime_from_string(o.runtime);
+
+  AppCase app;
+  if (o.app == "artery-cfd")
+    app = AppCase::ArteryCfd;
+  else if (o.app == "artery-fsi")
+    app = AppCase::ArteryFsi;
+  else
+    throw std::invalid_argument("unknown app '" + o.app +
+                                "' (artery-cfd | artery-fsi)");
+
+  container::BuildMode mode;
+  if (o.mode == "system-specific")
+    mode = container::BuildMode::SystemSpecific;
+  else if (o.mode == "self-contained")
+    mode = container::BuildMode::SelfContained;
+  else
+    throw std::invalid_argument(
+        "unknown mode '" + o.mode +
+        "' (system-specific | self-contained)");
+
+  const int ranks =
+      o.ranks > 0 ? o.ranks : o.nodes * cluster.node.cpu.cores() / o.threads;
+
+  Scenario s{.cluster = cluster,
+             .runtime = runtime,
+             .app = app,
+             .nodes = o.nodes,
+             .ranks = ranks,
+             .threads = o.threads,
+             .time_steps = o.steps,
+             .seed = o.seed};
+  if (runtime != container::RuntimeKind::BareMetal)
+    s.image = alya_image(cluster, runtime, mode);
+  s.validate();
+  return s;
+}
+
+std::string cli_usage() {
+  return R"(usage: study_cli [flags]
+  --cluster NAME   lenox | marenostrum4 | cte-power | thunderx
+  --runtime NAME   bare-metal | docker | singularity | shifter
+  --mode MODE      system-specific | self-contained
+  --app APP        artery-cfd | artery-fsi
+  --nodes N        nodes to allocate (default 4)
+  --ranks R        MPI ranks (0 = one per core / threads)
+  --threads T      OpenMP threads per rank (default 1)
+  --steps S        simulated time steps (default 10)
+  --seed X         RNG seed (default 42)
+  --timeline       record and print the phase timeline
+  --help           this text
+)";
+}
+
+}  // namespace hpcs::study

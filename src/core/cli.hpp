@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file cli.hpp
+/// \brief Command-line front end for the study runner.
+///
+/// Powers examples/study_cli; the parsing lives in the library so it is
+/// unit-testable.  Flags:
+///
+///   --cluster  lenox | marenostrum4 | cte-power | thunderx
+///   --runtime  bare-metal | docker | singularity | shifter
+///   --mode     system-specific | self-contained
+///   --app      artery-cfd | artery-fsi
+///   --nodes N  --ranks R (0 = one per core)  --threads T
+///   --steps S  --seed X  --timeline  --help
+
+#include <span>
+#include <string>
+
+#include "core/scenario.hpp"
+
+namespace hpcs::study {
+
+struct CliOptions {
+  std::string cluster = "marenostrum4";
+  std::string runtime = "bare-metal";
+  std::string mode = "system-specific";
+  std::string app = "artery-cfd";
+  int nodes = 4;
+  int ranks = 0;  ///< 0: fill every core with single-thread ranks
+  int threads = 1;
+  int steps = 10;
+  std::uint64_t seed = 42;
+  bool timeline = false;
+  bool help = false;
+};
+
+/// Parses argv-style arguments (excluding argv[0]).
+/// \throws std::invalid_argument with a helpful message on bad input.
+CliOptions parse_cli(std::span<const char* const> args);
+
+/// Resolves a cluster preset by CLI name.
+/// \throws std::invalid_argument for unknown names.
+hw::ClusterSpec cluster_by_name(const std::string& name);
+
+/// Materializes the scenario (builds the image for containerized runs).
+/// \throws std::invalid_argument for inconsistent options.
+Scenario to_scenario(const CliOptions& options);
+
+/// The usage/help text.
+std::string cli_usage();
+
+}  // namespace hpcs::study

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file images.hpp
+/// \brief The containerized-Alya images the study deploys.
+///
+/// One canonical application recipe, parameterized by target ISA and build
+/// mode (Section B.2's "two techniques to build the container images"):
+///
+///  * self-contained  — bundles a generic Open MPI; runs on any cluster of
+///    the right ISA but cannot open kernel-bypass fabrics;
+///  * system-specific — binds the host's MPI and fabric libraries; reaches
+///    bare-metal speed on the machine it was built for.
+
+#include "container/builder.hpp"
+#include "container/image.hpp"
+#include "container/recipe.hpp"
+#include "container/runtime.hpp"
+#include "hw/cluster.hpp"
+
+namespace hpcs::study {
+
+/// The Alya application recipe for \p arch in \p mode.
+container::Recipe alya_recipe(hw::CpuArch arch, container::BuildMode mode);
+
+/// Builds the Alya image in the native format of \p runtime for
+/// \p cluster's ISA.  Uses the cluster's node model as the build host.
+container::Image alya_image(const hw::ClusterSpec& cluster,
+                            container::RuntimeKind runtime,
+                            container::BuildMode mode);
+
+}  // namespace hpcs::study

@@ -1,0 +1,191 @@
+#include "core/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "container/transport.hpp"
+#include "mpi/collectives.hpp"
+#include "mpi/cost_model.hpp"
+#include "sim/rng.hpp"
+
+namespace hpcs::study {
+
+void RunnerOptions::validate() const {
+  compute.validate();
+  if (noise_sigma < 0 || noise_sigma > 0.5)
+    throw std::invalid_argument("RunnerOptions: noise_sigma outside [0,0.5]");
+}
+
+ExperimentRunner::ExperimentRunner(RunnerOptions options)
+    : options_(options) {
+  options_.validate();
+}
+
+RunResult ExperimentRunner::run(const Scenario& scenario) const {
+  if (scenario.app == AppCase::ArteryFsi)
+    return run(scenario, alya::WorkloadModel::default_fsi(),
+               artery_fsi_mesh());
+  return run(scenario, alya::WorkloadModel::default_cfd(),
+             artery_cfd_mesh());
+}
+
+RunResult ExperimentRunner::run(const Scenario& scenario,
+                                const alya::WorkloadModel& model,
+                                const MeshSpec& mesh) const {
+  scenario.validate();
+  mesh.validate();
+
+  const auto runtime = container::ContainerRuntime::make(scenario.runtime);
+  const container::Image* image =
+      scenario.image ? &*scenario.image : nullptr;
+  const auto paths =
+      container::resolve_comm_paths(*runtime, image, scenario.cluster);
+
+  const mpi::JobMapping mapping(scenario.cluster, scenario.nodes,
+                                scenario.ranks, scenario.threads);
+  const mpi::CostModel cost(paths, mapping);
+  // Docker's UTS/Net namespaces hide co-location from the MPI library, so
+  // it falls back to placement-oblivious (flat) collectives.
+  const bool topology_aware =
+      !runtime->namespaces().contains(container::Namespace::Uts);
+  const mpi::Collectives coll(cost, topology_aware);
+
+  const auto work = model.per_rank(mesh.elements, mesh.nodes, scenario.ranks);
+  const double rt_factor = runtime->compute_overhead_factor();
+  const int rpn = mapping.ranks_per_node();
+
+  // --- per-rank kernel times (identical across ranks modulo jitter) -------
+  const double t_assembly =
+      hw::kernel_time(scenario.cluster.node, work.assembly, scenario.threads,
+                      rpn, options_.compute) *
+      rt_factor;
+  const double t_iteration =
+      hw::kernel_time(scenario.cluster.node, work.per_iteration,
+                      scenario.threads, rpn, options_.compute) *
+      rt_factor;
+
+  // --- halo exchange time ---------------------------------------------------
+  double t_halo = 0.0;
+  if (work.halo_neighbors > 0) {
+    const double off_frac =
+        scenario.nodes == 1
+            ? 0.0
+            : std::min(1.0, std::pow(static_cast<double>(rpn), -1.0 / 3.0));
+    const double off_neighbors =
+        static_cast<double>(work.halo_neighbors) * off_frac;
+    const double intra_neighbors =
+        static_cast<double>(work.halo_neighbors) - off_neighbors;
+    double t_inter = 0.0, t_intra = 0.0;
+    if (off_neighbors > 0.0) {
+      const int flows = std::max(
+          1, static_cast<int>(std::lround(off_neighbors *
+                                          static_cast<double>(rpn))));
+      t_inter = cost.internode_time(work.halo_bytes_per_neighbor, flows);
+    }
+    if (intra_neighbors > 0.0)
+      t_intra = cost.intranode_time(work.halo_bytes_per_neighbor);
+    t_halo = std::max(t_inter, t_intra);
+  }
+
+  // --- reductions & FSI interface -------------------------------------------
+  const double t_allreduce = coll.allreduce(work.reduction_bytes);
+  const double t_interface =
+      work.coupling_iterations > 1.0 && work.interface_bytes > 0
+          ? 2.0 * cost.internode_time(work.interface_bytes, 1)
+          : 0.0;
+
+  // --- assemble per-step time with per-rank noise ---------------------------
+  sim::Rng rng(scenario.seed ^ sim::hash64(scenario.label()));
+  RunResult result;
+  result.label = scenario.label();
+  result.ranks = scenario.ranks;
+  result.threads = scenario.threads;
+  result.nodes = scenario.nodes;
+  result.step_times.reserve(static_cast<std::size_t>(scenario.time_steps));
+
+  const double iters = static_cast<double>(work.solver_iterations);
+  const double halo_per_iter =
+      static_cast<double>(work.halo_exchanges_per_iteration) * t_halo;
+  const double red_per_iter =
+      static_cast<double>(work.reductions_per_iteration) * t_allreduce;
+
+  for (int s = 0; s < scenario.time_steps; ++s) {
+    // Bulk-synchronous: the step advances at the pace of the slowest rank.
+    double max_jitter = 0.0;
+    for (int r = 0; r < scenario.ranks; ++r) {
+      const std::uint64_t stream =
+          static_cast<std::uint64_t>(r) * std::uint64_t{1000003} +
+          static_cast<std::uint64_t>(s);
+      auto rrng = rng.child(stream);
+      max_jitter =
+          std::max(max_jitter,
+                   rrng.lognormal_median(1.0, options_.noise_sigma));
+    }
+    const double compute =
+        (t_assembly + iters * t_iteration) * max_jitter;
+    const double halo =
+        static_cast<double>(work.extra_halo_exchanges) * t_halo +
+        iters * halo_per_iter;
+    const double reductions = iters * red_per_iter;
+    const double step = work.coupling_iterations *
+                        (compute + halo + reductions + t_interface);
+    if (options_.record_timeline) {
+      // Phase order within a step: compute, halo, reductions, interface;
+      // steps are laid out back-to-back on the job timeline.
+      double t0 = 0.0;
+      for (double prev : result.step_times.values()) t0 += prev;
+      const double cpl = work.coupling_iterations;
+      result.timeline.record(0, sim::Phase::Compute, t0, compute * cpl);
+      t0 += compute * cpl;
+      result.timeline.record(0, sim::Phase::HaloExchange, t0, halo * cpl);
+      t0 += halo * cpl;
+      result.timeline.record(0, sim::Phase::Reduction, t0,
+                             reductions * cpl);
+      t0 += reductions * cpl;
+      if (t_interface > 0.0)
+        result.timeline.record(0, sim::Phase::Interface, t0,
+                               t_interface * cpl);
+    }
+    result.step_times.add(step);
+    result.compute_time += work.coupling_iterations * compute;
+    result.halo_time += work.coupling_iterations * halo;
+    result.reduction_time += work.coupling_iterations * reductions;
+    result.interface_time += work.coupling_iterations * t_interface;
+  }
+
+  const double n_steps = static_cast<double>(scenario.time_steps);
+  result.compute_time /= n_steps;
+  result.halo_time /= n_steps;
+  result.reduction_time /= n_steps;
+  result.interface_time /= n_steps;
+  result.total_time = result.step_times.mean() * n_steps;
+  result.avg_step_time = result.step_times.mean();
+  const double comm =
+      result.halo_time + result.reduction_time + result.interface_time;
+  result.comm_fraction =
+      result.avg_step_time > 0 ? comm / result.avg_step_time : 0.0;
+
+  // --- energy to solution -----------------------------------------------------
+  const double comm_per_step =
+      result.halo_time + result.reduction_time + result.interface_time;
+  result.energy_j = scenario.cluster.power.job_energy(
+      scenario.nodes, result.compute_time * n_steps,
+      comm_per_step * n_steps);
+  if (result.total_time > 0)
+    result.avg_node_power_w =
+        result.energy_j /
+        (result.total_time * static_cast<double>(scenario.nodes));
+
+  // --- deployment -----------------------------------------------------------
+  container::DeploymentSimulator dep(scenario.cluster, scenario.seed);
+  if (scenario.runtime == container::RuntimeKind::BareMetal) {
+    result.deployment = dep.deploy_bare_metal(scenario.nodes, rpn);
+  } else {
+    result.deployment =
+        dep.deploy(*runtime, *scenario.image, scenario.nodes, rpn);
+  }
+  return result;
+}
+
+}  // namespace hpcs::study

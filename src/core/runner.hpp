@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file runner.hpp
+/// \brief The experiment engine: deploys a scenario and replays the Alya
+///        workload on the simulated cluster, producing the elapsed times
+///        the paper's figures plot.
+///
+/// The execution model per time step is bulk-synchronous, matching the
+/// solver's structure:
+///
+///   coupling iterations x [ operator assembly (compute)
+///                           + velocity halo swaps
+///                           + solver iterations x ( SpMV compute
+///                                                   + halo exchange
+///                                                   + reductions )
+///                           + FSI interface exchange ]
+///
+/// Compute times come from the roofline model with per-rank multiplicative
+/// OS-noise jitter (the step time is the max over ranks — noise amplifies
+/// with scale, as on real machines); communication times come from the
+/// fabric paths the (runtime, image) combination resolved to.
+
+#include "alya/workload.hpp"
+#include "container/deployment.hpp"
+#include "core/scenario.hpp"
+#include "hw/compute.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace hpcs::study {
+
+struct RunnerOptions {
+  hw::ComputeParams compute{};
+  /// Sigma of the per-rank lognormal noise on compute kernels.
+  double noise_sigma = 0.008;
+  /// Record a per-step phase timeline (Paraver-lite) into the result.
+  bool record_timeline = false;
+
+  void validate() const;
+};
+
+struct RunResult {
+  std::string label;
+  int ranks = 0;
+  int threads = 0;
+  int nodes = 0;
+  double total_time = 0.0;     ///< sum over time steps [s]
+  double avg_step_time = 0.0;  ///< the paper's "average elapsed time"
+  sim::Samples step_times;
+  /// Per-step decomposition (averages).
+  double compute_time = 0.0;
+  double halo_time = 0.0;
+  double reduction_time = 0.0;
+  double interface_time = 0.0;
+  double comm_fraction = 0.0;
+  /// Energy to solution over the whole campaign [J] and the mean node
+  /// power it implies [W] (Mont-Blanc-style energy accounting).
+  double energy_j = 0.0;
+  double avg_node_power_w = 0.0;
+  container::DeploymentResult deployment;
+  /// Per-step phase timeline; empty unless RunnerOptions::record_timeline.
+  sim::Timeline timeline;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(RunnerOptions options = {});
+
+  /// Runs \p scenario with workload derived from \p model over \p mesh.
+  /// \throws the transport/deployment errors for invalid combinations
+  ///         (missing runtime, ISA mismatch, bad geometry).
+  RunResult run(const Scenario& scenario, const alya::WorkloadModel& model,
+                const MeshSpec& mesh) const;
+
+  /// Convenience: picks the default workload model and mesh for the
+  /// scenario's app case.
+  RunResult run(const Scenario& scenario) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace hpcs::study

@@ -1,0 +1,69 @@
+#include "core/scenario.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::study {
+
+std::string_view to_string(AppCase a) noexcept {
+  switch (a) {
+    case AppCase::ArteryCfd:
+      return "artery-cfd";
+    case AppCase::ArteryFsi:
+      return "artery-fsi";
+  }
+  return "?";
+}
+
+void MeshSpec::validate() const {
+  if (elements == 0 || nodes == 0)
+    throw std::invalid_argument("MeshSpec: empty mesh");
+}
+
+MeshSpec artery_cfd_mesh() {
+  // ~1.2M hexes: a production artery-segment resolution that keeps the
+  // Lenox runs (112 cores) communication-sensitive, like the paper's case.
+  return MeshSpec{.elements = 1'200'000, .nodes = 1'250'000};
+}
+
+MeshSpec artery_fsi_mesh() {
+  // Larger coupled case used for the MareNostrum4 strong-scaling study up
+  // to 12,288 cores.
+  return MeshSpec{.elements = 6'300'000, .nodes = 6'500'000};
+}
+
+std::string Scenario::label() const {
+  std::string s = cluster.name;
+  s += "/";
+  s += to_string(runtime);
+  if (image) {
+    s += "(";
+    s += to_string(image->mode());
+    s += ")";
+  }
+  s += "/";
+  s += std::to_string(ranks);
+  s += "x";
+  s += std::to_string(threads);
+  s += "/";
+  s += to_string(app);
+  return s;
+}
+
+void Scenario::validate() const {
+  cluster.validate();
+  if (runtime != container::RuntimeKind::BareMetal && !image)
+    throw std::invalid_argument(
+        "Scenario: containerized runtime requires an image");
+  if (nodes < 1 || nodes > cluster.node_count)
+    throw std::invalid_argument("Scenario: bad node count");
+  if (ranks < 1 || threads < 1)
+    throw std::invalid_argument("Scenario: bad ranks/threads");
+  if (ranks % nodes != 0)
+    throw std::invalid_argument("Scenario: ranks must divide across nodes");
+  if ((ranks / nodes) * threads > cluster.node.cpu.cores())
+    throw std::invalid_argument("Scenario: geometry exceeds node cores");
+  if (time_steps < 1)
+    throw std::invalid_argument("Scenario: time_steps < 1");
+}
+
+}  // namespace hpcs::study

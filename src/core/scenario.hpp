@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file scenario.hpp
+/// \brief A study scenario: which app, on which cluster, under which
+///        runtime and image, with which MPI×OpenMP geometry.
+///
+/// One Scenario corresponds to one point in one of the paper's figures.
+
+#include <optional>
+#include <string>
+
+#include "container/image.hpp"
+#include "container/runtime.hpp"
+#include "hw/cluster.hpp"
+
+namespace hpcs::study {
+
+/// The two biological use cases of Section B ("two biological use cases of
+/// Alya").
+enum class AppCase {
+  ArteryCfd,  ///< blood flow through the artery (Navier-Stokes)
+  ArteryFsi,  ///< fluid-structure interaction: fluid + solid instances
+};
+
+std::string_view to_string(AppCase a) noexcept;
+
+/// Global mesh size descriptor for the production cases.
+struct MeshSpec {
+  std::uint64_t elements = 0;
+  std::uint64_t nodes = 0;
+
+  void validate() const;
+};
+
+/// Production-sized artery CFD mesh (order of the paper's case).
+MeshSpec artery_cfd_mesh();
+
+/// Production-sized artery FSI mesh (lumen + wall, larger: it scales to
+/// 12k cores in Fig. 3).
+MeshSpec artery_fsi_mesh();
+
+struct Scenario {
+  hw::ClusterSpec cluster;
+  container::RuntimeKind runtime = container::RuntimeKind::BareMetal;
+  /// Image to run; must be set for containerized runtimes.
+  std::optional<container::Image> image;
+  AppCase app = AppCase::ArteryCfd;
+  int nodes = 1;
+  int ranks = 1;
+  int threads = 1;
+  int time_steps = 10;
+  std::uint64_t seed = 42;
+
+  /// "Lenox/docker/28x4/artery-cfd" style label for reports.
+  std::string label() const;
+
+  void validate() const;
+};
+
+}  // namespace hpcs::study

@@ -1,0 +1,23 @@
+#include "hw/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcs::hw {
+
+bool ClusterSpec::has_runtime(const std::string& runtime) const noexcept {
+  return std::find(installed_runtimes.begin(), installed_runtimes.end(),
+                   runtime) != installed_runtimes.end();
+}
+
+void ClusterSpec::validate() const {
+  if (name.empty()) throw std::invalid_argument("ClusterSpec: empty name");
+  if (node_count < 1)
+    throw std::invalid_argument("ClusterSpec: node_count < 1");
+  node.validate();
+  if (registry_bw <= 0 || registry_streams < 1)
+    throw std::invalid_argument("ClusterSpec: invalid registry parameters");
+  power.validate();
+}
+
+}  // namespace hpcs::hw

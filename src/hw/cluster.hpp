@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file cluster.hpp
+/// \brief Cluster model: homogeneous nodes + fabrics + site software.
+///
+/// Every cluster carries three communication paths, because the paper's
+/// portability result is precisely about which one a container can reach:
+///
+///  * `fabric`     — the high-speed interconnect (OPA / EDR / GbE), usable
+///                   only by an MPI linked against the host fabric stack;
+///  * `management` — the Ethernet management network, the TCP fall-back a
+///                   self-contained container's generic MPI ends up on;
+///  * `intranode`  — shared memory between ranks of one node.
+
+#include <string>
+#include <vector>
+
+#include "hw/node.hpp"
+#include "hw/power.hpp"
+#include "net/fabric.hpp"
+
+namespace hpcs::hw {
+
+struct ClusterSpec {
+  std::string name;
+  std::string site;
+  int node_count = 1;
+  NodeModel node;
+  net::Fabric fabric;
+  net::Fabric management;
+  net::Fabric intranode;
+  /// Registry/login-node image staging bandwidth to the compute fabric
+  /// [bytes/s] and the number of concurrent transfers it can serve.
+  double registry_bw = 1.0e9;
+  int registry_streams = 8;
+  /// Container runtimes deployed on the machine (lower-case names).
+  std::vector<std::string> installed_runtimes;
+  /// Per-node power envelope (energy-to-solution accounting).
+  PowerModel power{};
+
+  int total_cores() const noexcept {
+    return node_count * node.cpu.cores();
+  }
+
+  bool has_runtime(const std::string& runtime) const noexcept;
+
+  void validate() const;
+};
+
+}  // namespace hpcs::hw

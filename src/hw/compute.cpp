@@ -1,0 +1,58 @@
+#include "hw/compute.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcs::hw {
+
+void ComputeParams::validate() const {
+  if (parallel_fraction <= 0.0 || parallel_fraction > 1.0)
+    throw std::invalid_argument("ComputeParams: parallel_fraction in (0,1]");
+  if (flop_efficiency <= 0.0 || flop_efficiency > 1.0)
+    throw std::invalid_argument("ComputeParams: flop_efficiency in (0,1]");
+  if (bw_saturation_fraction <= 0.0 || bw_saturation_fraction > 1.0)
+    throw std::invalid_argument(
+        "ComputeParams: bw_saturation_fraction in (0,1]");
+  if (fork_join_per_thread < 0.0)
+    throw std::invalid_argument("ComputeParams: negative fork/join cost");
+}
+
+double kernel_time(const NodeModel& node, const KernelWork& work, int threads,
+                   int ranks_on_node, const ComputeParams& params) {
+  params.validate();
+  if (threads < 1) throw std::invalid_argument("kernel_time: threads < 1");
+  if (ranks_on_node < 1)
+    throw std::invalid_argument("kernel_time: ranks_on_node < 1");
+  if (threads * ranks_on_node > node.cpu.cores())
+    throw std::invalid_argument("kernel_time: placement exceeds node cores");
+  if (work.flops < 0.0 || work.mem_bytes < 0.0)
+    throw std::invalid_argument("kernel_time: negative work");
+
+  // --- compute roof: Amdahl over the rank's threads ------------------------
+  const double core_rate = node.cpu.peak_flops_core() * params.flop_efficiency;
+  const double serial = 1.0 - params.parallel_fraction;
+  const double t_flops =
+      work.flops / core_rate *
+      (serial + params.parallel_fraction / static_cast<double>(threads));
+
+  // --- memory roof ----------------------------------------------------------
+  // The node's bandwidth is shared by all ranks; a single rank can only draw
+  // bandwidth proportional to how many cores it occupies until saturation.
+  const double cores_used =
+      static_cast<double>(threads) * static_cast<double>(ranks_on_node);
+  const double sat_cores =
+      params.bw_saturation_fraction * static_cast<double>(node.cpu.cores());
+  const double node_bw_avail =
+      node.cpu.mem_bw_node() * std::min(1.0, cores_used / sat_cores);
+  const double rank_bw = node_bw_avail / static_cast<double>(ranks_on_node);
+  const double t_mem = work.mem_bytes / rank_bw;
+
+  // --- threading runtime overhead ------------------------------------------
+  const double t_fork =
+      params.fork_join_per_thread * static_cast<double>(threads);
+
+  return std::max(t_flops, t_mem) + t_fork;
+}
+
+}  // namespace hpcs::hw

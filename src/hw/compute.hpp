@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file compute.hpp
+/// \brief Roofline kernel-time model with hybrid (OpenMP) threading effects.
+///
+/// A kernel is characterized by its FLOP count and memory traffic; its
+/// execution time on `threads` cores of a node is the roofline maximum of
+/// the compute time (Amdahl-scaled over threads) and the memory time
+/// (bandwidth saturates before all cores are used, which is why pure-MPI
+/// runs of a memory-bound FEM code gain little over hybrid ones — the
+/// effect visible across the x-axis of the paper's Fig. 1).
+
+#include "hw/node.hpp"
+
+namespace hpcs::hw {
+
+/// Work descriptor for one kernel invocation on one rank.
+struct KernelWork {
+  double flops = 0.0;      ///< double-precision FLOPs
+  double mem_bytes = 0.0;  ///< bytes moved to/from DRAM
+};
+
+/// Application/runtime-dependent execution-efficiency knobs.
+struct ComputeParams {
+  /// Fraction of the kernel that parallelizes over OpenMP threads (Amdahl).
+  double parallel_fraction = 0.97;
+  /// Fraction of peak FLOP rate a real unstructured FEM code sustains.
+  double flop_efficiency = 0.10;
+  /// Fraction of a node's cores needed to saturate memory bandwidth.
+  double bw_saturation_fraction = 0.35;
+  /// Per-parallel-region fork/join overhead [s] multiplied by thread count
+  /// (models OpenMP runtime cost for large teams).
+  double fork_join_per_thread = 0.4e-6;
+
+  void validate() const;
+};
+
+/// Time for one rank to execute \p work using \p threads cores of \p node,
+/// assuming \p ranks_on_node ranks share the node's memory bandwidth evenly.
+///
+/// \throws std::invalid_argument if threads < 1 or the rank placement
+///         exceeds the node (threads * ranks_on_node > cores).
+double kernel_time(const NodeModel& node, const KernelWork& work, int threads,
+                   int ranks_on_node, const ComputeParams& params);
+
+}  // namespace hpcs::hw

@@ -1,0 +1,40 @@
+#include "hw/cpu.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::hw {
+
+std::string_view to_string(CpuArch a) noexcept {
+  switch (a) {
+    case CpuArch::X86_64:
+      return "x86_64";
+    case CpuArch::Ppc64le:
+      return "ppc64le";
+    case CpuArch::Aarch64:
+      return "aarch64";
+  }
+  return "?";
+}
+
+double CpuModel::peak_flops_core() const noexcept {
+  return freq_ghz * 1e9 * flops_per_cycle_per_core;
+}
+
+double CpuModel::peak_flops_node() const noexcept {
+  return peak_flops_core() * static_cast<double>(cores());
+}
+
+double CpuModel::mem_bw_node() const noexcept {
+  return mem_bw_gbs_per_socket * 1e9 * static_cast<double>(sockets);
+}
+
+void CpuModel::validate() const {
+  if (name.empty()) throw std::invalid_argument("CpuModel: empty name");
+  if (sockets < 1 || cores_per_socket < 1)
+    throw std::invalid_argument("CpuModel: non-positive core counts");
+  if (freq_ghz <= 0 || flops_per_cycle_per_core <= 0 ||
+      mem_bw_gbs_per_socket <= 0)
+    throw std::invalid_argument("CpuModel: non-positive rates");
+}
+
+}  // namespace hpcs::hw

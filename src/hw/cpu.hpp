@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file cpu.hpp
+/// \brief CPU socket/node compute model.
+///
+/// The study spans three ISAs (x86 Skylake & Haswell, POWER9, ARMv8); the
+/// portability experiments depend on *relative* per-core strength and memory
+/// bandwidth across them.  The model is a classic roofline: peak FLOP rate
+/// from width×frequency×cores and a STREAM-like sustainable bandwidth.
+
+#include <string>
+#include <string_view>
+
+namespace hpcs::hw {
+
+/// Instruction-set architecture; container images are arch-specific, so
+/// pulling an x86 image onto a POWER9 or ARM node must fail (exec format
+/// error) exactly like it does in reality.
+enum class CpuArch { X86_64, Ppc64le, Aarch64 };
+
+std::string_view to_string(CpuArch a) noexcept;
+
+struct CpuModel {
+  std::string name;               ///< marketing name, e.g. "Xeon Platinum 8160"
+  CpuArch arch = CpuArch::X86_64;
+  int sockets = 1;
+  int cores_per_socket = 1;
+  double freq_ghz = 1.0;
+  double flops_per_cycle_per_core = 2.0;  ///< DP FLOPs/cycle (FMA×SIMD width)
+  double mem_bw_gbs_per_socket = 10.0;    ///< sustainable (STREAM) GB/s
+
+  int cores() const noexcept { return sockets * cores_per_socket; }
+
+  /// Peak double-precision FLOP/s of one core.
+  double peak_flops_core() const noexcept;
+
+  /// Peak double-precision FLOP/s of the full node (all sockets).
+  double peak_flops_node() const noexcept;
+
+  /// Sustainable memory bandwidth of the full node [bytes/s].
+  double mem_bw_node() const noexcept;
+
+  /// Validates invariants (positive counts/rates); throws std::invalid_argument.
+  void validate() const;
+};
+
+}  // namespace hpcs::hw

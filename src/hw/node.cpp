@@ -1,0 +1,14 @@
+#include "hw/node.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::hw {
+
+void NodeModel::validate() const {
+  cpu.validate();
+  if (mem_gb <= 0) throw std::invalid_argument("NodeModel: mem_gb <= 0");
+  if (disk_write_bw <= 0 || disk_read_bw <= 0)
+    throw std::invalid_argument("NodeModel: non-positive disk rates");
+}
+
+}  // namespace hpcs::hw

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file node.hpp
+/// \brief Compute-node model: CPU, memory, local storage.
+///
+/// Local storage rates matter for the container deployment pipeline (layer
+/// extraction, squashfs/SIF mount) — one of the three axes of the paper's
+/// containerization-solutions comparison.
+
+#include "hw/cpu.hpp"
+
+namespace hpcs::hw {
+
+struct NodeModel {
+  CpuModel cpu;
+  double mem_gb = 64.0;
+  double disk_write_bw = 500e6;  ///< bytes/s (image layer extraction)
+  double disk_read_bw = 1000e6;  ///< bytes/s (image mmap/mount)
+
+  void validate() const;
+};
+
+}  // namespace hpcs::hw

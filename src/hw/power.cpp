@@ -1,0 +1,34 @@
+#include "hw/power.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::hw {
+
+void PowerModel::validate() const {
+  if (node_idle_w <= 0 || node_max_w <= node_idle_w)
+    throw std::invalid_argument("PowerModel: need 0 < idle < max");
+  if (compute_utilization < 0 || compute_utilization > 1 ||
+      communication_utilization < 0 || communication_utilization > 1)
+    throw std::invalid_argument("PowerModel: utilizations in [0,1]");
+}
+
+double PowerModel::node_power(double u) const {
+  if (u < 0 || u > 1)
+    throw std::invalid_argument("PowerModel: utilization outside [0,1]");
+  return node_idle_w + u * (node_max_w - node_idle_w);
+}
+
+double PowerModel::phase_energy(int nodes, double seconds, double u) const {
+  if (nodes < 1) throw std::invalid_argument("PowerModel: nodes < 1");
+  if (seconds < 0) throw std::invalid_argument("PowerModel: negative time");
+  return static_cast<double>(nodes) * seconds * node_power(u);
+}
+
+double PowerModel::job_energy(int nodes, double compute_seconds,
+                              double comm_seconds) const {
+  validate();
+  return phase_energy(nodes, compute_seconds, compute_utilization) +
+         phase_energy(nodes, comm_seconds, communication_utilization);
+}
+
+}  // namespace hpcs::hw

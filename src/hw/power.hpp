@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file power.hpp
+/// \brief Node power model and energy-to-solution accounting.
+///
+/// The ThunderX mini-cluster in the study belongs to the Mont-Blanc
+/// project, whose raison d'être was energy-efficient Arm HPC — so the
+/// natural extension of the paper's cross-architecture comparison is
+/// energy to solution.  The model is the standard linear utilization one:
+///
+///     P(u) = P_idle + u * (P_max - P_idle)        per node
+///
+/// with different effective utilizations for compute-bound and
+/// communication/wait phases (spinning in MPI burns less than AVX FMA).
+
+namespace hpcs::hw {
+
+struct PowerModel {
+  double node_idle_w = 120.0;  ///< powered-on, idle node [W]
+  double node_max_w = 400.0;   ///< all cores busy at full tilt [W]
+  /// Effective utilization during compute phases (vector units busy).
+  double compute_utilization = 0.95;
+  /// Effective utilization while ranks sit in MPI waits / progress loops.
+  double communication_utilization = 0.45;
+
+  void validate() const;
+
+  /// Instantaneous node power at utilization \p u in [0,1].
+  double node_power(double u) const;
+
+  /// Energy [J] for \p nodes nodes over a phase of \p seconds at
+  /// utilization \p u.
+  double phase_energy(int nodes, double seconds, double u) const;
+
+  /// Energy [J] of a job whose time splits into compute and
+  /// communication parts.
+  double job_energy(int nodes, double compute_seconds,
+                    double comm_seconds) const;
+};
+
+}  // namespace hpcs::hw

@@ -1,0 +1,138 @@
+#include "hw/presets.hpp"
+
+#include "net/presets.hpp"
+#include "sim/units.hpp"
+
+namespace hpcs::hw::presets {
+
+using namespace hpcs::units;
+namespace np = hpcs::net::presets;
+
+ClusterSpec lenox() {
+  ClusterSpec c{
+      .name = "Lenox",
+      .site = "Lenovo",
+      .node_count = 4,
+      .node =
+          NodeModel{
+              .cpu = CpuModel{.name = "Intel Xeon E5-2697v3",
+                              .arch = CpuArch::X86_64,
+                              .sockets = 2,
+                              .cores_per_socket = 14,
+                              .freq_ghz = 2.6,
+                              // AVX2 FMA: 2 pipes x 4 DP lanes x 2 (FMA)
+                              .flops_per_cycle_per_core = 16.0,
+                              .mem_bw_gbs_per_socket = 55.0},
+              .mem_gb = 128.0,
+              .disk_write_bw = 350.0 * MB,
+              .disk_read_bw = 900.0 * MB},
+      .fabric = np::ethernet_1g_tcp(),
+      .management = np::ethernet_1g_tcp(),
+      .intranode = np::shared_memory(),
+      .registry_bw = 112.0 * MB,  // registry served over the same 1GbE
+      .registry_streams = 4,
+      .installed_runtimes = {"bare-metal", "docker", "singularity",
+                             "shifter"},
+      // 2x 145 W TDP Haswell + board/DIMMs.
+      .power = PowerModel{.node_idle_w = 110.0, .node_max_w = 420.0}};
+  c.validate();
+  return c;
+}
+
+ClusterSpec marenostrum4() {
+  ClusterSpec c{
+      .name = "MareNostrum4",
+      .site = "BSC",
+      .node_count = 3456,
+      .node =
+          NodeModel{
+              .cpu = CpuModel{.name = "Intel Xeon Platinum 8160",
+                              .arch = CpuArch::X86_64,
+                              .sockets = 2,
+                              .cores_per_socket = 24,
+                              .freq_ghz = 2.1,
+                              // AVX-512 FMA peak; real FEM codes see far
+                              // less, captured by ComputeParams efficiency.
+                              .flops_per_cycle_per_core = 32.0,
+                              .mem_bw_gbs_per_socket = 85.0},
+              .mem_gb = 96.0,
+              .disk_write_bw = 250.0 * MB,  // GPFS client, shared
+              .disk_read_bw = 1.2 * GB},
+      .fabric = np::omnipath_100g(),
+      .management = np::ethernet_10g_tcp(),
+      .intranode = np::shared_memory(),
+      .registry_bw = 2.0 * GB,  // GPFS-backed image staging
+      .registry_streams = 16,
+      .installed_runtimes = {"bare-metal", "singularity"},
+      // 2x 150 W TDP Skylake Platinum.
+      .power = PowerModel{.node_idle_w = 120.0, .node_max_w = 480.0}};
+  c.validate();
+  return c;
+}
+
+ClusterSpec cte_power() {
+  ClusterSpec c{
+      .name = "CTE-POWER",
+      .site = "BSC",
+      .node_count = 52,
+      .node =
+          NodeModel{
+              .cpu = CpuModel{.name = "IBM POWER9 8335-GTG",
+                              .arch = CpuArch::Ppc64le,
+                              .sockets = 2,
+                              .cores_per_socket = 20,
+                              .freq_ghz = 3.0,
+                              // 2x VSX 128-bit FMA pipes = 8 DP FLOPs/cycle
+                              .flops_per_cycle_per_core = 8.0,
+                              .mem_bw_gbs_per_socket = 110.0},
+              .mem_gb = 512.0,
+              .disk_write_bw = 400.0 * MB,
+              .disk_read_bw = 1.5 * GB},
+      .fabric = np::infiniband_edr(),
+      .management = np::ethernet_10g_tcp(),
+      .intranode = np::shared_memory(),
+      .registry_bw = 1.1 * GB,
+      .registry_streams = 8,
+      .installed_runtimes = {"bare-metal", "singularity"},
+      // 2x 190 W POWER9 + 512 GB of DIMMs: a hungry node.
+      .power = PowerModel{.node_idle_w = 180.0, .node_max_w = 750.0}};
+  c.validate();
+  return c;
+}
+
+ClusterSpec thunderx() {
+  ClusterSpec c{
+      .name = "ThunderX",
+      .site = "Mont-Blanc",
+      .node_count = 4,
+      .node =
+          NodeModel{
+              .cpu = CpuModel{.name = "Cavium ThunderX CN8890",
+                              .arch = CpuArch::Aarch64,
+                              .sockets = 2,
+                              .cores_per_socket = 48,
+                              .freq_ghz = 2.0,
+                              // In-order-ish cores, no FMA fusion benefit:
+                              // 2 DP FLOPs/cycle sustained.
+                              .flops_per_cycle_per_core = 2.0,
+                              .mem_bw_gbs_per_socket = 35.0},
+              .mem_gb = 128.0,
+              .disk_write_bw = 200.0 * MB,
+              .disk_read_bw = 500.0 * MB},
+      .fabric = np::ethernet_40g_tcp(),
+      .management = np::ethernet_40g_tcp(),
+      .intranode = np::shared_memory(),
+      .registry_bw = 500.0 * MB,
+      .registry_streams = 4,
+      .installed_runtimes = {"bare-metal", "singularity"},
+      // Mont-Blanc energy-first design point.
+      .power = PowerModel{.node_idle_w = 80.0, .node_max_w = 300.0}};
+  c.validate();
+  return c;
+}
+
+std::vector<ClusterSpec> all() {
+  return {lenox(), marenostrum4(), cte_power(), thunderx()};
+}
+
+}  // namespace hpcs::hw::presets

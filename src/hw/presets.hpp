@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file presets.hpp
+/// \brief The four clusters of the paper (Section I.A, "Experimental
+///        environment"), parameterized from their published specifications.
+
+#include "hw/cluster.hpp"
+
+namespace hpcs::hw::presets {
+
+/// Lenox (Lenovo): 4 nodes, 2x Intel Xeon E5-2697v3 (Haswell, 2x14 cores),
+/// 1GbE TCP interconnect.  Docker 1.11.1, Singularity 2.4.5, Shifter
+/// 16.08.3.  The only machine with Docker (admin rights available).
+ClusterSpec lenox();
+
+/// MareNostrum4 (BSC): 3456 nodes, 2x Xeon Platinum 8160 (Skylake, 2x24
+/// cores), 100 Gbit/s Intel Omni-Path.  Singularity 2.4.2.
+ClusterSpec marenostrum4();
+
+/// CTE-POWER (BSC): 52 nodes, 2x IBM POWER9 8335-GTG (2x20 cores),
+/// InfiniBand Mellanox EDR.  Singularity 2.5.1.
+ClusterSpec cte_power();
+
+/// ThunderX mini-cluster (Mont-Blanc): 4 nodes, 2x Cavium CN8890 (ARMv8-a,
+/// 2x48 cores), 40GbE TCP.  Singularity 2.5.2.
+ClusterSpec thunderx();
+
+/// All four presets, in the order above.
+std::vector<ClusterSpec> all();
+
+}  // namespace hpcs::hw::presets

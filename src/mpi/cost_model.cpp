@@ -1,0 +1,49 @@
+#include "mpi/cost_model.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::mpi {
+
+void ProtocolOptions::validate() const {
+  if (rendezvous_threshold == 0)
+    throw std::invalid_argument(
+        "ProtocolOptions: rendezvous threshold must be > 0");
+}
+
+CostModel::CostModel(container::CommPaths paths, JobMapping mapping,
+                     ProtocolOptions options)
+    : paths_(std::move(paths)),
+      mapping_(std::move(mapping)),
+      options_(options) {
+  options_.validate();
+}
+
+double CostModel::protocol_time(const net::Fabric& fabric,
+                                std::uint64_t bytes, int flows) const {
+  double t = fabric.p2p_time(bytes, flows);
+  if (bytes > options_.rendezvous_threshold) {
+    // RTS/CTS handshake: one extra zero-payload round trip.
+    t += 2.0 * fabric.p2p_time(0, 1);
+  }
+  return t;
+}
+
+double CostModel::p2p_time(int src, int dst, std::uint64_t bytes,
+                           int flows_per_nic) const {
+  if (mapping_.same_node(src, dst))
+    return protocol_time(paths_.intranode, bytes, 1);
+  return protocol_time(paths_.internode, bytes, flows_per_nic);
+}
+
+double CostModel::internode_time(std::uint64_t bytes,
+                                 int flows_per_nic) const {
+  return protocol_time(paths_.internode, bytes, flows_per_nic);
+}
+
+double CostModel::intranode_time(std::uint64_t bytes,
+                                 int concurrent_flows) const {
+  return protocol_time(paths_.intranode, bytes, concurrent_flows);
+}
+
+}  // namespace hpcs::mpi

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file cost_model.hpp
+/// \brief Point-to-point MPI message cost over the resolved transports.
+///
+/// Combines the communication paths a (runtime, image, cluster) combination
+/// resolved to with the job's rank placement: a message between ranks on
+/// the same node takes the intra-node path, otherwise the inter-node path,
+/// with eager/rendezvous protocol switching and NIC contention.
+
+#include <cstdint>
+
+#include "container/transport.hpp"
+#include "mpi/mapping.hpp"
+
+namespace hpcs::mpi {
+
+struct ProtocolOptions {
+  /// Messages above this switch from eager to rendezvous (extra handshake
+  /// round-trip before the payload moves).
+  std::uint64_t rendezvous_threshold = 64 * 1024;
+
+  void validate() const;
+};
+
+class CostModel {
+ public:
+  CostModel(container::CommPaths paths, JobMapping mapping,
+            ProtocolOptions options = {});
+
+  /// Time for a single message src -> dst of \p bytes, with
+  /// \p flows_per_nic concurrent inter-node flows sharing the NIC.
+  double p2p_time(int src, int dst, std::uint64_t bytes,
+                  int flows_per_nic = 1) const;
+
+  /// Time for a message over the inter-node path regardless of placement
+  /// (used by collectives' tree stages between node leaders).
+  double internode_time(std::uint64_t bytes, int flows_per_nic = 1) const;
+
+  /// Time over the intra-node path; \p concurrent_flows matters only for
+  /// software-forwarded intra-node paths (Docker's bridge loopback).
+  double intranode_time(std::uint64_t bytes, int concurrent_flows = 1) const;
+
+  const JobMapping& mapping() const noexcept { return mapping_; }
+  const container::CommPaths& paths() const noexcept { return paths_; }
+  const ProtocolOptions& options() const noexcept { return options_; }
+
+ private:
+  double protocol_time(const net::Fabric& fabric, std::uint64_t bytes,
+                       int flows) const;
+
+  container::CommPaths paths_;
+  JobMapping mapping_;
+  ProtocolOptions options_;
+};
+
+}  // namespace hpcs::mpi

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file des_replay.hpp
+/// \brief Message-level replay of the solver's iteration pattern
+///        (LogGOPSim-lite), used to validate the runner's bulk-synchronous
+///        approximation.
+///
+/// The experiment runner estimates a step as
+///     max_r(compute_r) + halo + reductions
+/// (a BSP bound).  This replay tracks *per-rank* clocks and explicit
+/// message dependencies instead: each iteration every rank computes, posts
+/// halo exchanges with its neighbors (completion = max over arrivals),
+/// and joins a tree allreduce.  Tests check that the cheap BSP estimate
+/// brackets the detailed replay, which is what justifies using the BSP
+/// model for 12k-rank scenarios.
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/collectives.hpp"
+#include "mpi/cost_model.hpp"
+
+namespace hpcs::mpi {
+
+struct ReplayConfig {
+  int iterations = 1;
+  /// Halo payload per neighbor [bytes].
+  std::uint64_t halo_bytes = 0;
+  /// Neighbors per rank (ring offsets ±1..±(k/2) — emulates the RCB
+  /// neighborhood with a regular, reproducible pattern).
+  int neighbors = 6;
+  /// Reductions per iteration (CG dot products).
+  int reductions = 3;
+  std::uint64_t reduction_bytes = 8;
+
+  void validate() const;
+};
+
+struct ReplayResult {
+  double makespan = 0.0;          ///< time until the last rank finishes
+  double avg_rank_busy = 0.0;     ///< mean per-rank compute time summed
+  double max_wait = 0.0;          ///< largest single wait-for-message gap
+};
+
+class DesReplay {
+ public:
+  /// \param cost  resolved communication costs (owns mapping & paths refs;
+  ///              must outlive the replay)
+  DesReplay(const CostModel& cost, ReplayConfig config);
+
+  /// Replays \p iterations with per-rank compute times \p compute (size =
+  /// ranks; seconds per iteration per rank).
+  ReplayResult run(const std::vector<double>& compute) const;
+
+  /// The runner's BSP estimate of the same pattern (for comparison).
+  double bsp_estimate(const std::vector<double>& compute) const;
+
+ private:
+  const CostModel& cost_;
+  ReplayConfig config_;
+};
+
+}  // namespace hpcs::mpi

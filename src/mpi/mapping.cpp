@@ -1,0 +1,33 @@
+#include "mpi/mapping.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::mpi {
+
+JobMapping::JobMapping(const hw::ClusterSpec& cluster, int nodes, int ranks,
+                       int threads)
+    : nodes_(nodes), ranks_(ranks), threads_(threads) {
+  if (nodes < 1 || nodes > cluster.node_count)
+    throw std::invalid_argument("JobMapping: node count outside cluster");
+  if (ranks < 1 || threads < 1)
+    throw std::invalid_argument("JobMapping: ranks/threads must be >= 1");
+  if (ranks % nodes != 0)
+    throw std::invalid_argument(
+        "JobMapping: ranks must divide evenly across nodes");
+  const int per_node = ranks / nodes;
+  if (per_node * threads > cluster.node.cpu.cores())
+    throw std::invalid_argument(
+        "JobMapping: ranks_per_node*threads exceeds node cores");
+}
+
+int JobMapping::node_of(int rank) const {
+  if (rank < 0 || rank >= ranks_)
+    throw std::out_of_range("JobMapping::node_of: bad rank");
+  return rank / ranks_per_node();
+}
+
+std::string JobMapping::label() const {
+  return std::to_string(ranks_) + "x" + std::to_string(threads_);
+}
+
+}  // namespace hpcs::mpi

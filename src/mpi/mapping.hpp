@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file mapping.hpp
+/// \brief Hybrid MPI×OpenMP job geometry and rank placement.
+///
+/// The x-axis of the paper's Fig. 1 is exactly this object: "8x14, 16x7,
+/// 28x4, 56x2, 112x1" are (ranks × threads-per-rank) decompositions of the
+/// same 112 cores of Lenox.  Ranks are placed blockwise: consecutive ranks
+/// fill a node before spilling to the next, matching SLURM's default.
+
+#include <string>
+
+#include "hw/cluster.hpp"
+
+namespace hpcs::mpi {
+
+class JobMapping {
+ public:
+  /// \param cluster   target machine
+  /// \param nodes     nodes allocated (1..cluster.node_count)
+  /// \param ranks     total MPI ranks
+  /// \param threads   OpenMP threads per rank
+  ///
+  /// Requires ranks*threads <= nodes*cores_per_node and ranks >= nodes
+  /// divisible placement (ranks % nodes == 0), as in the paper's runs.
+  JobMapping(const hw::ClusterSpec& cluster, int nodes, int ranks,
+             int threads);
+
+  int nodes() const noexcept { return nodes_; }
+  int ranks() const noexcept { return ranks_; }
+  int threads_per_rank() const noexcept { return threads_; }
+  int ranks_per_node() const noexcept { return ranks_ / nodes_; }
+  int cores_used() const noexcept { return ranks_ * threads_; }
+
+  int node_of(int rank) const;
+  bool same_node(int a, int b) const { return node_of(a) == node_of(b); }
+
+  /// "RxT" label as the paper prints it, e.g. "28x4".
+  std::string label() const;
+
+ private:
+  int nodes_;
+  int ranks_;
+  int threads_;
+};
+
+}  // namespace hpcs::mpi

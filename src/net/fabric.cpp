@@ -1,0 +1,65 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::net {
+
+std::string_view to_string(Transport t) noexcept {
+  switch (t) {
+    case Transport::SharedMemory:
+      return "shm";
+    case Transport::Tcp:
+      return "tcp";
+    case Transport::Rdma:
+      return "rdma";
+  }
+  return "?";
+}
+
+Fabric::Fabric(std::string name, Transport transport, LogGpParams params,
+               double injection_bw, double per_flow_latency)
+    : name_(std::move(name)),
+      transport_(transport),
+      params_(params),
+      injection_bw_(injection_bw),
+      per_flow_latency_(per_flow_latency) {
+  if (params_.L < 0 || params_.o < 0 || params_.g < 0 || params_.G <= 0)
+    throw std::invalid_argument("Fabric: invalid LogGP parameters");
+  if (injection_bw_ <= 0)
+    throw std::invalid_argument("Fabric: injection bandwidth must be > 0");
+  if (per_flow_latency_ < 0)
+    throw std::invalid_argument("Fabric: negative per-flow latency");
+}
+
+double Fabric::p2p_time(std::uint64_t bytes, int flows_per_nic) const {
+  if (flows_per_nic < 1)
+    throw std::invalid_argument("Fabric::p2p_time: flows_per_nic < 1");
+  // A flow is slowed only when the sum of uncontended flow rates would
+  // exceed the NIC injection rate.
+  const double flow_bw = params_.effective_bandwidth();
+  const double demand = flow_bw * static_cast<double>(flows_per_nic);
+  const double share = std::max(1.0, demand / injection_bw_);
+  // Software-forwarded paths additionally queue per-packet work: latency
+  // grows with the number of concurrent flows.
+  const double queueing =
+      per_flow_latency_ * static_cast<double>(flows_per_nic - 1);
+  return params_.shared(share).message_time(bytes) + queueing;
+}
+
+Fabric Fabric::with_overlay(std::string name, double extra_latency,
+                            double extra_overhead, double bw_efficiency,
+                            double per_flow_latency) const {
+  if (bw_efficiency <= 0.0 || bw_efficiency > 1.0)
+    throw std::invalid_argument("Fabric::with_overlay: efficiency in (0,1]");
+  LogGpParams p = params_;
+  p.L += extra_latency;
+  p.o += extra_overhead;
+  p.G /= bw_efficiency;
+  return Fabric(std::move(name), transport_, p,
+                injection_bw_ * bw_efficiency,
+                per_flow_latency_ + per_flow_latency);
+}
+
+}  // namespace hpcs::net

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file fabric.hpp
+/// \brief Interconnect fabric model: transport kind + LogGP parameters +
+///        endpoint contention.
+///
+/// A Fabric answers "how long does a message of N bytes take between two
+/// endpoints, given how many flows share each NIC".  The distinction the
+/// paper's portability results rest on is encoded in Transport:
+///
+///  * Rdma       — kernel-bypass fabrics (Omni-Path, InfiniBand EDR).  Only
+///                 reachable when the MPI inside the container can load the
+///                 host's fabric libraries (system-specific images).
+///  * Tcp        — sockets over Ethernet.  Always available; what
+///                 self-contained images fall back to.
+///  * SharedMemory — intra-node transport, unaffected by the fabric choice
+///                 but affected by Docker's network namespace (bridge).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/loggp.hpp"
+
+namespace hpcs::net {
+
+enum class Transport { SharedMemory, Tcp, Rdma };
+
+std::string_view to_string(Transport t) noexcept;
+
+class Fabric {
+ public:
+  /// \param name     human-readable fabric name ("Intel Omni-Path 100G")
+  /// \param transport transport kind (drives container reachability rules)
+  /// \param params   LogGP parameters of an uncontended flow
+  /// \param injection_bw  per-node NIC injection bandwidth [bytes/s]; caps
+  ///                 aggregate throughput when many ranks on a node
+  ///                 communicate at once
+  /// \param per_flow_latency extra one-way latency per *additional*
+  ///                 concurrent flow [s]; nonzero for software-forwarded
+  ///                 paths (bridges/NAT) whose per-packet CPU work queues
+  ///                 up under concurrency, ~0 for hardware fabrics
+  Fabric(std::string name, Transport transport, LogGpParams params,
+         double injection_bw, double per_flow_latency = 0.0);
+
+  const std::string& name() const noexcept { return name_; }
+  Transport transport() const noexcept { return transport_; }
+  const LogGpParams& params() const noexcept { return params_; }
+  double injection_bandwidth() const noexcept { return injection_bw_; }
+  double per_flow_latency() const noexcept { return per_flow_latency_; }
+
+  /// Point-to-point message time when \p flows_per_nic concurrent flows
+  /// share each endpoint NIC (>= 1).  Latency is unaffected by sharing;
+  /// the per-byte term degrades once aggregate demand exceeds the NIC.
+  double p2p_time(std::uint64_t bytes, int flows_per_nic = 1) const;
+
+  /// One-way latency of the uncontended fabric [s].
+  double latency() const noexcept { return params_.L; }
+
+  /// Effective uncontended bandwidth [bytes/s].
+  double bandwidth() const noexcept { return params_.effective_bandwidth(); }
+
+  /// Returns a derived fabric with extra per-message latency, a
+  /// bandwidth-efficiency factor, and a per-flow latency penalty applied;
+  /// used to model container network virtualization (e.g. Docker's bridge
+  /// + NAT path).
+  Fabric with_overlay(std::string name, double extra_latency,
+                      double extra_overhead, double bw_efficiency,
+                      double per_flow_latency = 0.0) const;
+
+ private:
+  std::string name_;
+  Transport transport_;
+  LogGpParams params_;
+  double injection_bw_;
+  double per_flow_latency_ = 0.0;
+};
+
+}  // namespace hpcs::net

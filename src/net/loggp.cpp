@@ -1,0 +1,33 @@
+#include "net/loggp.hpp"
+
+#include <algorithm>
+
+namespace hpcs::net {
+
+double LogGpParams::message_time(std::uint64_t bytes) const noexcept {
+  const double payload =
+      bytes > 0 ? static_cast<double>(bytes - 1) * G : 0.0;
+  return L + 2.0 * o + payload;
+}
+
+double LogGpParams::burst_time(std::uint64_t bytes,
+                               std::uint64_t count) const noexcept {
+  if (count == 0) return 0.0;
+  const double inject_gap =
+      std::max(g, std::max(o, bytes > 0
+                                  ? static_cast<double>(bytes - 1) * G
+                                  : 0.0));
+  return static_cast<double>(count - 1) * inject_gap + message_time(bytes);
+}
+
+double LogGpParams::effective_bandwidth() const noexcept {
+  return G > 0.0 ? 1.0 / G : 0.0;
+}
+
+LogGpParams LogGpParams::shared(double share) const noexcept {
+  LogGpParams p = *this;
+  if (share > 1.0) p.G *= share;
+  return p;
+}
+
+}  // namespace hpcs::net

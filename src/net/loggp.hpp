@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file loggp.hpp
+/// \brief LogGP point-to-point message cost model.
+///
+/// LogGP (Alexandrov et al., 1995) extends LogP with a per-byte gap G for
+/// long messages:
+///
+///     t(bytes) = L + 2*o + (bytes - 1) * G
+///
+/// where L is the end-to-end latency, o the per-message CPU overhead paid on
+/// each side, and G the inverse effective bandwidth.  This captures exactly
+/// the two regimes the paper's results hinge on: small latency-bound solver
+/// messages (allreduce) and larger bandwidth-bound halo exchanges.
+
+#include <cstdint>
+
+namespace hpcs::net {
+
+struct LogGpParams {
+  double L = 0.0;  ///< one-way latency [s]
+  double o = 0.0;  ///< per-message CPU overhead on each endpoint [s]
+  double g = 0.0;  ///< minimum gap between consecutive messages [s]
+  double G = 0.0;  ///< per-byte gap (1 / effective bandwidth) [s/byte]
+
+  /// End-to-end time of a single message of \p bytes.
+  double message_time(std::uint64_t bytes) const noexcept;
+
+  /// Time to push \p count back-to-back messages of \p bytes from one sender
+  /// (pipelined: sender pays max(g, o) between injections, the last message
+  /// completes after its full flight time).
+  double burst_time(std::uint64_t bytes, std::uint64_t count) const noexcept;
+
+  /// Effective achievable bandwidth (bytes/s) for asymptotically large
+  /// messages.  Infinite G would be invalid; G must be > 0 for this call.
+  double effective_bandwidth() const noexcept;
+
+  /// Returns a copy with per-byte gap scaled so that effective bandwidth is
+  /// divided by \p share (>= 1), modeling NIC/link sharing between
+  /// concurrent flows.
+  LogGpParams shared(double share) const noexcept;
+};
+
+}  // namespace hpcs::net

@@ -1,0 +1,65 @@
+#include "net/presets.hpp"
+
+#include "sim/units.hpp"
+
+namespace hpcs::net::presets {
+
+using namespace hpcs::units;
+
+namespace {
+/// Builds LogGP params from headline numbers: one-way latency, per-message
+/// software overhead, and achievable bandwidth in bytes/s.
+LogGpParams loggp(double latency, double overhead, double bandwidth) {
+  LogGpParams p;
+  p.L = latency;
+  p.o = overhead;
+  p.g = overhead;  // injection gap dominated by software overhead
+  p.G = 1.0 / bandwidth;
+  return p;
+}
+}  // namespace
+
+Fabric ethernet_1g_tcp() {
+  // ~112 MB/s achievable of 125 MB/s raw; tens of microseconds through the
+  // kernel stack and a commodity switch.
+  return Fabric("1GbE (TCP)", Transport::Tcp,
+                loggp(45.0 * us, 8.0 * us, 112.0 * MB),
+                gbit_per_s(1.0));
+}
+
+Fabric ethernet_10g_tcp() {
+  return Fabric("10GbE (TCP)", Transport::Tcp,
+                loggp(28.0 * us, 5.0 * us, 1.1 * GB),
+                gbit_per_s(10.0));
+}
+
+Fabric ethernet_40g_tcp() {
+  return Fabric("40GbE (TCP)", Transport::Tcp,
+                loggp(22.0 * us, 4.0 * us, 4.2 * GB),
+                gbit_per_s(40.0));
+}
+
+Fabric omnipath_100g() {
+  // PSM2: ~1.1 us half-RTT, ~12.3 GB/s achievable.
+  return Fabric("Intel Omni-Path 100G", Transport::Rdma,
+                loggp(1.1 * us, 0.25 * us, 12.3 * GB),
+                gbit_per_s(100.0));
+}
+
+Fabric infiniband_edr() {
+  // Mellanox EDR: ~1.0 us, ~12.0 GB/s achievable.
+  return Fabric("Mellanox InfiniBand EDR", Transport::Rdma,
+                loggp(1.0 * us, 0.25 * us, 12.0 * GB),
+                gbit_per_s(100.0));
+}
+
+Fabric shared_memory() {
+  // Intra-node copy through shared memory: sub-microsecond latency,
+  // memory-bandwidth-bound for large messages.  Injection bandwidth is the
+  // copy engine (one core's streaming rate), not a NIC.
+  return Fabric("shared memory", Transport::SharedMemory,
+                loggp(0.4 * us, 0.1 * us, 6.0 * GB),
+                40.0 * GB);
+}
+
+}  // namespace hpcs::net::presets

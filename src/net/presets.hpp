@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file presets.hpp
+/// \brief Fabric presets for the interconnects of the paper's four clusters.
+///
+/// Parameters are drawn from vendor specs and published microbenchmarks of
+/// the era (2018): latency is the small-message half-round-trip, bandwidth
+/// the achievable (not signaling) rate, and o the per-message software
+/// overhead — large for kernel TCP stacks, tiny for kernel-bypass RDMA.
+
+#include "net/fabric.hpp"
+
+namespace hpcs::net::presets {
+
+/// 1 Gbit Ethernet over TCP — Lenox compute interconnect.
+Fabric ethernet_1g_tcp();
+
+/// 10 Gbit Ethernet over TCP — management networks of MareNostrum4 and
+/// CTE-POWER; the path self-contained containers fall back to.
+Fabric ethernet_10g_tcp();
+
+/// 40 Gbit Ethernet over TCP — ThunderX (Mont-Blanc) interconnect.
+Fabric ethernet_40g_tcp();
+
+/// Intel Omni-Path 100 Gbit — MareNostrum4.
+Fabric omnipath_100g();
+
+/// Mellanox InfiniBand EDR 100 Gbit — CTE-POWER.
+Fabric infiniband_edr();
+
+/// Intra-node shared-memory transport (MPI shm BTL).
+Fabric shared_memory();
+
+}  // namespace hpcs::net::presets

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file csv.hpp
+/// \brief Minimal CSV emitter for experiment results.
+///
+/// Every bench writes its series both as a human-readable table (table.hpp)
+/// and as CSV so the figures can be re-plotted outside this repo.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpcs::sim {
+
+class CsvWriter {
+ public:
+  /// \param out    destination stream (kept by reference; must outlive writer)
+  /// \param header column names, written immediately
+  CsvWriter(std::ostream& out, std::vector<std::string> header);
+
+  /// Writes one row; the cell count must match the header width.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: formats doubles with %.6g and integers verbatim.
+  static std::string cell(double v);
+  static std::string cell(std::size_t v);
+  static std::string cell(long long v);
+
+  /// Escapes a string cell per RFC 4180 (quotes fields containing
+  /// comma/quote/newline).
+  static std::string escape(const std::string& s);
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace hpcs::sim

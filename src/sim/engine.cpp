@@ -1,0 +1,45 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::sim {
+
+EventId Engine::schedule(SimTime delay, std::function<void()> fn) {
+  if (delay < 0.0) throw std::invalid_argument("Engine::schedule: delay < 0");
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+EventId Engine::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Engine::schedule_at: t < now()");
+  return queue_.push(t, std::move(fn));
+}
+
+SimTime Engine::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    SimTime t;
+    auto fn = queue_.pop(t);
+    now_ = t;
+    ++processed_;
+    fn();
+  }
+  return now_;
+}
+
+SimTime Engine::run_until(SimTime t_end) {
+  if (t_end < now_)
+    throw std::invalid_argument("Engine::run_until: t_end < now()");
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= t_end) {
+    SimTime t;
+    auto fn = queue_.pop(t);
+    now_ = t;
+    ++processed_;
+    fn();
+  }
+  if (!stopped_ && now_ < t_end) now_ = t_end;
+  return now_;
+}
+
+}  // namespace hpcs::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file engine.hpp
+/// \brief Sequential discrete-event simulation engine.
+///
+/// The engine owns the clock and the event queue.  Model code schedules
+/// callbacks at relative or absolute times; run() executes them in
+/// deterministic time order.  It is intentionally single-threaded: the
+/// *modeled* systems are parallel, the simulator is not, which keeps every
+/// run exactly reproducible.
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+
+namespace hpcs::sim {
+
+class Engine {
+ public:
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules \p fn to run \p delay seconds from now (delay >= 0).
+  EventId schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules \p fn at absolute simulation time \p t (t >= now()).
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event; see EventQueue::cancel.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the queue drains or stop() is called.  Returns the final
+  /// simulation time.
+  SimTime run();
+
+  /// Runs until the queue drains, stop() is called, or the clock would pass
+  /// \p t_end; the clock is left at min(t_end, drain time).
+  SimTime run_until(SimTime t_end);
+
+  /// Requests run()/run_until() to return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  std::uint64_t events_processed() const noexcept { return processed_; }
+  std::size_t events_pending() const { return queue_.pending(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace hpcs::sim

@@ -1,0 +1,54 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::sim {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  const EventId id = actions_.size();
+  actions_.push_back(std::move(fn));
+  cancelled_.push_back(false);
+  heap_.push(Entry{t, id});
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id >= actions_.size()) return false;
+  if (cancelled_[id] || !actions_[id]) return false;
+  cancelled_[id] = true;
+  actions_[id] = nullptr;  // release captured state eagerly
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty() && cancelled_[heap_.top().id]) heap_.pop();
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled_head();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled_head();
+  if (heap_.empty()) throw std::logic_error("EventQueue::next_time on empty");
+  return heap_.top().time;
+}
+
+std::function<void()> EventQueue::pop(SimTime& t_out) {
+  drop_cancelled_head();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty");
+  const Entry e = heap_.top();
+  heap_.pop();
+  t_out = e.time;
+  auto fn = std::move(actions_[e.id]);
+  actions_[e.id] = nullptr;
+  cancelled_[e.id] = true;  // marks as consumed so a late cancel() returns false
+  --live_;
+  return fn;
+}
+
+}  // namespace hpcs::sim

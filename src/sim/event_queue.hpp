@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// \brief Time-ordered event queue for the discrete-event engine.
+///
+/// Ordering is (time, sequence): events at equal times fire in scheduling
+/// order, which makes every simulation bit-reproducible regardless of
+/// floating-point ties.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace hpcs::sim {
+
+/// Simulation time in seconds.
+using SimTime = double;
+
+/// Opaque handle used to cancel a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules \p fn at absolute time \p t.  Returns a handle usable with
+  /// cancel().  \p t may equal the current head time but must not precede
+  /// the time of the last popped event (checked by the Engine, not here).
+  EventId push(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event.  Returns false if the event already fired,
+  /// was cancelled before, or the id is unknown.  Cancellation is lazy:
+  /// the entry stays in the heap and is skipped on pop.
+  bool cancel(EventId id);
+
+  bool empty() const;
+
+  /// Time of the earliest pending (non-cancelled) event.
+  /// Precondition: !empty().
+  SimTime next_time() const;
+
+  /// Pops and returns the earliest event's action.
+  /// Precondition: !empty().  Sets \p t_out to the event's time.
+  std::function<void()> pop(SimTime& t_out);
+
+  std::size_t pending() const { return live_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // min-heap on (time, id)
+    bool operator>(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<std::function<void()>> actions_;  // indexed by EventId
+  std::vector<bool> cancelled_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace hpcs::sim

@@ -1,0 +1,42 @@
+#include "sim/resource.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::sim {
+
+Resource::Resource(Engine& engine, std::size_t capacity)
+    : engine_(engine), capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("Resource: capacity must be >= 1");
+}
+
+void Resource::request(SimTime service_time, std::function<void()> on_done) {
+  if (service_time < 0.0)
+    throw std::invalid_argument("Resource: negative service time");
+  Pending p{service_time, std::move(on_done)};
+  if (in_service_ < capacity_) {
+    start(std::move(p));
+  } else {
+    waiting_.push_back(std::move(p));
+  }
+}
+
+void Resource::start(Pending p) {
+  ++in_service_;
+  busy_time_ += p.service_time;
+  // Move the callback into the event; `this` outlives the engine run by
+  // contract (resources are owned by the model driving the engine).
+  engine_.schedule(p.service_time,
+                   [this, cb = std::move(p.on_done)]() mutable {
+                     --in_service_;
+                     if (cb) cb();
+                     if (!waiting_.empty() && in_service_ < capacity_) {
+                       Pending next = std::move(waiting_.front());
+                       waiting_.pop_front();
+                       start(std::move(next));
+                     }
+                   });
+}
+
+}  // namespace hpcs::sim

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file resource.hpp
+/// \brief Capacity-limited FIFO resource for discrete-event models.
+///
+/// Models a server pool (e.g. a container registry that can serve K
+/// concurrent layer pulls, or a Shifter image gateway with one conversion
+/// slot).  Requests specify a service time; when a slot frees up the next
+/// queued request starts and its completion callback fires after the service
+/// time elapses.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "sim/engine.hpp"
+
+namespace hpcs::sim {
+
+class Resource {
+ public:
+  /// \param engine   engine that owns the clock (must outlive the resource)
+  /// \param capacity number of concurrent service slots (>= 1)
+  Resource(Engine& engine, std::size_t capacity);
+
+  /// Enqueues a request needing \p service_time seconds of a slot.
+  /// \p on_done fires at the simulation time the request completes.
+  void request(SimTime service_time, std::function<void()> on_done);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t in_service() const noexcept { return in_service_; }
+  std::size_t queued() const noexcept { return waiting_.size(); }
+
+  /// Total busy time integrated over all slots so far (for utilization).
+  double busy_time() const noexcept { return busy_time_; }
+
+ private:
+  struct Pending {
+    SimTime service_time;
+    std::function<void()> on_done;
+  };
+
+  void start(Pending p);
+  void finished(SimTime service_time, std::function<void()> on_done);
+
+  Engine& engine_;
+  std::size_t capacity_;
+  std::size_t in_service_ = 0;
+  std::deque<Pending> waiting_;
+  double busy_time_ = 0.0;
+};
+
+}  // namespace hpcs::sim

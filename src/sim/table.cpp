@@ -1,0 +1,71 @@
+#include "sim/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hpcs::sim {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("TextTable: empty header");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("TextTable: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> w(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) w[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      w[c] = std::max(w[c], r[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << "  ";
+      // Right-align; header and string cells read fine right-aligned too.
+      out << std::string(w[c] - cells[c].size(), ' ') << cells[c];
+    }
+    out << '\n';
+  };
+
+  emit(header_);
+  std::size_t total = 0;
+  for (auto x : w) total += x;
+  out << std::string(total + 2 * (w.size() - 1), '-') << '\n';
+  for (const auto& r : rows_) emit(r);
+}
+
+void print_ascii_series(std::ostream& out, const std::string& title,
+                        const std::vector<std::string>& labels,
+                        const std::vector<double>& values, int width) {
+  if (labels.size() != values.size())
+    throw std::invalid_argument("print_ascii_series: size mismatch");
+  out << title << '\n';
+  if (values.empty()) return;
+  const double vmax = *std::max_element(values.begin(), values.end());
+  std::size_t lw = 0;
+  for (const auto& l : labels) lw = std::max(lw, l.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const int bars =
+        vmax > 0 ? static_cast<int>(std::lround(values[i] / vmax *
+                                                static_cast<double>(width)))
+                 : 0;
+    out << "  " << std::string(lw - labels[i].size(), ' ') << labels[i]
+        << " |" << std::string(static_cast<std::size_t>(bars), '#') << ' '
+        << TextTable::num(values[i]) << '\n';
+  }
+}
+
+}  // namespace hpcs::sim

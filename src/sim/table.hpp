@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file table.hpp
+/// \brief Aligned plain-text tables for bench/report output.
+///
+/// Benches print the same rows/series the paper's figures show; this class
+/// renders them with right-aligned numeric columns so the console output can
+/// be read like the paper's tables.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hpcs::sim {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: fixed-decimal number formatting.
+  static std::string num(double v, int decimals = 2);
+
+  /// Renders with a header rule and 2-space column gaps.
+  void print(std::ostream& out) const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a single-quantity series as an ASCII chart (one bar per row),
+/// giving bench output a figure-like shape check at a glance.
+void print_ascii_series(std::ostream& out, const std::string& title,
+                        const std::vector<std::string>& labels,
+                        const std::vector<double>& values, int width = 50);
+
+}  // namespace hpcs::sim

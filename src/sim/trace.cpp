@@ -1,0 +1,58 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "sim/csv.hpp"
+
+namespace hpcs::sim {
+
+std::string_view to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::Compute:
+      return "compute";
+    case Phase::HaloExchange:
+      return "halo";
+    case Phase::Reduction:
+      return "reduction";
+    case Phase::Interface:
+      return "interface";
+    case Phase::Deployment:
+      return "deployment";
+  }
+  return "?";
+}
+
+void Timeline::record(int entity, Phase phase, double start,
+                      double duration) {
+  if (start < 0 || duration < 0)
+    throw std::invalid_argument("Timeline: negative start/duration");
+  events_.push_back(TraceEvent{entity, phase, start, duration});
+}
+
+std::map<Phase, double> Timeline::totals() const {
+  std::map<Phase, double> out;
+  for (const auto& e : events_) out[e.phase] += e.duration;
+  return out;
+}
+
+double Timeline::span() const {
+  double end = 0.0;
+  for (const auto& e : events_)
+    end = std::max(end, e.start + e.duration);
+  return end;
+}
+
+bool Timeline::save_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  CsvWriter csv(f, {"entity", "phase", "start", "duration"});
+  for (const auto& e : events_)
+    csv.row({CsvWriter::cell(static_cast<long long>(e.entity)),
+             std::string(to_string(e.phase)), CsvWriter::cell(e.start),
+             CsvWriter::cell(e.duration)});
+  return f.good();
+}
+
+}  // namespace hpcs::sim

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Phase timeline recording (Extrae/Paraver-lite).
+///
+/// BSC studies of Alya are trace-driven (Extrae + Paraver); this is the
+/// simulator's equivalent: a timeline of (entity, phase, start, duration)
+/// records that the experiment runner can emit per simulated time step,
+/// exportable to CSV for external timeline viewers.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcs::sim {
+
+enum class Phase : std::uint8_t {
+  Compute,
+  HaloExchange,
+  Reduction,
+  Interface,
+  Deployment,
+};
+
+std::string_view to_string(Phase p) noexcept;
+
+struct TraceEvent {
+  int entity = 0;  ///< rank / node / 0 for the aggregated job
+  Phase phase = Phase::Compute;
+  double start = 0.0;
+  double duration = 0.0;
+};
+
+class Timeline {
+ public:
+  /// Appends an event; \p duration >= 0, \p start >= 0.
+  void record(int entity, Phase phase, double start, double duration);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Sum of durations per phase.
+  std::map<Phase, double> totals() const;
+
+  /// Latest event end time (0 for an empty timeline).
+  double span() const;
+
+  /// Writes "entity,phase,start,duration" CSV; false on I/O failure.
+  bool save_csv(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hpcs::sim

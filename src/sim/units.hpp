@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file units.hpp
+/// \brief Unit helpers used throughout the simulator.
+///
+/// All simulation times are expressed in seconds (double), all data sizes in
+/// bytes (std::uint64_t unless a rate), and all rates in bytes/second or
+/// FLOP/second.  These constexpr helpers keep call sites self-describing:
+/// `pull_time = bytes / (10.0 * units::GiB)` reads as intended.
+
+#include <cstdint>
+
+namespace hpcs::units {
+
+// --- data sizes (binary) ---------------------------------------------------
+inline constexpr double KiB = 1024.0;
+inline constexpr double MiB = 1024.0 * KiB;
+inline constexpr double GiB = 1024.0 * MiB;
+
+// --- data sizes (decimal, used by network link rates) ----------------------
+inline constexpr double KB = 1e3;
+inline constexpr double MB = 1e6;
+inline constexpr double GB = 1e9;
+
+// --- times (seconds) --------------------------------------------------------
+inline constexpr double ns = 1e-9;
+inline constexpr double us = 1e-6;
+inline constexpr double ms = 1e-3;
+inline constexpr double sec = 1.0;
+inline constexpr double minute = 60.0;
+
+// --- rates -------------------------------------------------------------------
+/// Converts a link rate given in Gbit/s to bytes/second.
+constexpr double gbit_per_s(double gbit) { return gbit * 1e9 / 8.0; }
+
+/// Converts GFLOP/s to FLOP/s.
+constexpr double gflops(double g) { return g * 1e9; }
+
+/// Converts GB/s (decimal) to bytes/s.
+constexpr double gb_per_s(double g) { return g * 1e9; }
+
+}  // namespace hpcs::units

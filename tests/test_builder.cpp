@@ -1,0 +1,104 @@
+// ImageBuilder: native builds per format, docker->flat conversion, build
+// time accounting.
+
+#include <gtest/gtest.h>
+
+#include "container/builder.hpp"
+#include "hw/presets.hpp"
+
+namespace hc = hpcs::container;
+
+namespace {
+hc::Recipe recipe(hc::BuildMode mode = hc::BuildMode::SelfContained) {
+  hc::Recipe r("alya", "t", hpcs::hw::CpuArch::X86_64, mode);
+  r.from("centos", 200 << 20).run("install", 100 << 20);
+  if (mode == hc::BuildMode::SelfContained)
+    r.bundle_mpi("ompi", 150 << 20);
+  else
+    r.bind("/opt/host-mpi");
+  r.copy("/alya", 50 << 20);
+  return r;
+}
+hc::ImageBuilder builder() {
+  return hc::ImageBuilder(hpcs::hw::presets::lenox().node);
+}
+}  // namespace
+
+TEST(Builder, LayeredBuildKeepsLayers) {
+  const auto res = builder().build(recipe(), hc::ImageFormat::DockerLayered);
+  EXPECT_EQ(res.image.format(), hc::ImageFormat::DockerLayered);
+  EXPECT_EQ(res.image.layers().size(), 4u);
+  EXPECT_GT(res.build_time, 0.0);
+  EXPECT_EQ(res.image.uncompressed_bytes(), (500ull << 20));
+}
+
+TEST(Builder, FlatBuildMergesAndDedups) {
+  const auto res = builder().build(recipe(), hc::ImageFormat::SingularitySif);
+  EXPECT_EQ(res.image.layers().size(), 1u);
+  // Dedup makes the flat rootfs slightly smaller than the layer sum.
+  EXPECT_LT(res.image.uncompressed_bytes(), 500ull << 20);
+  EXPECT_GT(res.image.uncompressed_bytes(), 400ull << 20);
+}
+
+TEST(Builder, SifSmallerOnTheWireThanDocker) {
+  // The paper's image-size comparison: single-file squashfs beats gzip'd
+  // layers.
+  const auto d = builder().build(recipe(), hc::ImageFormat::DockerLayered);
+  const auto s = builder().build(recipe(), hc::ImageFormat::SingularitySif);
+  EXPECT_LT(s.image.transfer_bytes(), d.image.transfer_bytes());
+}
+
+TEST(Builder, ModeAndArchPropagate) {
+  const auto res = builder().build(recipe(hc::BuildMode::SystemSpecific),
+                                   hc::ImageFormat::SingularitySif);
+  EXPECT_EQ(res.image.mode(), hc::BuildMode::SystemSpecific);
+  EXPECT_EQ(res.image.arch(), hpcs::hw::CpuArch::X86_64);
+  EXPECT_FALSE(res.image.bundles_mpi());
+}
+
+TEST(Builder, SystemSpecificImageSmaller) {
+  // Not bundling MPI saves the MPI stack's bytes.
+  const auto self = builder().build(recipe(hc::BuildMode::SelfContained),
+                                    hc::ImageFormat::SingularitySif);
+  const auto sys = builder().build(recipe(hc::BuildMode::SystemSpecific),
+                                   hc::ImageFormat::SingularitySif);
+  EXPECT_LT(sys.image.uncompressed_bytes(),
+            self.image.uncompressed_bytes());
+}
+
+TEST(Builder, ConvertDockerToSif) {
+  const auto d = builder().build(recipe(), hc::ImageFormat::DockerLayered);
+  const auto s = builder().convert(d.image, hc::ImageFormat::SingularitySif);
+  EXPECT_EQ(s.image.format(), hc::ImageFormat::SingularitySif);
+  EXPECT_EQ(s.image.layers().size(), 1u);
+  EXPECT_GT(s.build_time, 0.0);
+  EXPECT_EQ(s.image.name(), d.image.name());
+  EXPECT_EQ(s.image.mode(), d.image.mode());
+}
+
+TEST(Builder, ConvertIdentityIsFree) {
+  const auto d = builder().build(recipe(), hc::ImageFormat::DockerLayered);
+  const auto same = builder().convert(d.image, hc::ImageFormat::DockerLayered);
+  EXPECT_DOUBLE_EQ(same.build_time, 0.0);
+}
+
+TEST(Builder, FlatToLayeredUnsupported) {
+  const auto s = builder().build(recipe(), hc::ImageFormat::SingularitySif);
+  EXPECT_THROW(builder().convert(s.image, hc::ImageFormat::DockerLayered),
+               std::invalid_argument);
+}
+
+TEST(Builder, InvalidRecipeRejected) {
+  hc::Recipe r("a", "t", hpcs::hw::CpuArch::X86_64,
+               hc::BuildMode::SelfContained);
+  r.from("b", 1 << 20);  // no bundled MPI
+  EXPECT_THROW(builder().build(r, hc::ImageFormat::DockerLayered),
+               std::invalid_argument);
+}
+
+TEST(Builder, DeterministicLayerDigests) {
+  const auto a = builder().build(recipe(), hc::ImageFormat::DockerLayered);
+  const auto b = builder().build(recipe(), hc::ImageFormat::DockerLayered);
+  for (std::size_t i = 0; i < a.image.layers().size(); ++i)
+    EXPECT_EQ(a.image.layers()[i].id, b.image.layers()[i].id);
+}

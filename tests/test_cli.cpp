@@ -1,0 +1,93 @@
+// CLI parsing and scenario materialization.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cli.hpp"
+
+namespace hs = hpcs::study;
+
+namespace {
+hs::CliOptions parse(std::vector<const char*> args) {
+  return hs::parse_cli(std::span<const char* const>(args.data(),
+                                                    args.size()));
+}
+}  // namespace
+
+TEST(Cli, Defaults) {
+  const auto o = parse({});
+  EXPECT_EQ(o.cluster, "marenostrum4");
+  EXPECT_EQ(o.runtime, "bare-metal");
+  EXPECT_EQ(o.nodes, 4);
+  EXPECT_FALSE(o.help);
+  EXPECT_FALSE(o.timeline);
+}
+
+TEST(Cli, ParsesAllFlags) {
+  const auto o = parse({"--cluster", "lenox", "--runtime", "docker",
+                        "--mode", "self-contained", "--app", "artery-fsi",
+                        "--nodes", "2", "--ranks", "56", "--threads", "1",
+                        "--steps", "7", "--seed", "99", "--timeline"});
+  EXPECT_EQ(o.cluster, "lenox");
+  EXPECT_EQ(o.runtime, "docker");
+  EXPECT_EQ(o.mode, "self-contained");
+  EXPECT_EQ(o.app, "artery-fsi");
+  EXPECT_EQ(o.nodes, 2);
+  EXPECT_EQ(o.ranks, 56);
+  EXPECT_EQ(o.steps, 7);
+  EXPECT_EQ(o.seed, 99u);
+  EXPECT_TRUE(o.timeline);
+}
+
+TEST(Cli, HelpFlag) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"-h"}).help);
+  EXPECT_FALSE(hs::cli_usage().empty());
+}
+
+TEST(Cli, Errors) {
+  EXPECT_THROW(parse({"--bogus"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--nodes"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--nodes", "four"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--seed", "-3"}), std::invalid_argument);
+}
+
+TEST(Cli, ClusterLookup) {
+  EXPECT_EQ(hs::cluster_by_name("lenox").name, "Lenox");
+  EXPECT_EQ(hs::cluster_by_name("mn4").name, "MareNostrum4");
+  EXPECT_EQ(hs::cluster_by_name("cte-power").name, "CTE-POWER");
+  EXPECT_EQ(hs::cluster_by_name("thunderx").name, "ThunderX");
+  EXPECT_THROW(hs::cluster_by_name("summit"), std::invalid_argument);
+}
+
+TEST(Cli, ScenarioDefaultsFillCores) {
+  auto o = parse({"--cluster", "lenox", "--nodes", "4"});
+  const auto s = hs::to_scenario(o);
+  EXPECT_EQ(s.ranks, 112);  // 4 nodes x 28 cores, threads=1
+  EXPECT_EQ(s.threads, 1);
+  EXPECT_FALSE(s.image.has_value());
+}
+
+TEST(Cli, ScenarioHybridFill) {
+  auto o = parse({"--cluster", "lenox", "--nodes", "4", "--threads", "14"});
+  const auto s = hs::to_scenario(o);
+  EXPECT_EQ(s.ranks, 8);  // 112 cores / 14 threads
+}
+
+TEST(Cli, ScenarioBuildsImageForContainers) {
+  auto o = parse({"--cluster", "lenox", "--runtime", "singularity",
+                  "--mode", "self-contained", "--nodes", "2"});
+  const auto s = hs::to_scenario(o);
+  ASSERT_TRUE(s.image.has_value());
+  EXPECT_EQ(s.image->mode(), hpcs::container::BuildMode::SelfContained);
+}
+
+TEST(Cli, ScenarioRejectsBadCombos) {
+  auto o = parse({"--app", "warp-drive"});
+  EXPECT_THROW(hs::to_scenario(o), std::invalid_argument);
+  o = parse({"--mode", "quantum"});
+  EXPECT_THROW(hs::to_scenario(o), std::invalid_argument);
+  o = parse({"--cluster", "lenox", "--nodes", "9"});
+  EXPECT_THROW(hs::to_scenario(o), std::invalid_argument);
+}

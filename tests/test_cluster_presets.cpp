@@ -1,0 +1,86 @@
+// The four paper clusters: sizes, ISAs, fabrics, installed runtimes
+// (paper Section I.A).
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "net/fabric.hpp"
+
+namespace hh = hpcs::hw;
+namespace hp = hpcs::hw::presets;
+
+TEST(Presets, LenoxMatchesPaper) {
+  const auto c = hp::lenox();
+  EXPECT_EQ(c.node_count, 4);
+  EXPECT_EQ(c.node.cpu.cores(), 28);  // 2 x 14
+  EXPECT_EQ(c.node.cpu.arch, hh::CpuArch::X86_64);
+  EXPECT_EQ(c.total_cores(), 112);
+  EXPECT_EQ(c.fabric.transport(), hpcs::net::Transport::Tcp);
+  EXPECT_TRUE(c.has_runtime("docker"));
+  EXPECT_TRUE(c.has_runtime("singularity"));
+  EXPECT_TRUE(c.has_runtime("shifter"));
+}
+
+TEST(Presets, MareNostrum4MatchesPaper) {
+  const auto c = hp::marenostrum4();
+  EXPECT_EQ(c.node_count, 3456);
+  EXPECT_EQ(c.node.cpu.cores(), 48);
+  EXPECT_EQ(c.fabric.transport(), hpcs::net::Transport::Rdma);
+  EXPECT_TRUE(c.has_runtime("singularity"));
+  EXPECT_FALSE(c.has_runtime("docker"));
+  // 256 nodes of the scalability test = 12,288 cores.
+  EXPECT_EQ(256 * c.node.cpu.cores(), 12288);
+}
+
+TEST(Presets, CtePowerMatchesPaper) {
+  const auto c = hp::cte_power();
+  EXPECT_EQ(c.node_count, 52);
+  EXPECT_EQ(c.node.cpu.cores(), 40);  // 2 x 20
+  EXPECT_EQ(c.node.cpu.arch, hh::CpuArch::Ppc64le);
+  EXPECT_EQ(c.fabric.name(), "Mellanox InfiniBand EDR");
+  EXPECT_TRUE(c.has_runtime("singularity"));
+  EXPECT_FALSE(c.has_runtime("shifter"));
+}
+
+TEST(Presets, ThunderXMatchesPaper) {
+  const auto c = hp::thunderx();
+  EXPECT_EQ(c.node_count, 4);
+  EXPECT_EQ(c.node.cpu.cores(), 96);  // 2 x 48
+  EXPECT_EQ(c.node.cpu.arch, hh::CpuArch::Aarch64);
+  EXPECT_EQ(c.fabric.transport(), hpcs::net::Transport::Tcp);
+}
+
+TEST(Presets, ThreeDistinctArchitectures) {
+  // The portability study spans exactly three ISAs.
+  std::set<hh::CpuArch> archs;
+  for (const auto& c : hp::all()) archs.insert(c.node.cpu.arch);
+  EXPECT_EQ(archs.size(), 3u);
+}
+
+TEST(Presets, AllValidate) {
+  for (const auto& c : hp::all()) EXPECT_NO_THROW(c.validate());
+}
+
+TEST(Presets, ManagementNetworkIsTcp) {
+  for (const auto& c : hp::all())
+    EXPECT_EQ(c.management.transport(), hpcs::net::Transport::Tcp)
+        << c.name;
+}
+
+TEST(Presets, SkylakeStrongerCorePeakThanThunderX) {
+  // Per-core peak FLOP ordering across the ISAs as spec'd.
+  EXPECT_GT(hp::marenostrum4().node.cpu.peak_flops_core(),
+            hp::thunderx().node.cpu.peak_flops_core());
+}
+
+TEST(ClusterSpec, Validation) {
+  auto c = hp::lenox();
+  c.node_count = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = hp::lenox();
+  c.name.clear();
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = hp::lenox();
+  c.registry_streams = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}

@@ -1,0 +1,71 @@
+// MPI point-to-point cost model over resolved transports.
+
+#include <gtest/gtest.h>
+
+#include "container/transport.hpp"
+#include "hw/presets.hpp"
+#include "mpi/cost_model.hpp"
+
+namespace hm = hpcs::mpi;
+namespace hc = hpcs::container;
+namespace hp = hpcs::hw::presets;
+
+namespace {
+hm::CostModel bare_metal_model(const hpcs::hw::ClusterSpec& cluster,
+                               int nodes, int ranks, int threads) {
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::BareMetal);
+  auto paths = hc::resolve_comm_paths(*rt, nullptr, cluster);
+  return hm::CostModel(paths, hm::JobMapping(cluster, nodes, ranks, threads));
+}
+}  // namespace
+
+TEST(CostModel, IntraNodeCheaperThanInter) {
+  const auto m = bare_metal_model(hp::marenostrum4(), 2, 4, 1);
+  // ranks 0,1 on node 0; rank 2 on node 1.
+  EXPECT_LT(m.p2p_time(0, 1, 1024), m.p2p_time(0, 2, 1024));
+}
+
+TEST(CostModel, RendezvousAddsHandshake) {
+  const auto m = bare_metal_model(hp::marenostrum4(), 2, 4, 1);
+  const auto thr = m.options().rendezvous_threshold;
+  const double below = m.internode_time(thr);
+  const double above = m.internode_time(thr + 1);
+  // The extra round trip outweighs one byte of payload.
+  EXPECT_GT(above - below, m.paths().internode.latency());
+}
+
+TEST(CostModel, ContentionSlowsInterNode) {
+  const auto m = bare_metal_model(hp::lenox(), 2, 4, 1);
+  EXPECT_GT(m.internode_time(1 << 20, 16), m.internode_time(1 << 20, 1));
+}
+
+TEST(CostModel, TimesArePositiveAndMonotone) {
+  const auto m = bare_metal_model(hp::cte_power(), 2, 8, 1);
+  double prev = 0.0;
+  for (std::uint64_t b : {0ull, 8ull, 1024ull, 65536ull, 1048576ull}) {
+    const double t = m.p2p_time(0, 7, b);
+    EXPECT_GT(t, 0.0);
+    EXPECT_GE(t, prev * 0.999);
+    prev = t;
+  }
+}
+
+TEST(CostModel, OptionsValidated) {
+  hm::ProtocolOptions o;
+  o.rendezvous_threshold = 0;
+  EXPECT_THROW(o.validate(), std::invalid_argument);
+}
+
+TEST(CostModel, DockerPathsSlowEverything) {
+  const auto lenox = hp::lenox();
+  const hc::Image img("alya", "t", hc::ImageFormat::DockerLayered,
+                      hpcs::hw::CpuArch::X86_64,
+                      hc::BuildMode::SelfContained,
+                      {{"sha256:x", 100 << 20, "all"}});
+  const auto docker = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto bridged = hc::resolve_comm_paths(*docker, &img, lenox);
+  hm::CostModel md(bridged, hm::JobMapping(lenox, 4, 8, 1));
+  const auto mb = bare_metal_model(lenox, 4, 8, 1);
+  EXPECT_GT(md.p2p_time(0, 1, 8), mb.p2p_time(0, 1, 8));  // intra via bridge
+  EXPECT_GT(md.p2p_time(0, 7, 8), mb.p2p_time(0, 7, 8));  // inter via bridge
+}

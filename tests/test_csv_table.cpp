@@ -1,0 +1,86 @@
+// CSV writer (RFC 4180 escaping) and text-table rendering.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/csv.hpp"
+#include "sim/table.hpp"
+
+namespace hs = hpcs::sim;
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  hs::CsvWriter w(out, {"a", "b"});
+  w.row({"1", "2"});
+  w.row({"3", "4"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3,4\n");
+  EXPECT_EQ(w.rows_written(), 2u);
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(hs::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(hs::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(hs::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(hs::CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WidthMismatchThrows) {
+  std::ostringstream out;
+  hs::CsvWriter w(out, {"a", "b"});
+  EXPECT_THROW(w.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, EmptyHeaderThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(hs::CsvWriter(out, {}), std::invalid_argument);
+}
+
+TEST(Csv, NumberFormatting) {
+  EXPECT_EQ(hs::CsvWriter::cell(1.5), "1.5");
+  EXPECT_EQ(hs::CsvWriter::cell(std::size_t{42}), "42");
+  EXPECT_EQ(hs::CsvWriter::cell(-7ll), "-7");
+}
+
+TEST(Table, AlignedOutput) {
+  hs::TextTable t({"name", "value"});
+  t.add_row({"x", "1.00"});
+  t.add_row({"longer", "2.50"});
+  std::ostringstream out;
+  t.print(out);
+  const auto s = out.str();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, WidthMismatchThrows) {
+  hs::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(hs::TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(hs::TextTable::num(2.0, 0), "2");
+}
+
+TEST(AsciiSeries, RendersBars) {
+  std::ostringstream out;
+  hs::print_ascii_series(out, "title", {"a", "bb"}, {1.0, 2.0}, 10);
+  const auto s = out.str();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("##########"), std::string::npos);  // max bar full width
+}
+
+TEST(AsciiSeries, SizeMismatchThrows) {
+  std::ostringstream out;
+  EXPECT_THROW(hs::print_ascii_series(out, "t", {"a"}, {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(AsciiSeries, AllZeroValues) {
+  std::ostringstream out;
+  hs::print_ascii_series(out, "t", {"a"}, {0.0});
+  EXPECT_NE(out.str().find("0.00"), std::string::npos);
+}

@@ -1,0 +1,183 @@
+// Deployment pipeline simulation: the per-technology deployment-overhead
+// comparison of the paper's Section B.1.
+
+#include <gtest/gtest.h>
+
+#include "container/deployment.hpp"
+#include "container/transport.hpp"
+#include "hw/presets.hpp"
+
+namespace hc = hpcs::container;
+namespace hp = hpcs::hw::presets;
+
+namespace {
+hc::Image docker_img() {
+  return hc::Image("alya", "t", hc::ImageFormat::DockerLayered,
+                   hpcs::hw::CpuArch::X86_64, hc::BuildMode::SelfContained,
+                   {{"sha256:a", 200 << 20, "FROM"},
+                    {"sha256:b", 150 << 20, "RUN"},
+                    {"sha256:c", 80 << 20, "COPY"}});
+}
+hc::Image sif_img() {
+  return hc::Image("alya", "t", hc::ImageFormat::SingularitySif,
+                   hpcs::hw::CpuArch::X86_64, hc::BuildMode::SelfContained,
+                   {{"sha256:x", 400 << 20, "all"}});
+}
+hc::Image squash_img() {
+  return hc::Image("alya", "t", hc::ImageFormat::ShifterSquashfs,
+                   hpcs::hw::CpuArch::X86_64, hc::BuildMode::SelfContained,
+                   {{"sha256:x", 400 << 20, "all"}});
+}
+}  // namespace
+
+TEST(Deployment, BareMetalIsFree) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto r = sim.deploy_bare_metal(4, 28);
+  EXPECT_DOUBLE_EQ(r.total_time, 0.0);
+  EXPECT_EQ(r.nodes, 4);
+  EXPECT_EQ(r.containers, 0);
+}
+
+TEST(Deployment, DockerPullsPerNode) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto img = docker_img();
+  const auto r1 = sim.deploy(*rt, img, 1, 28);
+  const auto r4 = sim.deploy(*rt, img, 4, 28);
+  // Aggregate traffic scales with node count (no shared cache).
+  EXPECT_NEAR(static_cast<double>(r4.bytes_transferred),
+              4.0 * static_cast<double>(r1.bytes_transferred), 1e6);
+  EXPECT_GT(r4.total_time, 0.0);
+}
+
+TEST(Deployment, SingularityStagesOnce) {
+  hc::DeploymentSimulator sim(hp::marenostrum4());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Singularity);
+  const auto img = sif_img();
+  const auto r1 = sim.deploy(*rt, img, 1, 48);
+  const auto r64 = sim.deploy(*rt, img, 64, 48);
+  // Shared-FS staging: wire bytes are (nearly) node-count independent...
+  EXPECT_EQ(r64.bytes_transferred, r1.bytes_transferred);
+  // ...and the makespan barely grows with nodes.
+  EXPECT_LT(r64.total_time, r1.total_time * 2.0);
+}
+
+TEST(Deployment, DockerContainersPerRank) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto r = sim.deploy(*rt, docker_img(), 2, 28);
+  EXPECT_EQ(r.containers, 56);  // one per rank
+  const auto sing = hc::ContainerRuntime::make(hc::RuntimeKind::Singularity);
+  const auto rs = sim.deploy(*sing, sif_img(), 2, 28);
+  EXPECT_EQ(rs.containers, 2);  // one environment per node
+}
+
+TEST(Deployment, ShifterPaysGatewayOnce) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Shifter);
+  const auto r = sim.deploy(*rt, squash_img(), 4, 28);
+  EXPECT_GT(r.gateway_time, 1.0);
+  // Per-node work after the gateway is cheap (loop mount).
+  EXPECT_LT(r.total_time, r.gateway_time + 5.0);
+}
+
+TEST(Deployment, DockerSlowestAtScaleSingularityFlat) {
+  // The headline deployment-overhead ordering on a multi-node job.
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto docker = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto sing = hc::ContainerRuntime::make(hc::RuntimeKind::Singularity);
+  const auto td = sim.deploy(*docker, docker_img(), 4, 28).total_time;
+  const auto ts = sim.deploy(*sing, sif_img(), 4, 28).total_time;
+  EXPECT_GT(td, ts);
+}
+
+TEST(Deployment, MakespanMonotoneInNodesForDocker) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto img = docker_img();
+  double prev = 0.0;
+  for (int nodes : {1, 2, 4}) {
+    const auto r = sim.deploy(*rt, img, nodes, 28);
+    EXPECT_GE(r.total_time, prev * 0.999);
+    prev = r.total_time;
+  }
+}
+
+TEST(Deployment, PerNodeDistributionRecorded) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto r = sim.deploy(*rt, docker_img(), 4, 28);
+  EXPECT_EQ(r.node_ready_times.count(), 4u);
+  EXPECT_DOUBLE_EQ(r.node_ready_times.max(), r.total_time);
+  EXPECT_GT(r.node_ready_times.min(), 0.0);
+}
+
+TEST(Deployment, Deterministic) {
+  hc::DeploymentSimulator a(hp::lenox(), 7);
+  hc::DeploymentSimulator b(hp::lenox(), 7);
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  EXPECT_DOUBLE_EQ(a.deploy(*rt, docker_img(), 4, 28).total_time,
+                   b.deploy(*rt, docker_img(), 4, 28).total_time);
+  hc::DeploymentSimulator c(hp::lenox(), 8);
+  EXPECT_NE(a.deploy(*rt, docker_img(), 4, 28).total_time,
+            c.deploy(*rt, docker_img(), 4, 28).total_time);
+}
+
+TEST(Deployment, GeometryValidation) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  EXPECT_THROW(sim.deploy(*rt, docker_img(), 0, 1), std::invalid_argument);
+  EXPECT_THROW(sim.deploy(*rt, docker_img(), 5, 1), std::invalid_argument);
+  EXPECT_THROW(sim.deploy(*rt, docker_img(), 1, 29), std::invalid_argument);
+  EXPECT_THROW(sim.deploy_bare_metal(0, 1), std::invalid_argument);
+}
+
+TEST(Deployment, ArchMismatchRejected) {
+  hc::DeploymentSimulator sim(hp::cte_power());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Singularity);
+  EXPECT_THROW(sim.deploy(*rt, sif_img(), 1, 40), hc::ExecFormatError);
+}
+
+TEST(Deployment, ServicePullInstantiateBreakdown) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto r = sim.deploy(*rt, docker_img(), 2, 28);
+  EXPECT_GT(r.max_service_time, 1.0);      // daemon
+  EXPECT_GT(r.max_pull_time, 0.5);         // layers over 1GbE
+  EXPECT_GT(r.max_instantiate_time, 1.0);  // 28 serialized containers
+  EXPECT_LE(r.max_service_time + r.max_pull_time + r.max_instantiate_time,
+            r.total_time * 1.5 + 1.0);
+}
+
+TEST(Deployment, WarmCacheSkipsCachedLayers) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto img = docker_img();
+  const auto cold = sim.deploy(*rt, img, 4, 28);
+  sim.seed_node_cache(img);
+  EXPECT_EQ(sim.cached_layers(), img.layers().size());
+  const auto warm = sim.deploy(*rt, img, 4, 28);
+  EXPECT_LT(warm.total_time, cold.total_time);
+  EXPECT_EQ(warm.bytes_transferred, 0u);
+  sim.clear_node_cache();
+  const auto cold2 = sim.deploy(*rt, img, 4, 28);
+  EXPECT_NEAR(cold2.total_time, cold.total_time, 1e-9);
+}
+
+TEST(Deployment, PartialCacheOnlyMovesChangedLayers) {
+  hc::DeploymentSimulator sim(hp::lenox());
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Docker);
+  const auto v1 = docker_img();
+  sim.seed_node_cache(v1);
+  // v2 shares the first two layers, changes the third.
+  hc::Image v2("alya", "v2", hc::ImageFormat::DockerLayered,
+               hpcs::hw::CpuArch::X86_64, hc::BuildMode::SelfContained,
+               {{"sha256:a", 200 << 20, "FROM"},
+                {"sha256:b", 150 << 20, "RUN"},
+                {"sha256:NEW", 80 << 20, "COPY"}});
+  const auto r = sim.deploy(*rt, v2, 4, 28);
+  // Only the changed layer's compressed bytes move, per node.
+  const auto full = v2.transfer_bytes();
+  EXPECT_LT(r.bytes_transferred, full);
+  EXPECT_GT(r.bytes_transferred, 0u);
+}

@@ -1,0 +1,122 @@
+// Discrete-event engine: clock semantics, run_until, stop, validation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace hs = hpcs::sim;
+
+TEST(Engine, StartsAtZero) {
+  hs::Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(Engine, RunAdvancesClock) {
+  hs::Engine e;
+  double seen = -1;
+  e.schedule(2.0, [&] { seen = e.now(); });
+  const auto end = e.run();
+  EXPECT_DOUBLE_EQ(seen, 2.0);
+  EXPECT_DOUBLE_EQ(end, 2.0);
+  EXPECT_EQ(e.events_processed(), 1u);
+}
+
+TEST(Engine, ChainedEvents) {
+  hs::Engine e;
+  std::vector<double> times;
+  e.schedule(1.0, [&] {
+    times.push_back(e.now());
+    e.schedule(1.5, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 2.5);
+}
+
+TEST(Engine, ScheduleAtAbsolute) {
+  hs::Engine e;
+  double seen = -1;
+  e.schedule_at(5.0, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  hs::Engine e;
+  EXPECT_THROW(e.schedule(-1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, PastAbsoluteTimeThrows) {
+  hs::Engine e;
+  e.schedule(3.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  hs::Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] { ++fired; });
+  e.schedule(5.0, [&] { ++fired; });
+  const auto t = e.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_EQ(e.events_pending(), 1u);
+  e.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, RunUntilInclusiveOfBoundaryEvents) {
+  hs::Engine e;
+  int fired = 0;
+  e.schedule(3.0, [&] { ++fired; });
+  e.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RunUntilBackwardThrows) {
+  hs::Engine e;
+  e.schedule(2.0, [] {});
+  e.run();
+  EXPECT_THROW(e.run_until(1.0), std::invalid_argument);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  hs::Engine e;
+  int fired = 0;
+  e.schedule(1.0, [&] {
+    ++fired;
+    e.stop();
+  });
+  e.schedule(2.0, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.events_pending(), 1u);
+}
+
+TEST(Engine, CancelScheduledEvent) {
+  hs::Engine e;
+  bool fired = false;
+  const auto id = e.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.cancel(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, ManyEventsDeterministicOrder) {
+  hs::Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    e.schedule(static_cast<double>(i % 10), [&order, i] { order.push_back(i); });
+  e.run();
+  ASSERT_EQ(order.size(), 100u);
+  // Within the same time bucket, scheduling order is preserved.
+  for (std::size_t k = 1; k < order.size(); ++k)
+    if (order[k - 1] % 10 == order[k] % 10) {
+      EXPECT_LT(order[k - 1], order[k]);
+    }
+}

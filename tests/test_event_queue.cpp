@@ -1,0 +1,94 @@
+// Event queue: ordering, FIFO ties, cancellation semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace hs = hpcs::sim;
+
+TEST(EventQueue, TimeOrdering) {
+  hs::EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  hs::SimTime t;
+  while (!q.empty()) q.pop(t)();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  hs::EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i)
+    q.push(1.0, [&fired, i] { fired.push_back(i); });
+  hs::SimTime t;
+  while (!q.empty()) q.pop(t)();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PopReportsTime) {
+  hs::EventQueue q;
+  q.push(2.5, [] {});
+  hs::SimTime t = 0;
+  q.pop(t);
+  EXPECT_DOUBLE_EQ(t, 2.5);
+}
+
+TEST(EventQueue, NextTime) {
+  hs::EventQueue q;
+  q.push(5.0, [] {});
+  q.push(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  hs::EventQueue q;
+  bool fired = false;
+  const auto id = q.push(1.0, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  hs::EventQueue q;
+  const auto id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterPopFails) {
+  hs::EventQueue q;
+  const auto id = q.push(1.0, [] {});
+  hs::SimTime t;
+  q.pop(t);
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  hs::EventQueue q;
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder) {
+  hs::EventQueue q;
+  std::vector<int> fired;
+  q.push(1.0, [&] { fired.push_back(1); });
+  const auto id = q.push(2.0, [&] { fired.push_back(2); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 2u);
+  hs::SimTime t;
+  while (!q.empty()) q.pop(t)();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, EmptyThrowsOnAccess) {
+  hs::EventQueue q;
+  hs::SimTime t;
+  EXPECT_THROW(q.pop(t), std::logic_error);
+  EXPECT_THROW(q.next_time(), std::logic_error);
+}

@@ -1,0 +1,100 @@
+// Fabric model: contention, overlays, and the preset interconnects of the
+// paper's clusters.
+
+#include <gtest/gtest.h>
+
+#include "net/presets.hpp"
+#include "sim/units.hpp"
+
+namespace hn = hpcs::net;
+namespace np = hpcs::net::presets;
+using namespace hpcs::units;
+
+TEST(Fabric, ValidationRejectsBadParams) {
+  hn::LogGpParams p;
+  p.G = 0.0;  // invalid
+  EXPECT_THROW(hn::Fabric("x", hn::Transport::Tcp, p, 1e9),
+               std::invalid_argument);
+  p.G = 1e-9;
+  EXPECT_THROW(hn::Fabric("x", hn::Transport::Tcp, p, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Fabric, UncontendedFlowUnaffectedByNicHeadroom) {
+  // One flow on a NIC with plenty of headroom pays no sharing penalty.
+  const auto f = np::omnipath_100g();
+  EXPECT_DOUBLE_EQ(f.p2p_time(1024, 1), f.params().message_time(1024));
+}
+
+TEST(Fabric, ContentionSlowsLargeMessages) {
+  const auto f = np::ethernet_1g_tcp();
+  const std::uint64_t bytes = 10 * 1000 * 1000;
+  EXPECT_GT(f.p2p_time(bytes, 8), f.p2p_time(bytes, 1));
+}
+
+TEST(Fabric, ContentionDoesNotChangeLatency) {
+  const auto f = np::ethernet_1g_tcp();
+  // Zero-byte messages are latency-only; flows shouldn't matter.
+  EXPECT_DOUBLE_EQ(f.p2p_time(0, 16), f.p2p_time(0, 1));
+}
+
+TEST(Fabric, FlowsValidation) {
+  const auto f = np::ethernet_1g_tcp();
+  EXPECT_THROW(f.p2p_time(100, 0), std::invalid_argument);
+}
+
+TEST(Fabric, OverlayAddsLatencyAndCutsBandwidth) {
+  const auto base = np::ethernet_1g_tcp();
+  const auto o = base.with_overlay("bridged", 30 * us, 5 * us, 0.8);
+  EXPECT_GT(o.p2p_time(0, 1), base.p2p_time(0, 1));
+  EXPECT_LT(o.bandwidth(), base.bandwidth());
+  EXPECT_EQ(o.transport(), base.transport());
+  EXPECT_EQ(o.name(), "bridged");
+}
+
+TEST(Fabric, OverlayValidation) {
+  const auto base = np::ethernet_1g_tcp();
+  EXPECT_THROW(base.with_overlay("x", 0, 0, 0.0), std::invalid_argument);
+  EXPECT_THROW(base.with_overlay("x", 0, 0, 1.5), std::invalid_argument);
+}
+
+TEST(Presets, RdmaFabricsAreFastest) {
+  const auto opa = np::omnipath_100g();
+  const auto edr = np::infiniband_edr();
+  const auto ge = np::ethernet_1g_tcp();
+  const auto tge = np::ethernet_10g_tcp();
+  // Latency ordering: RDMA << 10GbE < 1GbE.
+  EXPECT_LT(opa.latency(), tge.latency());
+  EXPECT_LT(edr.latency(), tge.latency());
+  EXPECT_LT(tge.latency(), ge.latency());
+  // Bandwidth ordering.
+  EXPECT_GT(opa.bandwidth(), tge.bandwidth());
+  EXPECT_GT(tge.bandwidth(), ge.bandwidth());
+}
+
+TEST(Presets, TransportKinds) {
+  EXPECT_EQ(np::omnipath_100g().transport(), hn::Transport::Rdma);
+  EXPECT_EQ(np::infiniband_edr().transport(), hn::Transport::Rdma);
+  EXPECT_EQ(np::ethernet_1g_tcp().transport(), hn::Transport::Tcp);
+  EXPECT_EQ(np::ethernet_40g_tcp().transport(), hn::Transport::Tcp);
+  EXPECT_EQ(np::shared_memory().transport(),
+            hn::Transport::SharedMemory);
+}
+
+TEST(Presets, SharedMemoryFastestForSmallMessages) {
+  const auto shm = np::shared_memory();
+  const auto opa = np::omnipath_100g();
+  EXPECT_LT(shm.p2p_time(8, 1), opa.p2p_time(8, 1));
+}
+
+TEST(Presets, SmallMessageDominatedByLatency) {
+  const auto f = np::ethernet_1g_tcp();
+  // An 8-byte allreduce payload costs essentially the latency + overheads.
+  EXPECT_NEAR(f.p2p_time(8, 1), f.latency() + 2 * f.params().o, 1 * us);
+}
+
+TEST(TransportToString, Names) {
+  EXPECT_EQ(hn::to_string(hn::Transport::Tcp), "tcp");
+  EXPECT_EQ(hn::to_string(hn::Transport::Rdma), "rdma");
+  EXPECT_EQ(hn::to_string(hn::Transport::SharedMemory), "shm");
+}

@@ -1,0 +1,126 @@
+// FSI coupling: the strongly-coupled driver must converge within the
+// iteration budget, produce an outward wall displacement of the order the
+// Lamé solution predicts for the steady lumen pressure, and account its
+// coupling work.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alya/fsi.hpp"
+
+namespace ha = hpcs::alya;
+
+namespace {
+
+struct FsiFixture : ::testing::Test {
+  ha::TubeParams lumen_params{.radius = 1.0, .length = 4.0, .cross_cells = 6,
+                              .axial_cells = 6};
+  ha::WallParams wall_params{.inner_radius = 1.0,
+                             .thickness = 0.3,
+                             .length = 4.0,
+                             .radial_cells = 2,
+                             .circumferential_cells = 12,
+                             .axial_cells = 6};
+  ha::FsiParams params() const {
+    ha::FsiParams p;
+    p.fluid.density = 1.0;
+    p.fluid.viscosity = 1.0;
+    p.fluid.inlet_pressure = 16.0;
+    p.fluid.outlet_pressure = 0.0;
+    p.fluid.dt = 5e-3;
+    p.fluid.pressure_solver.max_iterations = 3000;
+    p.solid.youngs_modulus = 1000.0;
+    p.solid.poisson_ratio = 0.3;
+    p.solid.solver.max_iterations = 20000;
+    p.solid.solver.rel_tolerance = 1e-10;
+    p.relaxation = 0.7;
+    return p;
+  }
+};
+
+}  // namespace
+
+TEST_F(FsiFixture, ParamValidation) {
+  auto p = params();
+  p.relaxation = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = params();
+  p.max_coupling_iterations = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST_F(FsiFixture, StepConvergesAndDisplacesOutward) {
+  const auto lumen = ha::lumen_mesh(lumen_params);
+  const auto wall = ha::wall_mesh(wall_params);
+  ha::FsiDriver driver(lumen, wall, params());
+
+  ha::FsiStepResult last{};
+  for (int s = 0; s < 25; ++s) last = driver.step();
+  EXPECT_TRUE(last.converged);
+  EXPECT_GT(last.coupling_iterations, 1);
+
+  // The mean lumen pressure is ~dp/2 = 8; Lamé with clamped ends gives an
+  // interface displacement of the order p*a/E_eff ~ 8/1000 * O(3) ≈ 0.02.
+  // Check order of magnitude and direction.
+  EXPECT_GT(last.mean_radial_displacement, 1e-4);
+  EXPECT_LT(last.mean_radial_displacement, 0.2);
+}
+
+TEST_F(FsiFixture, CountersTrackWork) {
+  const auto lumen = ha::lumen_mesh(lumen_params);
+  const auto wall = ha::wall_mesh(wall_params);
+  ha::FsiDriver driver(lumen, wall, params());
+  driver.step();
+  const auto& c = driver.counters();
+  EXPECT_EQ(c.steps, 1);
+  EXPECT_GE(c.coupling_iterations, 2u);
+  EXPECT_GT(c.solid_cg_iterations, 0u);
+  EXPECT_EQ(c.interface_exchanges, 2 * c.coupling_iterations);
+  EXPECT_GT(driver.interface_size(), 0u);
+}
+
+TEST_F(FsiFixture, SofterWallMovesMore) {
+  const auto lumen = ha::lumen_mesh(lumen_params);
+  const auto wall = ha::wall_mesh(wall_params);
+
+  auto run = [&](double E) {
+    auto p = params();
+    p.solid.youngs_modulus = E;
+    ha::FsiDriver driver(lumen, wall, p);
+    ha::FsiStepResult r{};
+    for (int s = 0; s < 15; ++s) r = driver.step();
+    return r.mean_radial_displacement;
+  };
+  const double soft = run(500.0);
+  const double stiff = run(4000.0);
+  EXPECT_GT(soft, stiff);
+}
+
+TEST_F(FsiFixture, RejectsWallMeshWithoutGroups) {
+  const auto lumen = ha::lumen_mesh(lumen_params);
+  // A lumen mesh lacks "inner"/"ends" groups.
+  EXPECT_THROW(ha::FsiDriver(lumen, lumen, params()),
+               std::invalid_argument);
+}
+
+TEST_F(FsiFixture, PulsatileDrivingMakesWallBreathe) {
+  auto p = params();
+  p.fluid.pulse_amplitude = 0.4;
+  p.fluid.pulse_period = 0.4;
+  const auto lumen = ha::lumen_mesh(lumen_params);
+  const auto wall = ha::wall_mesh(wall_params);
+  ha::FsiDriver driver(lumen, wall, p);
+  const int per_cycle = static_cast<int>(p.fluid.pulse_period / p.fluid.dt);
+  // Skip the spin-up cycle, then record displacement over one cycle.
+  for (int s = 0; s < per_cycle; ++s) driver.step();
+  double dmin = 1e300, dmax = -1e300;
+  for (int s = 0; s < per_cycle; ++s) {
+    const auto r = driver.step();
+    dmin = std::min(dmin, r.mean_radial_displacement);
+    dmax = std::max(dmax, r.mean_radial_displacement);
+  }
+  EXPECT_GT(dmax, 0.0);
+  // The wall oscillates: the swing is a sizable fraction of the mean.
+  EXPECT_GT((dmax - dmin) / ((dmax + dmin) / 2.0), 0.2);
+}

@@ -1,0 +1,135 @@
+// CPU/node models and the roofline kernel-time model.
+
+#include <gtest/gtest.h>
+
+#include "hw/compute.hpp"
+#include "hw/presets.hpp"
+
+namespace hh = hpcs::hw;
+
+namespace {
+hh::NodeModel test_node() {
+  return hh::NodeModel{
+      .cpu = hh::CpuModel{.name = "test",
+                          .arch = hh::CpuArch::X86_64,
+                          .sockets = 2,
+                          .cores_per_socket = 8,
+                          .freq_ghz = 2.0,
+                          .flops_per_cycle_per_core = 8.0,
+                          .mem_bw_gbs_per_socket = 50.0},
+      .mem_gb = 64};
+}
+}  // namespace
+
+TEST(CpuModel, DerivedRates) {
+  const auto n = test_node();
+  EXPECT_EQ(n.cpu.cores(), 16);
+  EXPECT_DOUBLE_EQ(n.cpu.peak_flops_core(), 16e9);
+  EXPECT_DOUBLE_EQ(n.cpu.peak_flops_node(), 256e9);
+  EXPECT_DOUBLE_EQ(n.cpu.mem_bw_node(), 100e9);
+}
+
+TEST(CpuModel, Validation) {
+  auto c = test_node().cpu;
+  c.sockets = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = test_node().cpu;
+  c.freq_ghz = -1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = test_node().cpu;
+  c.name.clear();
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(NodeModel, Validation) {
+  auto n = test_node();
+  n.mem_gb = 0;
+  EXPECT_THROW(n.validate(), std::invalid_argument);
+  n = test_node();
+  n.disk_write_bw = -5;
+  EXPECT_THROW(n.validate(), std::invalid_argument);
+}
+
+TEST(ArchToString, Names) {
+  EXPECT_EQ(hh::to_string(hh::CpuArch::X86_64), "x86_64");
+  EXPECT_EQ(hh::to_string(hh::CpuArch::Ppc64le), "ppc64le");
+  EXPECT_EQ(hh::to_string(hh::CpuArch::Aarch64), "aarch64");
+}
+
+TEST(KernelTime, FlopBoundScalesWithThreadsAmdahl) {
+  const auto n = test_node();
+  hh::ComputeParams p;
+  p.parallel_fraction = 1.0;  // perfect scaling for this check
+  p.fork_join_per_thread = 0.0;
+  const hh::KernelWork w{.flops = 1e9, .mem_bytes = 1.0};
+  const double t1 = hh::kernel_time(n, w, 1, 1, p);
+  const double t8 = hh::kernel_time(n, w, 8, 1, p);
+  EXPECT_NEAR(t1 / t8, 8.0, 0.01);
+}
+
+TEST(KernelTime, AmdahlLimitsSpeedup) {
+  const auto n = test_node();
+  hh::ComputeParams p;
+  p.parallel_fraction = 0.9;
+  p.fork_join_per_thread = 0.0;
+  const hh::KernelWork w{.flops = 1e9, .mem_bytes = 1.0};
+  const double t1 = hh::kernel_time(n, w, 1, 1, p);
+  const double t16 = hh::kernel_time(n, w, 16, 1, p);
+  EXPECT_LT(t1 / t16, 1.0 / (0.1 + 0.9 / 16) + 0.01);
+  EXPECT_GT(t1 / t16, 5.0);
+}
+
+TEST(KernelTime, MemoryBoundInsensitiveToThreadsOnceSaturated) {
+  const auto n = test_node();
+  hh::ComputeParams p;
+  p.bw_saturation_fraction = 0.25;  // saturates at 4 cores
+  p.fork_join_per_thread = 0.0;
+  const hh::KernelWork w{.flops = 1.0, .mem_bytes = 1e9};
+  const double t8 = hh::kernel_time(n, w, 8, 1, p);
+  const double t16 = hh::kernel_time(n, w, 16, 1, p);
+  EXPECT_NEAR(t8, t16, 1e-9);
+}
+
+TEST(KernelTime, MemoryBandwidthSharedBetweenRanks) {
+  const auto n = test_node();
+  hh::ComputeParams p;
+  p.fork_join_per_thread = 0.0;
+  const hh::KernelWork w{.flops = 1.0, .mem_bytes = 1e9};
+  // 1 rank with 16 threads vs 16 single-thread ranks: per-rank bytes are
+  // the same here, so 16 ranks each get 1/16 of the bandwidth.
+  const double t_one = hh::kernel_time(n, w, 16, 1, p);
+  const double t_many = hh::kernel_time(n, w, 1, 16, p);
+  EXPECT_NEAR(t_many / t_one, 16.0, 0.1);
+}
+
+TEST(KernelTime, ForkJoinPenaltyGrowsWithThreads) {
+  const auto n = test_node();
+  hh::ComputeParams p;
+  p.fork_join_per_thread = 1e-5;
+  const hh::KernelWork w{.flops = 1.0, .mem_bytes = 1.0};
+  EXPECT_GT(hh::kernel_time(n, w, 16, 1, p),
+            hh::kernel_time(n, w, 2, 1, p));
+}
+
+TEST(KernelTime, PlacementValidation) {
+  const auto n = test_node();
+  const hh::ComputeParams p;
+  const hh::KernelWork w{.flops = 1.0, .mem_bytes = 1.0};
+  EXPECT_THROW(hh::kernel_time(n, w, 0, 1, p), std::invalid_argument);
+  EXPECT_THROW(hh::kernel_time(n, w, 1, 0, p), std::invalid_argument);
+  EXPECT_THROW(hh::kernel_time(n, w, 4, 8, p), std::invalid_argument);
+  EXPECT_THROW(hh::kernel_time(n, hh::KernelWork{.flops = -1}, 1, 1, p),
+               std::invalid_argument);
+}
+
+TEST(ComputeParams, Validation) {
+  hh::ComputeParams p;
+  p.parallel_fraction = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = hh::ComputeParams{};
+  p.flop_efficiency = 2.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = hh::ComputeParams{};
+  p.fork_join_per_thread = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}

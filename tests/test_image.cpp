@@ -1,0 +1,105 @@
+// Image model: layers, formats, sizes, ISA compatibility.
+
+#include <gtest/gtest.h>
+
+#include "container/image.hpp"
+
+namespace hc = hpcs::container;
+namespace hh = hpcs::hw;
+
+namespace {
+std::vector<hc::Layer> layers3() {
+  return {{"sha256:a", 100 << 20, "FROM"},
+          {"sha256:b", 50 << 20, "RUN"},
+          {"sha256:c", 10 << 20, "COPY"}};
+}
+}  // namespace
+
+TEST(Image, BasicProperties) {
+  hc::Image img("alya", "v1", hc::ImageFormat::DockerLayered,
+                hh::CpuArch::X86_64, hc::BuildMode::SelfContained,
+                layers3());
+  EXPECT_EQ(img.reference(), "alya:v1");
+  EXPECT_EQ(img.layers().size(), 3u);
+  EXPECT_EQ(img.uncompressed_bytes(), (160ull << 20));
+  EXPECT_TRUE(img.bundles_mpi());
+  EXPECT_TRUE(img.runs_on(hh::CpuArch::X86_64));
+  EXPECT_FALSE(img.runs_on(hh::CpuArch::Ppc64le));
+}
+
+TEST(Image, TransferBytesSmallerThanUncompressed) {
+  hc::Image img("a", "t", hc::ImageFormat::DockerLayered,
+                hh::CpuArch::X86_64, hc::BuildMode::SelfContained,
+                layers3());
+  EXPECT_LT(img.transfer_bytes(), img.uncompressed_bytes());
+  EXPECT_GT(img.transfer_bytes(), 0u);
+}
+
+TEST(Image, LayeredCarriesPerLayerMetadata) {
+  // Two images with the same bytes; more layers -> more transfer overhead.
+  std::vector<hc::Layer> one{{"sha256:x", 160 << 20, "FROM"}};
+  hc::Image flat("a", "t", hc::ImageFormat::DockerLayered,
+                 hh::CpuArch::X86_64, hc::BuildMode::SelfContained, one);
+  hc::Image many("a", "t", hc::ImageFormat::DockerLayered,
+                 hh::CpuArch::X86_64, hc::BuildMode::SelfContained,
+                 layers3());
+  EXPECT_GT(many.transfer_bytes(), flat.transfer_bytes());
+}
+
+TEST(Image, FlatFormatsRequireSingleLayer) {
+  EXPECT_THROW(hc::Image("a", "t", hc::ImageFormat::SingularitySif,
+                         hh::CpuArch::X86_64,
+                         hc::BuildMode::SelfContained, layers3()),
+               std::invalid_argument);
+  EXPECT_NO_THROW(hc::Image("a", "t", hc::ImageFormat::SingularitySif,
+                            hh::CpuArch::X86_64,
+                            hc::BuildMode::SelfContained,
+                            {{"sha256:x", 1000, "all"}}));
+}
+
+TEST(Image, Validation) {
+  EXPECT_THROW(hc::Image("", "t", hc::ImageFormat::DockerLayered,
+                         hh::CpuArch::X86_64,
+                         hc::BuildMode::SelfContained, layers3()),
+               std::invalid_argument);
+  EXPECT_THROW(hc::Image("a", "t", hc::ImageFormat::DockerLayered,
+                         hh::CpuArch::X86_64,
+                         hc::BuildMode::SelfContained, {}),
+               std::invalid_argument);
+  EXPECT_THROW(hc::Image("a", "t", hc::ImageFormat::DockerLayered,
+                         hh::CpuArch::X86_64,
+                         hc::BuildMode::SelfContained,
+                         {{"", 100, "bad"}}),
+               std::invalid_argument);
+  EXPECT_THROW(hc::Image("a", "t", hc::ImageFormat::DockerLayered,
+                         hh::CpuArch::X86_64,
+                         hc::BuildMode::SelfContained,
+                         {{"sha256:z", 0, "empty"}}),
+               std::invalid_argument);
+}
+
+TEST(Image, SystemSpecificDoesNotBundleMpi) {
+  hc::Image img("a", "t", hc::ImageFormat::SingularitySif,
+                hh::CpuArch::X86_64, hc::BuildMode::SystemSpecific,
+                {{"sha256:x", 1000, "all"}});
+  EXPECT_FALSE(img.bundles_mpi());
+}
+
+TEST(Image, CompressionRatiosOrdered) {
+  // SIF (whole-image squashfs with dedup) compresses at least as well as
+  // per-layer gzip.
+  EXPECT_LE(hc::compression_ratio(hc::ImageFormat::SingularitySif),
+            hc::compression_ratio(hc::ImageFormat::DockerLayered));
+  EXPECT_LE(hc::compression_ratio(hc::ImageFormat::ShifterSquashfs),
+            hc::compression_ratio(hc::ImageFormat::DockerLayered));
+}
+
+TEST(ImageEnums, ToString) {
+  EXPECT_EQ(hc::to_string(hc::ImageFormat::DockerLayered), "docker-layered");
+  EXPECT_EQ(hc::to_string(hc::ImageFormat::SingularitySif),
+            "singularity-sif");
+  EXPECT_EQ(hc::to_string(hc::ImageFormat::ShifterSquashfs),
+            "shifter-squashfs");
+  EXPECT_EQ(hc::to_string(hc::BuildMode::SystemSpecific), "system-specific");
+  EXPECT_EQ(hc::to_string(hc::BuildMode::SelfContained), "self-contained");
+}

@@ -1,0 +1,72 @@
+// The canonical Alya image recipes/builds used by the study.
+
+#include <gtest/gtest.h>
+
+#include "core/images.hpp"
+#include "hw/presets.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+namespace hp = hpcs::hw::presets;
+
+TEST(AlyaRecipe, SelfContainedBundlesMpi) {
+  const auto r = hs::alya_recipe(hpcs::hw::CpuArch::X86_64,
+                                 hc::BuildMode::SelfContained);
+  EXPECT_TRUE(r.has_bundled_mpi());
+  EXPECT_TRUE(r.bind_paths().empty());
+  EXPECT_NO_THROW(r.validate());
+}
+
+TEST(AlyaRecipe, SystemSpecificBindsHostStack) {
+  const auto r = hs::alya_recipe(hpcs::hw::CpuArch::Ppc64le,
+                                 hc::BuildMode::SystemSpecific);
+  EXPECT_FALSE(r.has_bundled_mpi());
+  EXPECT_GE(r.bind_paths().size(), 2u);
+  EXPECT_EQ(r.arch(), hpcs::hw::CpuArch::Ppc64le);
+}
+
+TEST(AlyaImage, NativeFormatsPerRuntime) {
+  const auto lenox = hp::lenox();
+  EXPECT_EQ(hs::alya_image(lenox, hc::RuntimeKind::Docker,
+                           hc::BuildMode::SelfContained)
+                .format(),
+            hc::ImageFormat::DockerLayered);
+  EXPECT_EQ(hs::alya_image(lenox, hc::RuntimeKind::Singularity,
+                           hc::BuildMode::SelfContained)
+                .format(),
+            hc::ImageFormat::SingularitySif);
+  EXPECT_EQ(hs::alya_image(lenox, hc::RuntimeKind::Shifter,
+                           hc::BuildMode::SelfContained)
+                .format(),
+            hc::ImageFormat::ShifterSquashfs);
+}
+
+TEST(AlyaImage, ArchTracksCluster) {
+  EXPECT_EQ(hs::alya_image(hp::cte_power(), hc::RuntimeKind::Singularity,
+                           hc::BuildMode::SelfContained)
+                .arch(),
+            hpcs::hw::CpuArch::Ppc64le);
+  EXPECT_EQ(hs::alya_image(hp::thunderx(), hc::RuntimeKind::Singularity,
+                           hc::BuildMode::SelfContained)
+                .arch(),
+            hpcs::hw::CpuArch::Aarch64);
+}
+
+TEST(AlyaImage, SelfContainedLargerThanSystemSpecific) {
+  // The bundled MPI stack costs image bytes — the portability tax.
+  const auto lenox = hp::lenox();
+  const auto self = hs::alya_image(lenox, hc::RuntimeKind::Singularity,
+                                   hc::BuildMode::SelfContained);
+  const auto sys = hs::alya_image(lenox, hc::RuntimeKind::Singularity,
+                                  hc::BuildMode::SystemSpecific);
+  EXPECT_GT(self.uncompressed_bytes(), sys.uncompressed_bytes());
+  EXPECT_GT(self.transfer_bytes(), sys.transfer_bytes());
+}
+
+TEST(AlyaImage, SizesPlausible) {
+  // A containerized CFD app of the era: hundreds of MiB, not GiB or KiB.
+  const auto img = hs::alya_image(hp::lenox(), hc::RuntimeKind::Docker,
+                                  hc::BuildMode::SelfContained);
+  EXPECT_GT(img.uncompressed_bytes(), 400ull << 20);
+  EXPECT_LT(img.uncompressed_bytes(), 2ull << 30);
+}

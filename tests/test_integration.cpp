@@ -1,0 +1,161 @@
+// End-to-end integration: real solver -> calibration -> simulated study,
+// cross-checking the full pipeline the benches use.
+
+#include <gtest/gtest.h>
+
+#include "alya/fsi.hpp"
+#include "alya/partition.hpp"
+#include "alya/workload.hpp"
+#include "container/deployment.hpp"
+#include "core/images.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "hw/presets.hpp"
+
+namespace ha = hpcs::alya;
+namespace hc = hpcs::container;
+namespace hs = hpcs::study;
+namespace hp = hpcs::hw::presets;
+
+TEST(Integration, CalibratedModelReproducesDefaultShapes) {
+  // Calibrate from a real small run, then check the at-scale workloads it
+  // produces behave like the defaults' (same scaling laws).
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{
+      .radius = 1.0, .length = 4.0, .cross_cells = 8, .axial_cells = 12});
+  ha::FluidParams fp;
+  fp.density = 1.0;
+  fp.viscosity = 1.0;
+  fp.inlet_pressure = 16.0;
+  fp.dt = 5e-3;
+  ha::NastinSolver solver(mesh, fp);
+  for (int s = 0; s < 3; ++s) solver.step();
+  ha::MeshPartition part(mesh, 12);
+  const auto model = ha::WorkloadModel::calibrate_cfd(solver, part);
+
+  const auto w64 = model.per_rank(1'000'000, 1'050'000, 64);
+  const auto w512 = model.per_rank(1'000'000, 1'050'000, 512);
+  EXPECT_NEAR(w64.assembly.flops / w512.assembly.flops, 8.0, 1e-6);
+  EXPECT_GT(w64.halo_bytes_per_neighbor, w512.halo_bytes_per_neighbor);
+  EXPECT_EQ(w64.solver_iterations, w512.solver_iterations);
+}
+
+TEST(Integration, CalibratedStudyMatchesDefaultStudyShape) {
+  // Run the Fig-2 comparison with a *measured* workload model and verify
+  // the paper's qualitative result still holds.
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{
+      .radius = 1.0, .length = 4.0, .cross_cells = 8, .axial_cells = 12});
+  ha::FluidParams fp;
+  fp.density = 1.0;
+  fp.viscosity = 1.0;
+  fp.inlet_pressure = 16.0;
+  fp.dt = 5e-3;
+  ha::NastinSolver solver(mesh, fp);
+  for (int s = 0; s < 3; ++s) solver.step();
+  ha::MeshPartition part(mesh, 12);
+  const auto model = ha::WorkloadModel::calibrate_cfd(solver, part);
+
+  const hs::ExperimentRunner runner;
+  const auto cte = hp::cte_power();
+  const auto mesh_spec = hs::artery_cfd_mesh();
+
+  hs::Scenario bm{.cluster = cte,
+                  .runtime = hc::RuntimeKind::BareMetal,
+                  .nodes = 16,
+                  .ranks = 640,
+                  .threads = 1,
+                  .time_steps = 3};
+  hs::Scenario self = bm;
+  self.runtime = hc::RuntimeKind::Singularity;
+  self.image = hs::alya_image(cte, hc::RuntimeKind::Singularity,
+                              hc::BuildMode::SelfContained);
+
+  const auto t_bm = runner.run(bm, model, mesh_spec).avg_step_time;
+  const auto t_self = runner.run(self, model, mesh_spec).avg_step_time;
+  EXPECT_GT(t_self / t_bm, 1.3);
+}
+
+TEST(Integration, FsiDriverFeedsWorkloadKnobs) {
+  // The measured FSI coupling-iteration count justifies the default_fsi
+  // constant's order of magnitude.
+  const auto lumen = ha::lumen_mesh(ha::TubeParams{
+      .radius = 1.0, .length = 4.0, .cross_cells = 6, .axial_cells = 6});
+  const auto wall = ha::wall_mesh(ha::WallParams{.inner_radius = 1.0,
+                                                 .thickness = 0.3,
+                                                 .length = 4.0,
+                                                 .radial_cells = 2,
+                                                 .circumferential_cells = 12,
+                                                 .axial_cells = 6});
+  ha::FsiParams p;
+  p.fluid.density = 1.0;
+  p.fluid.viscosity = 1.0;
+  p.fluid.inlet_pressure = 16.0;
+  p.fluid.dt = 5e-3;
+  p.solid.youngs_modulus = 1000.0;
+  p.solid.poisson_ratio = 0.3;
+  ha::FsiDriver driver(lumen, wall, p);
+  for (int s = 0; s < 5; ++s) driver.step();
+  const double measured_coupling =
+      static_cast<double>(driver.counters().coupling_iterations) /
+      static_cast<double>(driver.counters().steps);
+  const auto fsi_model = ha::WorkloadModel::default_fsi();
+  EXPECT_GT(measured_coupling, 1.0);
+  EXPECT_LT(measured_coupling, fsi_model.coupling_iterations * 4.0);
+}
+
+TEST(Integration, DeploymentPlusExecutionFullPipeline) {
+  // Build image -> deploy -> run: the complete flow of one figure point.
+  const auto lenox = hp::lenox();
+  const auto image = hs::alya_image(lenox, hc::RuntimeKind::Singularity,
+                                    hc::BuildMode::SystemSpecific);
+  hc::DeploymentSimulator dep(lenox);
+  const auto rt = hc::ContainerRuntime::make(hc::RuntimeKind::Singularity);
+  const auto d = dep.deploy(*rt, image, 4, 28);
+  EXPECT_GT(d.total_time, 0.0);
+  EXPECT_LT(d.total_time, 60.0);  // SIF deploys are fast
+
+  const hs::ExperimentRunner runner;
+  hs::Scenario s{.cluster = lenox,
+                 .runtime = hc::RuntimeKind::Singularity,
+                 .image = image,
+                 .nodes = 4,
+                 .ranks = 112,
+                 .threads = 1,
+                 .time_steps = 3};
+  const auto r = runner.run(s);
+  EXPECT_GT(r.avg_step_time, 0.0);
+  // Deployment is tiny compared to a full simulation campaign but nonzero.
+  EXPECT_GT(r.deployment.total_time, 0.0);
+}
+
+TEST(Integration, FigurePipelineEndToEnd) {
+  // Produce a small two-series figure exactly the way benches do.
+  const hs::ExperimentRunner runner;
+  const auto lenox = hp::lenox();
+  hs::Figure fig;
+  fig.title = "mini Fig 1";
+  fig.x_label = "ranks x threads";
+  fig.y_label = "avg step time [s]";
+  hs::Series bm{.name = "bare-metal"};
+  hs::Series sing{.name = "singularity"};
+  for (auto [ranks, threads] : {std::pair{8, 14}, {112, 1}}) {
+    hs::Scenario s{.cluster = lenox,
+                   .runtime = hc::RuntimeKind::BareMetal,
+                   .nodes = 4,
+                   .ranks = ranks,
+                   .threads = threads,
+                   .time_steps = 3};
+    bm.add(std::to_string(ranks) + "x" + std::to_string(threads),
+           runner.run(s).avg_step_time);
+    s.runtime = hc::RuntimeKind::Singularity;
+    s.image = hs::alya_image(lenox, hc::RuntimeKind::Singularity,
+                             hc::BuildMode::SystemSpecific);
+    sing.add(std::to_string(ranks) + "x" + std::to_string(threads),
+             runner.run(s).avg_step_time);
+  }
+  fig.series = {bm, sing};
+  std::ostringstream out;
+  fig.print(out);
+  EXPECT_NE(out.str().find("singularity"), std::string::npos);
+  for (std::size_t i = 0; i < bm.y.size(); ++i)
+    EXPECT_NEAR(sing.y[i] / bm.y[i], 1.0, 0.06);
+}

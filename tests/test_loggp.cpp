@@ -1,0 +1,84 @@
+// LogGP message cost model.
+
+#include <gtest/gtest.h>
+
+#include "net/loggp.hpp"
+#include "sim/units.hpp"
+
+namespace hn = hpcs::net;
+using namespace hpcs::units;
+
+namespace {
+hn::LogGpParams make(double L, double o, double g, double G) {
+  hn::LogGpParams p;
+  p.L = L;
+  p.o = o;
+  p.g = g;
+  p.G = G;
+  return p;
+}
+}  // namespace
+
+TEST(LogGp, ZeroByteMessageIsLatencyPlusOverheads) {
+  const auto p = make(10 * us, 2 * us, 2 * us, 1e-9);
+  EXPECT_DOUBLE_EQ(p.message_time(0), 10 * us + 4 * us);
+}
+
+TEST(LogGp, OneByteAddsNoGap) {
+  const auto p = make(10 * us, 2 * us, 2 * us, 1e-9);
+  EXPECT_DOUBLE_EQ(p.message_time(1), p.message_time(0));
+}
+
+TEST(LogGp, LargeMessageBandwidthBound) {
+  const auto p = make(1 * us, 0.1 * us, 0.1 * us, 1.0 / (1.0 * GB));
+  const std::uint64_t bytes = 100 * 1000 * 1000;
+  const double t = p.message_time(bytes);
+  EXPECT_NEAR(t, 0.1, 0.001);  // ~100 MB at 1 GB/s
+}
+
+TEST(LogGp, MessageTimeMonotoneInBytes) {
+  const auto p = make(5 * us, 1 * us, 1 * us, 1e-8);
+  double prev = 0;
+  for (std::uint64_t b : {0ull, 1ull, 10ull, 100ull, 10000ull}) {
+    const double t = p.message_time(b);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(LogGp, BurstOfOneEqualsSingleMessage) {
+  const auto p = make(5 * us, 1 * us, 1 * us, 1e-9);
+  EXPECT_DOUBLE_EQ(p.burst_time(100, 1), p.message_time(100));
+}
+
+TEST(LogGp, BurstPipelineShorterThanSerial) {
+  const auto p = make(50 * us, 1 * us, 1 * us, 1e-9);
+  const double burst = p.burst_time(100, 10);
+  const double serial = 10 * p.message_time(100);
+  EXPECT_LT(burst, serial);
+  EXPECT_GT(burst, p.message_time(100));
+}
+
+TEST(LogGp, BurstOfZeroIsFree) {
+  const auto p = make(5 * us, 1 * us, 1 * us, 1e-9);
+  EXPECT_DOUBLE_EQ(p.burst_time(100, 0), 0.0);
+}
+
+TEST(LogGp, EffectiveBandwidth) {
+  const auto p = make(1 * us, 1 * us, 1 * us, 1.0 / (12.5 * GB));
+  EXPECT_NEAR(p.effective_bandwidth(), 12.5 * GB, 1.0);
+}
+
+TEST(LogGp, SharedDividesBandwidthOnly) {
+  const auto p = make(10 * us, 2 * us, 2 * us, 1e-9);
+  const auto s = p.shared(4.0);
+  EXPECT_DOUBLE_EQ(s.L, p.L);
+  EXPECT_DOUBLE_EQ(s.o, p.o);
+  EXPECT_NEAR(s.effective_bandwidth(), p.effective_bandwidth() / 4.0, 1e-3);
+}
+
+TEST(LogGp, SharedBelowOneIsIdentity) {
+  const auto p = make(10 * us, 2 * us, 2 * us, 1e-9);
+  const auto s = p.shared(0.5);
+  EXPECT_DOUBLE_EQ(s.G, p.G);
+}

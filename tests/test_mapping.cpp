@@ -1,0 +1,58 @@
+// Hybrid MPI x OpenMP job mapping (the x-axis of Fig. 1).
+
+#include <gtest/gtest.h>
+
+#include "hw/presets.hpp"
+#include "mpi/mapping.hpp"
+
+namespace hm = hpcs::mpi;
+namespace hp = hpcs::hw::presets;
+
+TEST(Mapping, PaperFig1Geometries) {
+  // All five Lenox decompositions of 112 cores are valid.
+  const auto lenox = hp::lenox();
+  for (auto [ranks, threads] :
+       {std::pair{8, 14}, {16, 7}, {28, 4}, {56, 2}, {112, 1}}) {
+    hm::JobMapping m(lenox, 4, ranks, threads);
+    EXPECT_EQ(m.cores_used(), 112);
+    EXPECT_EQ(m.label(),
+              std::to_string(ranks) + "x" + std::to_string(threads));
+  }
+}
+
+TEST(Mapping, BlockPlacement) {
+  const auto lenox = hp::lenox();
+  hm::JobMapping m(lenox, 4, 8, 14);
+  EXPECT_EQ(m.ranks_per_node(), 2);
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(1), 0);
+  EXPECT_EQ(m.node_of(2), 1);
+  EXPECT_EQ(m.node_of(7), 3);
+  EXPECT_TRUE(m.same_node(0, 1));
+  EXPECT_FALSE(m.same_node(1, 2));
+}
+
+TEST(Mapping, Validation) {
+  const auto lenox = hp::lenox();
+  EXPECT_THROW(hm::JobMapping(lenox, 0, 8, 1), std::invalid_argument);
+  EXPECT_THROW(hm::JobMapping(lenox, 5, 8, 1), std::invalid_argument);
+  EXPECT_THROW(hm::JobMapping(lenox, 4, 6, 1), std::invalid_argument);
+  EXPECT_THROW(hm::JobMapping(lenox, 4, 8, 15), std::invalid_argument);
+  EXPECT_THROW(hm::JobMapping(lenox, 4, 8, 0), std::invalid_argument);
+  EXPECT_THROW(hm::JobMapping(lenox, 4, 0, 1), std::invalid_argument);
+}
+
+TEST(Mapping, NodeOfRangeChecked) {
+  const auto lenox = hp::lenox();
+  hm::JobMapping m(lenox, 2, 4, 1);
+  EXPECT_THROW(m.node_of(-1), std::out_of_range);
+  EXPECT_THROW(m.node_of(4), std::out_of_range);
+}
+
+TEST(Mapping, Mn4ScaleGeometry) {
+  const auto mn4 = hp::marenostrum4();
+  hm::JobMapping m(mn4, 256, 12288, 1);
+  EXPECT_EQ(m.ranks_per_node(), 48);
+  EXPECT_EQ(m.cores_used(), 12288);
+  EXPECT_EQ(m.node_of(12287), 255);
+}

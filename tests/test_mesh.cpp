@@ -1,0 +1,187 @@
+// Mesh container, artery mesh generators, geometric validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <set>
+
+#include "alya/tube_mesh.hpp"
+
+namespace ha = hpcs::alya;
+
+TEST(Mesh, RejectsEmptyOrBadConnectivity) {
+  EXPECT_THROW(ha::Mesh({}, {}), std::invalid_argument);
+  std::vector<ha::Vec3> one{{0, 0, 0}};
+  EXPECT_THROW(ha::Mesh(one, {ha::Hex{0, 1, 2, 3, 4, 5, 6, 7}}),
+               std::invalid_argument);
+}
+
+TEST(Mesh, NodeGroupsSortedDeduped) {
+  auto mesh = ha::lumen_mesh(ha::TubeParams{});
+  mesh.set_node_group("g", {5, 3, 3, 1});
+  const auto& g = mesh.node_group("g");
+  EXPECT_EQ(g, (std::vector<ha::Index>{1, 3, 5}));
+  EXPECT_TRUE(mesh.has_node_group("g"));
+  EXPECT_FALSE(mesh.has_node_group("nope"));
+  EXPECT_THROW(mesh.node_group("nope"), std::out_of_range);
+  EXPECT_THROW(mesh.set_node_group("bad", {-1}), std::invalid_argument);
+}
+
+TEST(LumenMesh, CountsMatchParams) {
+  ha::TubeParams p{.radius = 1.0, .length = 2.0, .cross_cells = 6,
+                   .axial_cells = 10};
+  const auto mesh = ha::lumen_mesh(p);
+  EXPECT_EQ(mesh.element_count(), 6 * 6 * 10);
+  EXPECT_EQ(mesh.node_count(), 7 * 7 * 11);
+}
+
+TEST(LumenMesh, VolumeApproachesCylinder) {
+  // The squircle-mapped cross-section tends to pi R^2 with refinement.
+  ha::TubeParams coarse{.radius = 1.0, .length = 1.0, .cross_cells = 6,
+                        .axial_cells = 2};
+  ha::TubeParams fine{.radius = 1.0, .length = 1.0, .cross_cells = 16,
+                      .axial_cells = 2};
+  const double exact = std::numbers::pi;
+  const double err_coarse =
+      std::abs(ha::lumen_mesh(coarse).total_volume() - exact);
+  const double err_fine =
+      std::abs(ha::lumen_mesh(fine).total_volume() - exact);
+  EXPECT_LT(err_fine, err_coarse);
+  EXPECT_LT(err_fine / exact, 0.02);
+}
+
+TEST(LumenMesh, WallNodesOnCircle) {
+  ha::TubeParams p{.radius = 2.0, .length = 1.0, .cross_cells = 8,
+                   .axial_cells = 2};
+  const auto mesh = ha::lumen_mesh(p);
+  // Wall group nodes: exactly radius except the mapped square corners are
+  // also exactly on the circle.
+  for (ha::Index v : mesh.node_group("wall")) {
+    const auto& n = mesh.node(v);
+    EXPECT_NEAR(std::hypot(n.x, n.y), 2.0, 1e-12);
+  }
+}
+
+TEST(LumenMesh, GroupsPartitionBoundary) {
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{});
+  EXPECT_FALSE(mesh.node_group("inlet").empty());
+  EXPECT_FALSE(mesh.node_group("outlet").empty());
+  EXPECT_FALSE(mesh.node_group("wall").empty());
+  for (ha::Index v : mesh.node_group("inlet"))
+    EXPECT_DOUBLE_EQ(mesh.node(v).z, 0.0);
+  for (ha::Index v : mesh.node_group("outlet"))
+    EXPECT_NEAR(mesh.node(v).z, 0.1, 1e-12);
+}
+
+TEST(LumenMesh, AllElementsPositiveJacobian) {
+  EXPECT_NO_THROW(ha::lumen_mesh(ha::TubeParams{.radius = 0.5,
+                                                .length = 3.0,
+                                                .cross_cells = 12,
+                                                .axial_cells = 5})
+                      .validate());
+}
+
+TEST(LumenMesh, ParamValidation) {
+  ha::TubeParams p;
+  p.cross_cells = 3;  // odd
+  EXPECT_THROW(ha::lumen_mesh(p), std::invalid_argument);
+  p = ha::TubeParams{};
+  p.radius = -1;
+  EXPECT_THROW(ha::lumen_mesh(p), std::invalid_argument);
+}
+
+TEST(WallMesh, CountsAndPeriodicity) {
+  ha::WallParams p{.inner_radius = 1.0, .thickness = 0.2, .length = 2.0,
+                   .radial_cells = 2, .circumferential_cells = 12,
+                   .axial_cells = 4};
+  const auto mesh = ha::wall_mesh(p);
+  EXPECT_EQ(mesh.element_count(), 12 * 2 * 4);
+  EXPECT_EQ(mesh.node_count(), 12 * 3 * 5);  // theta periodic: nt nodes
+}
+
+TEST(WallMesh, VolumeMatchesAnnulus) {
+  ha::WallParams p{.inner_radius = 1.0, .thickness = 0.5, .length = 2.0,
+                   .radial_cells = 2, .circumferential_cells = 48,
+                   .axial_cells = 2};
+  const auto mesh = ha::wall_mesh(p);
+  const double exact = std::numbers::pi * (1.5 * 1.5 - 1.0) * 2.0;
+  EXPECT_NEAR(mesh.total_volume(), exact, 0.01 * exact);
+}
+
+TEST(WallMesh, InnerNodesAtInnerRadius) {
+  ha::WallParams p{.inner_radius = 2.0, .thickness = 0.4, .length = 1.0,
+                   .radial_cells = 2, .circumferential_cells = 8,
+                   .axial_cells = 2};
+  const auto mesh = ha::wall_mesh(p);
+  for (ha::Index v : mesh.node_group("inner"))
+    EXPECT_NEAR(std::hypot(mesh.node(v).x, mesh.node(v).y), 2.0, 1e-12);
+  for (ha::Index v : mesh.node_group("outer"))
+    EXPECT_NEAR(std::hypot(mesh.node(v).x, mesh.node(v).y), 2.4, 1e-12);
+}
+
+TEST(WallMesh, ParamValidation) {
+  ha::WallParams p;
+  p.circumferential_cells = 3;
+  EXPECT_THROW(ha::wall_mesh(p), std::invalid_argument);
+}
+
+TEST(Mesh, DetectsInvertedElement) {
+  // Swap two nodes of a unit cube to invert it.
+  std::vector<ha::Vec3> nodes;
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 2; ++j)
+      for (int i = 0; i < 2; ++i)
+        nodes.push_back(ha::Vec3{double(i), double(j), double(k)});
+  // Correct: {0,1,3,2,4,5,7,6}; inverted: swap bottom/top.
+  ha::Mesh bad(nodes, {ha::Hex{4, 5, 7, 6, 0, 1, 3, 2}});
+  EXPECT_THROW(bad.validate(), std::runtime_error);
+}
+
+TEST(Mesh, NodeAdjacencyIncludesSelfAndIsSymmetric) {
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{});
+  const auto adj = mesh.node_adjacency();
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    EXPECT_TRUE(std::binary_search(adj[i].begin(), adj[i].end(),
+                                   static_cast<ha::Index>(i)));
+    for (ha::Index j : adj[i])
+      EXPECT_TRUE(std::binary_search(
+          adj[static_cast<std::size_t>(j)].begin(),
+          adj[static_cast<std::size_t>(j)].end(),
+          static_cast<ha::Index>(i)));
+  }
+}
+
+TEST(Mesh, ElementAdjacencyFaceNeighbors) {
+  // A 2x1x1 box: the two hexes share one face.
+  std::vector<ha::Vec3> nodes;
+  for (int k = 0; k < 2; ++k)
+    for (int j = 0; j < 2; ++j)
+      for (int i = 0; i < 3; ++i)
+        nodes.push_back(ha::Vec3{double(i), double(j), double(k)});
+  auto id = [&](int i, int j, int k) {
+    return static_cast<ha::Index>((k * 2 + j) * 3 + i);
+  };
+  std::vector<ha::Hex> elems;
+  for (int i = 0; i < 2; ++i)
+    elems.push_back(ha::Hex{id(i, 0, 0), id(i + 1, 0, 0), id(i + 1, 1, 0),
+                            id(i, 1, 0), id(i, 0, 1), id(i + 1, 0, 1),
+                            id(i + 1, 1, 1), id(i, 1, 1)});
+  ha::Mesh mesh(std::move(nodes), std::move(elems));
+  const auto adj = mesh.element_adjacency();
+  ASSERT_EQ(adj.size(), 2u);
+  EXPECT_EQ(adj[0], std::vector<ha::Index>{1});
+  EXPECT_EQ(adj[1], std::vector<ha::Index>{0});
+}
+
+TEST(Mesh, BoundingBox) {
+  const auto mesh = ha::lumen_mesh(
+      ha::TubeParams{.radius = 1.0, .length = 2.0, .cross_cells = 8,
+                     .axial_cells = 4});
+  ha::Vec3 lo, hi;
+  mesh.bounding_box(lo, hi);
+  EXPECT_NEAR(lo.x, -1.0, 1e-12);
+  EXPECT_NEAR(hi.x, 1.0, 1e-12);
+  EXPECT_NEAR(lo.z, 0.0, 1e-12);
+  EXPECT_NEAR(hi.z, 2.0, 1e-12);
+}

@@ -1,0 +1,95 @@
+// Namespace sets and cgroup models: the isolation mechanisms the paper
+// attributes the runtime differences to.
+
+#include <gtest/gtest.h>
+
+#include "container/cgroups.hpp"
+#include "container/namespaces.hpp"
+
+namespace hc = hpcs::container;
+
+TEST(NamespaceSet, EmptyByDefault) {
+  hc::NamespaceSet s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_FALSE(s.contains(hc::Namespace::Mount));
+  EXPECT_EQ(s.describe(), "none");
+}
+
+TEST(NamespaceSet, FullHasAllSeven) {
+  const auto s = hc::NamespaceSet::full();
+  EXPECT_EQ(s.count(), hc::kNamespaceCount);
+  EXPECT_TRUE(s.contains(hc::Namespace::Net));
+  EXPECT_TRUE(s.contains(hc::Namespace::Uts));
+  EXPECT_TRUE(s.contains(hc::Namespace::User));
+}
+
+TEST(NamespaceSet, HpcMinimalIsMountPid) {
+  // "they only handle Mount and PID namespaces" (paper, Section I.A).
+  const auto s = hc::NamespaceSet::hpc_minimal();
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_TRUE(s.contains(hc::Namespace::Mount));
+  EXPECT_TRUE(s.contains(hc::Namespace::Pid));
+  EXPECT_FALSE(s.contains(hc::Namespace::Net));
+  EXPECT_FALSE(s.contains(hc::Namespace::Uts));
+}
+
+TEST(NamespaceSet, AddAndEquality) {
+  hc::NamespaceSet s;
+  s.add(hc::Namespace::Mount).add(hc::Namespace::Pid);
+  EXPECT_EQ(s, hc::NamespaceSet::hpc_minimal());
+  s.add(hc::Namespace::Mount);  // idempotent
+  EXPECT_EQ(s.count(), 2);
+}
+
+TEST(NamespaceSet, Describe) {
+  const auto s = hc::NamespaceSet::hpc_minimal();
+  EXPECT_EQ(s.describe(), "mnt,pid");
+}
+
+TEST(NamespaceSetup, FullCostsMoreThanMinimal) {
+  EXPECT_GT(hc::namespace_setup_time(hc::NamespaceSet::full()),
+            hc::namespace_setup_time(hc::NamespaceSet::hpc_minimal()));
+}
+
+TEST(NamespaceSetup, NetDominates) {
+  // The veth/bridge setup is the expensive namespace.
+  hc::NamespaceSet net_only;
+  net_only.add(hc::Namespace::Net);
+  hc::NamespaceSet rest;
+  rest.add(hc::Namespace::Mount)
+      .add(hc::Namespace::Pid)
+      .add(hc::Namespace::Ipc)
+      .add(hc::Namespace::Uts)
+      .add(hc::Namespace::User)
+      .add(hc::Namespace::Cgroup);
+  EXPECT_GT(hc::namespace_setup_time(net_only),
+            hc::namespace_setup_time(rest));
+}
+
+TEST(NamespaceToString, Names) {
+  EXPECT_EQ(hc::to_string(hc::Namespace::Mount), "mnt");
+  EXPECT_EQ(hc::to_string(hc::Namespace::Net), "net");
+  EXPECT_EQ(hc::to_string(hc::Namespace::Cgroup), "cgroup");
+}
+
+TEST(Cgroups, NoneIsFree) {
+  const auto c = hc::CgroupConfig::none();
+  EXPECT_DOUBLE_EQ(c.setup_time(), 0.0);
+  EXPECT_DOUBLE_EQ(c.compute_overhead_factor(), 1.0);
+}
+
+TEST(Cgroups, DockerDefaultHasOverhead) {
+  const auto c = hc::CgroupConfig::docker_default();
+  EXPECT_GT(c.setup_time(), 0.0);
+  EXPECT_GT(c.compute_overhead_factor(), 1.0);
+  // ...but the steady-state overhead is small (containers can reach
+  // near-bare-metal compute performance).
+  EXPECT_LT(c.compute_overhead_factor(), 1.02);
+}
+
+TEST(Cgroups, MemoryLimitAddsPressure) {
+  auto c = hc::CgroupConfig::docker_default();
+  const double base = c.compute_overhead_factor();
+  c.has_memory_limit = true;
+  EXPECT_GT(c.compute_overhead_factor(), base);
+}

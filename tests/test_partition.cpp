@@ -1,0 +1,165 @@
+// RCB domain decomposition: balance, halo statistics, and the
+// surface-to-volume law the at-scale workload model relies on.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alya/partition.hpp"
+#include "alya/tube_mesh.hpp"
+#include "sim/stats.hpp"
+
+namespace ha = hpcs::alya;
+
+namespace {
+ha::Mesh test_mesh(int cross = 8, int axial = 16) {
+  return ha::lumen_mesh(ha::TubeParams{.radius = 1.0, .length = 4.0,
+                                       .cross_cells = cross,
+                                       .axial_cells = axial});
+}
+}  // namespace
+
+TEST(Partition, EveryElementAssigned) {
+  const auto mesh = test_mesh();
+  ha::MeshPartition part(mesh, 8);
+  EXPECT_EQ(part.parts(), 8);
+  ha::Index total = 0;
+  for (int p = 0; p < 8; ++p) total += part.stats(p).elements;
+  EXPECT_EQ(total, mesh.element_count());
+  for (ha::Index e = 0; e < mesh.element_count(); ++e) {
+    EXPECT_GE(part.part_of_element(e), 0);
+    EXPECT_LT(part.part_of_element(e), 8);
+  }
+}
+
+TEST(Partition, NearPerfectBalancePowersOfTwo) {
+  const auto mesh = test_mesh();
+  for (int p : {2, 4, 8, 16}) {
+    ha::MeshPartition part(mesh, p);
+    EXPECT_LT(part.element_imbalance(), 1.02) << p << " parts";
+  }
+}
+
+TEST(Partition, NonPowerOfTwoPartsBalanced) {
+  const auto mesh = test_mesh();
+  for (int p : {3, 5, 7, 12}) {
+    ha::MeshPartition part(mesh, p);
+    EXPECT_LT(part.element_imbalance(), 1.1) << p << " parts";
+  }
+}
+
+TEST(Partition, SinglePartHasNoHalo) {
+  const auto mesh = test_mesh();
+  ha::MeshPartition part(mesh, 1);
+  EXPECT_EQ(part.stats(0).neighbor_count(), 0);
+  EXPECT_EQ(part.stats(0).total_halo_nodes(), 0);
+  EXPECT_EQ(part.stats(0).elements, mesh.element_count());
+}
+
+TEST(Partition, HaloSymmetric) {
+  const auto mesh = test_mesh();
+  ha::MeshPartition part(mesh, 6);
+  for (int p = 0; p < 6; ++p)
+    for (const auto& [q, n] : part.stats(p).halo_nodes) {
+      const auto& back = part.stats(q).halo_nodes;
+      const auto it = back.find(p);
+      ASSERT_NE(it, back.end());
+      EXPECT_EQ(it->second, n);
+    }
+}
+
+TEST(Partition, OwnedNodesPartitionTheMesh) {
+  const auto mesh = test_mesh();
+  ha::MeshPartition part(mesh, 5);
+  ha::Index owned = 0;
+  for (int p = 0; p < 5; ++p) owned += part.stats(p).owned_nodes;
+  EXPECT_EQ(owned, mesh.node_count());
+  for (int p = 0; p < 5; ++p)
+    EXPECT_GE(part.stats(p).local_nodes, part.stats(p).owned_nodes);
+}
+
+namespace {
+ha::Mesh cube_mesh(int n) {
+  std::vector<ha::Vec3> nodes;
+  std::vector<ha::Hex> elems;
+  const int nn = n + 1;
+  for (int k = 0; k <= n; ++k)
+    for (int j = 0; j <= n; ++j)
+      for (int i = 0; i <= n; ++i)
+        nodes.push_back(ha::Vec3{double(i), double(j), double(k)});
+  auto id = [&](int i, int j, int k) {
+    return static_cast<ha::Index>((k * nn + j) * nn + i);
+  };
+  for (int k = 0; k < n; ++k)
+    for (int j = 0; j < n; ++j)
+      for (int i = 0; i < n; ++i)
+        elems.push_back(ha::Hex{id(i, j, k), id(i + 1, j, k),
+                                id(i + 1, j + 1, k), id(i, j + 1, k),
+                                id(i, j, k + 1), id(i + 1, j, k + 1),
+                                id(i + 1, j + 1, k + 1),
+                                id(i, j + 1, k + 1)});
+  return ha::Mesh(std::move(nodes), std::move(elems));
+}
+}  // namespace
+
+TEST(Partition, HaloFollowsSurfaceToVolumeLaw) {
+  // avg halo nodes per rank grows sublinearly as c * (E/p)^alpha with
+  // alpha -> 2/3 asymptotically; at testable part counts the domain
+  // boundary flattens the measured exponent (boundary parts expose fewer
+  // interior faces), so we accept alpha in [0.3, 0.7] on a cube where the
+  // geometry is clean.
+  const auto mesh = cube_mesh(40);
+  std::vector<double> lx, ly;
+  for (int p : {8, 64, 512}) {
+    ha::MeshPartition part(mesh, p);
+    const double epr = static_cast<double>(mesh.element_count()) / p;
+    lx.push_back(std::log(epr));
+    ly.push_back(std::log(part.avg_halo_nodes()));
+  }
+  const auto fit = hpcs::sim::fit_line(lx, ly);
+  EXPECT_GT(fit.slope, 0.3);
+  EXPECT_LT(fit.slope, 0.7);
+  EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(Partition, ElongatedMeshSlabPartitioned) {
+  // A long thin tube gets sliced into axial slabs: the per-rank halo is
+  // then nearly independent of the part count (cross-section sized).
+  const auto mesh = test_mesh(8, 64);
+  ha::MeshPartition p8(mesh, 8);
+  ha::MeshPartition p32(mesh, 32);
+  EXPECT_LT(p32.avg_halo_nodes() / p8.avg_halo_nodes(), 1.5);
+  EXPECT_GT(p32.avg_halo_nodes() / p8.avg_halo_nodes(), 0.6);
+}
+
+TEST(Partition, NeighborCountsModest) {
+  // 3D RCB parts touch a handful of neighbors, not O(p).
+  const auto mesh = test_mesh(10, 40);
+  ha::MeshPartition part(mesh, 64);
+  EXPECT_LT(part.avg_neighbors(), 14.0);
+  EXPECT_GE(part.avg_neighbors(), 2.0);
+}
+
+TEST(Partition, Validation) {
+  const auto mesh = test_mesh(4, 2);
+  EXPECT_THROW(ha::MeshPartition(mesh, 0), std::invalid_argument);
+  EXPECT_THROW(
+      ha::MeshPartition(mesh, static_cast<int>(mesh.element_count()) + 1),
+      std::invalid_argument);
+  ha::MeshPartition part(mesh, 2);
+  EXPECT_THROW(part.stats(2), std::out_of_range);
+  EXPECT_THROW(part.part_of_element(-1), std::out_of_range);
+}
+
+TEST(Partition, Deterministic) {
+  const auto mesh = test_mesh();
+  ha::MeshPartition a(mesh, 8), b(mesh, 8);
+  EXPECT_EQ(a.element_parts(), b.element_parts());
+}
+
+TEST(Partition, MaxHaloBoundsAvg) {
+  const auto mesh = test_mesh();
+  ha::MeshPartition part(mesh, 8);
+  EXPECT_GE(static_cast<double>(part.max_halo_nodes()),
+            part.avg_halo_nodes());
+}

@@ -1,0 +1,111 @@
+// Power/energy model and its integration with the experiment runner.
+
+#include <gtest/gtest.h>
+
+#include "core/images.hpp"
+#include "core/runner.hpp"
+#include "hw/power.hpp"
+#include "hw/presets.hpp"
+
+namespace hh = hpcs::hw;
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+namespace hp = hpcs::hw::presets;
+
+TEST(PowerModel, Validation) {
+  hh::PowerModel p;
+  p.node_max_w = p.node_idle_w;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = hh::PowerModel{};
+  p.compute_utilization = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(PowerModel, LinearInUtilization) {
+  hh::PowerModel p{.node_idle_w = 100.0, .node_max_w = 400.0};
+  EXPECT_DOUBLE_EQ(p.node_power(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(p.node_power(1.0), 400.0);
+  EXPECT_DOUBLE_EQ(p.node_power(0.5), 250.0);
+  EXPECT_THROW(p.node_power(1.2), std::invalid_argument);
+}
+
+TEST(PowerModel, PhaseEnergy) {
+  hh::PowerModel p{.node_idle_w = 100.0, .node_max_w = 400.0};
+  // 10 nodes, 60 s at full power = 10 * 60 * 400 J.
+  EXPECT_DOUBLE_EQ(p.phase_energy(10, 60.0, 1.0), 240000.0);
+  EXPECT_THROW(p.phase_energy(0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(p.phase_energy(1, -1.0, 1.0), std::invalid_argument);
+}
+
+TEST(PowerModel, ComputeBurnsMoreThanWaiting) {
+  hh::PowerModel p;
+  EXPECT_GT(p.job_energy(4, 10.0, 0.0), p.job_energy(4, 0.0, 10.0));
+}
+
+TEST(PowerPresets, ArchitecturesDiffer) {
+  // POWER9 nodes are the hungriest, ThunderX the leanest.
+  EXPECT_GT(hp::cte_power().power.node_max_w,
+            hp::marenostrum4().power.node_max_w);
+  EXPECT_LT(hp::thunderx().power.node_max_w,
+            hp::marenostrum4().power.node_max_w);
+  for (const auto& c : hp::all()) EXPECT_NO_THROW(c.power.validate());
+}
+
+TEST(RunnerEnergy, PopulatedAndConsistent) {
+  const hs::ExperimentRunner runner;
+  hs::Scenario s{.cluster = hp::lenox(),
+                 .runtime = hc::RuntimeKind::BareMetal,
+                 .app = hs::AppCase::ArteryCfd,
+                 .nodes = 4,
+                 .ranks = 112,
+                 .threads = 1,
+                 .time_steps = 5};
+  const auto r = runner.run(s);
+  EXPECT_GT(r.energy_j, 0.0);
+  // Mean node power between idle and max.
+  EXPECT_GT(r.avg_node_power_w, hp::lenox().power.node_idle_w);
+  EXPECT_LT(r.avg_node_power_w, hp::lenox().power.node_max_w);
+  // Energy ~ power * node-seconds.
+  EXPECT_NEAR(r.energy_j,
+              r.avg_node_power_w * r.total_time * 4.0,
+              r.energy_j * 1e-9);
+}
+
+TEST(RunnerEnergy, SlowerRuntimeBurnsMoreEnergy) {
+  const hs::ExperimentRunner runner;
+  const auto lenox = hp::lenox();
+  hs::Scenario bare{.cluster = lenox,
+                    .runtime = hc::RuntimeKind::BareMetal,
+                    .app = hs::AppCase::ArteryCfd,
+                    .nodes = 4,
+                    .ranks = 112,
+                    .threads = 1,
+                    .time_steps = 5};
+  auto docker = bare;
+  docker.runtime = hc::RuntimeKind::Docker;
+  docker.image = hs::alya_image(lenox, hc::RuntimeKind::Docker,
+                                hc::BuildMode::SelfContained);
+  EXPECT_GT(runner.run(docker).energy_j, runner.run(bare).energy_j);
+}
+
+TEST(RunnerEnergy, CommBoundRunsAtLowerPower) {
+  // The self-contained image on CTE-POWER waits in MPI more, so its mean
+  // node power is lower even though its energy is higher.
+  const hs::ExperimentRunner runner;
+  const auto cte = hp::cte_power();
+  hs::Scenario bare{.cluster = cte,
+                    .runtime = hc::RuntimeKind::BareMetal,
+                    .app = hs::AppCase::ArteryCfd,
+                    .nodes = 16,
+                    .ranks = 640,
+                    .threads = 1,
+                    .time_steps = 5};
+  auto self = bare;
+  self.runtime = hc::RuntimeKind::Singularity;
+  self.image = hs::alya_image(cte, hc::RuntimeKind::Singularity,
+                              hc::BuildMode::SelfContained);
+  const auto rb = runner.run(bare);
+  const auto rs = runner.run(self);
+  EXPECT_GT(rs.energy_j, rb.energy_j);
+  EXPECT_LT(rs.avg_node_power_w, rb.avg_node_power_w);
+}

@@ -1,0 +1,130 @@
+// Property sweeps over study scenarios: invariants of the experiment
+// runner across clusters, geometries, and variants.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/images.hpp"
+#include "core/runner.hpp"
+#include "hw/presets.hpp"
+
+namespace hc = hpcs::container;
+namespace hs = hpcs::study;
+namespace hp = hpcs::hw::presets;
+
+namespace {
+
+// (cluster index, nodes, threads)
+using Geometry = std::tuple<int, int, int>;
+
+hpcs::hw::ClusterSpec cluster_of(int idx) {
+  switch (idx) {
+    case 0:
+      return hp::lenox();
+    case 1:
+      return hp::marenostrum4();
+    default:
+      return hp::cte_power();
+  }
+}
+
+class RunnerProperty : public ::testing::TestWithParam<Geometry> {
+ protected:
+  hs::Scenario scenario(hc::RuntimeKind rt, hc::BuildMode mode) const {
+    const auto [ci, nodes, threads] = GetParam();
+    const auto cluster = cluster_of(ci);
+    const int cores = cluster.node.cpu.cores();
+    const int rpn = cores / threads;
+    hs::Scenario s{.cluster = cluster,
+                   .runtime = rt,
+                   .app = hs::AppCase::ArteryCfd,
+                   .nodes = nodes,
+                   .ranks = nodes * rpn,
+                   .threads = threads,
+                   .time_steps = 3};
+    if (rt != hc::RuntimeKind::BareMetal)
+      s.image = hs::alya_image(cluster, rt, mode);
+    return s;
+  }
+};
+
+std::string geo_name(const ::testing::TestParamInfo<Geometry>& info) {
+  const auto [ci, nodes, threads] = info.param;
+  std::string s = cluster_of(ci).name + "_n" + std::to_string(nodes) +
+                  "_t" + std::to_string(threads);
+  for (auto& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+}  // namespace
+
+TEST_P(RunnerProperty, ResultsWellFormed) {
+  const hs::ExperimentRunner runner;
+  const auto r = runner.run(scenario(hc::RuntimeKind::BareMetal,
+                                     hc::BuildMode::SystemSpecific));
+  EXPECT_GT(r.avg_step_time, 0.0);
+  EXPECT_GE(r.comm_fraction, 0.0);
+  EXPECT_LE(r.comm_fraction, 1.0);
+  EXPECT_NEAR(r.compute_time + r.halo_time + r.reduction_time +
+                  r.interface_time,
+              r.avg_step_time, r.avg_step_time * 0.05);
+  EXPECT_EQ(r.step_times.count(), 3u);
+  EXPECT_GT(r.step_times.min(), 0.0);
+}
+
+TEST_P(RunnerProperty, ContainersNeverBeatBareMetal) {
+  // No containerization mechanism in the model can *speed up* execution.
+  // (Noise-free: each scenario seeds its own jitter stream, which would
+  // otherwise dominate sub-percent comparisons.)
+  hs::RunnerOptions opts;
+  opts.noise_sigma = 0.0;
+  const hs::ExperimentRunner runner(opts);
+  const auto bare = runner.run(scenario(hc::RuntimeKind::BareMetal,
+                                        hc::BuildMode::SystemSpecific));
+  const auto cluster = cluster_of(std::get<0>(GetParam()));
+  for (auto kind : {hc::RuntimeKind::Docker, hc::RuntimeKind::Singularity,
+                    hc::RuntimeKind::Shifter}) {
+    if (!cluster.has_runtime(std::string(to_string(kind)))) continue;
+    for (auto mode :
+         {hc::BuildMode::SystemSpecific, hc::BuildMode::SelfContained}) {
+      const auto r = runner.run(scenario(kind, mode));
+      EXPECT_GE(r.avg_step_time, bare.avg_step_time * 0.9999)
+          << to_string(kind) << "/" << to_string(mode);
+    }
+  }
+}
+
+TEST_P(RunnerProperty, SystemSpecificWithinPercentOfBareMetal) {
+  const hs::ExperimentRunner runner;
+  const auto cluster = cluster_of(std::get<0>(GetParam()));
+  if (!cluster.has_runtime("singularity")) GTEST_SKIP();
+  const auto bare = runner.run(scenario(hc::RuntimeKind::BareMetal,
+                                        hc::BuildMode::SystemSpecific));
+  const auto sing = runner.run(scenario(hc::RuntimeKind::Singularity,
+                                        hc::BuildMode::SystemSpecific));
+  EXPECT_LT(sing.avg_step_time / bare.avg_step_time, 1.06);
+}
+
+TEST_P(RunnerProperty, MoreNodesNeverSlowerForBareMetal) {
+  const auto [ci, nodes, threads] = GetParam();
+  if (nodes < 2) GTEST_SKIP();
+  const hs::ExperimentRunner runner;
+  auto s_small = scenario(hc::RuntimeKind::BareMetal,
+                          hc::BuildMode::SystemSpecific);
+  auto s_half = s_small;
+  s_half.nodes = nodes / 2;
+  s_half.ranks = s_small.ranks / 2;
+  const auto big = runner.run(s_small);
+  const auto half = runner.run(s_half);
+  EXPECT_LT(big.avg_step_time, half.avg_step_time * 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, RunnerProperty,
+    ::testing::Values(Geometry{0, 2, 1}, Geometry{0, 4, 4},
+                      Geometry{0, 4, 14}, Geometry{1, 8, 1},
+                      Geometry{1, 32, 2}, Geometry{2, 4, 1},
+                      Geometry{2, 16, 4}),
+    geo_name);

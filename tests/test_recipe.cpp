@@ -1,0 +1,143 @@
+// Recipe construction, the Dockerfile-like parser, and mode-consistency
+// validation.
+
+#include <gtest/gtest.h>
+
+#include "container/recipe.hpp"
+
+namespace hc = hpcs::container;
+namespace hh = hpcs::hw;
+
+TEST(ParseSize, Units) {
+  EXPECT_EQ(hc::parse_size("512B"), 512u);
+  EXPECT_EQ(hc::parse_size("2KiB"), 2048u);
+  EXPECT_EQ(hc::parse_size("3MiB"), 3u << 20);
+  EXPECT_EQ(hc::parse_size("1GiB"), 1ull << 30);
+  EXPECT_EQ(hc::parse_size("1.5MiB"), (3u << 20) / 2);
+}
+
+TEST(ParseSize, Errors) {
+  EXPECT_THROW(hc::parse_size("100"), std::invalid_argument);
+  EXPECT_THROW(hc::parse_size("abcMiB"), std::invalid_argument);
+  EXPECT_THROW(hc::parse_size("-5MiB"), std::invalid_argument);
+  EXPECT_THROW(hc::parse_size("10Mb"), std::invalid_argument);
+}
+
+TEST(Recipe, BuilderApi) {
+  hc::Recipe r("alya", "v2", hh::CpuArch::X86_64,
+               hc::BuildMode::SelfContained);
+  r.from("centos:7", 100 << 20)
+      .run("yum install things", 50 << 20)
+      .bundle_mpi("openmpi", 80 << 20)
+      .copy("/alya", 20 << 20)
+      .env("PATH=/opt");
+  r.validate();
+  EXPECT_EQ(r.layer_steps(), 4u);
+  EXPECT_EQ(r.content_bytes(), (250ull << 20));
+  EXPECT_TRUE(r.has_bundled_mpi());
+  EXPECT_TRUE(r.bind_paths().empty());
+}
+
+TEST(Recipe, SelfContainedMustBundleMpi) {
+  hc::Recipe r("a", "t", hh::CpuArch::X86_64,
+               hc::BuildMode::SelfContained);
+  r.from("base", 1 << 20);
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(Recipe, SelfContainedMustNotBind) {
+  hc::Recipe r("a", "t", hh::CpuArch::X86_64,
+               hc::BuildMode::SelfContained);
+  r.from("base", 1 << 20).bundle_mpi("ompi", 1 << 20).bind("/host");
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(Recipe, SystemSpecificMustBind) {
+  hc::Recipe r("a", "t", hh::CpuArch::X86_64,
+               hc::BuildMode::SystemSpecific);
+  r.from("base", 1 << 20);
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+  r.bind("/opt/host-mpi");
+  EXPECT_NO_THROW(r.validate());
+}
+
+TEST(Recipe, SystemSpecificMustNotBundle) {
+  hc::Recipe r("a", "t", hh::CpuArch::X86_64,
+               hc::BuildMode::SystemSpecific);
+  r.from("base", 1 << 20).bind("/x").bundle_mpi("ompi", 1 << 20);
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(Recipe, FirstStepMustBeFrom) {
+  hc::Recipe r("a", "t", hh::CpuArch::X86_64,
+               hc::BuildMode::SelfContained);
+  r.run("x", 1 << 20).bundle_mpi("m", 1 << 20);
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(Recipe, ParseFullText) {
+  const std::string text = R"(
+# Alya container recipe
+NAME alya:skylake
+ARCH x86_64
+MODE self-contained
+FROM centos:7 210MiB
+RUN yum install compilers 160MiB
+BUNDLE mpi openmpi-3.0 210MiB
+COPY /build/alya /opt/alya 85MiB
+ENV ALYA_HOME=/opt/alya
+LABEL maintainer=bsc
+)";
+  const auto r = hc::Recipe::parse(text);
+  EXPECT_EQ(r.image_name(), "alya");
+  EXPECT_EQ(r.tag(), "skylake");
+  EXPECT_EQ(r.arch(), hh::CpuArch::X86_64);
+  EXPECT_EQ(r.mode(), hc::BuildMode::SelfContained);
+  EXPECT_EQ(r.layer_steps(), 4u);
+  EXPECT_TRUE(r.has_bundled_mpi());
+}
+
+TEST(Recipe, ParseSystemSpecific) {
+  const std::string text = R"(
+NAME alya
+ARCH ppc64le
+MODE system-specific
+FROM centos:7 210MiB
+COPY /a /b 10MiB
+BIND /opt/host-mpi
+BIND /usr/lib64/fabric
+)";
+  const auto r = hc::Recipe::parse(text);
+  EXPECT_EQ(r.arch(), hh::CpuArch::Ppc64le);
+  EXPECT_EQ(r.bind_paths().size(), 2u);
+}
+
+TEST(Recipe, ParseErrorsCarryLineNumbers) {
+  try {
+    hc::Recipe::parse("FROM base 1MiB\nBOGUS directive\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Recipe, ParseBadSizeReportsLine) {
+  try {
+    hc::Recipe::parse("FROM base tenMiB\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+}
+
+TEST(Recipe, ParseUnknownArch) {
+  EXPECT_THROW(hc::Recipe::parse("ARCH sparc\nFROM b 1MiB\n"),
+               std::invalid_argument);
+}
+
+TEST(Recipe, CommentsAndBlanksIgnored) {
+  const auto r = hc::Recipe::parse(
+      "  # comment only\n\nMODE self-contained\nFROM b 1MiB  # inline\n"
+      "BUNDLE mpi m 1MiB\n");
+  EXPECT_EQ(r.layer_steps(), 2u);
+}

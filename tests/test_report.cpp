@@ -1,0 +1,123 @@
+// Figure/series reporting helpers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/report.hpp"
+
+namespace hs = hpcs::study;
+
+TEST(Series, Accumulates) {
+  hs::Series s;
+  s.name = "bare-metal";
+  s.add("4", 10.0);
+  s.add("8", 5.0);
+  EXPECT_EQ(s.x.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.y[1], 5.0);
+}
+
+TEST(Figure, PrintContainsSeriesAndValues) {
+  hs::Figure f;
+  f.title = "Fig 1";
+  f.x_label = "config";
+  f.y_label = "time [s]";
+  hs::Series a{.name = "bare-metal"};
+  a.add("8x14", 120.0);
+  a.add("112x1", 100.0);
+  hs::Series b{.name = "docker"};
+  b.add("8x14", 130.0);
+  b.add("112x1", 260.0);
+  f.series = {a, b};
+  std::ostringstream out;
+  f.print(out);
+  const auto s = out.str();
+  EXPECT_NE(s.find("Fig 1"), std::string::npos);
+  EXPECT_NE(s.find("bare-metal"), std::string::npos);
+  EXPECT_NE(s.find("docker"), std::string::npos);
+  EXPECT_NE(s.find("112x1"), std::string::npos);
+  EXPECT_NE(s.find("260.000"), std::string::npos);
+}
+
+TEST(Figure, EmptyPrintsPlaceholder) {
+  hs::Figure f;
+  f.title = "empty";
+  std::ostringstream out;
+  f.print(out);
+  EXPECT_NE(out.str().find("(no data)"), std::string::npos);
+}
+
+TEST(Figure, SaveCsvRoundTrip) {
+  hs::Figure f;
+  f.title = "t";
+  f.x_label = "nodes";
+  f.y_label = "s";
+  hs::Series a{.name = "bm"};
+  a.add("2", 1.5);
+  a.add("4", 0.8);
+  f.series = {a};
+  const std::string path = "/tmp/hpcs_test_fig.csv";
+  ASSERT_TRUE(f.save_csv(path));
+  std::ifstream in(path);
+  std::string header, row1, row2;
+  std::getline(in, header);
+  std::getline(in, row1);
+  std::getline(in, row2);
+  EXPECT_EQ(header, "nodes,bm");
+  EXPECT_EQ(row1, "2,1.5");
+  EXPECT_EQ(row2, "4,0.8");
+  std::remove(path.c_str());
+}
+
+TEST(Figure, SaveCsvFailsGracefully) {
+  hs::Figure f;
+  f.series = {};
+  EXPECT_FALSE(f.save_csv("/tmp/whatever.csv"));
+  hs::Series a{.name = "x"};
+  a.add("1", 1.0);
+  f.series = {a};
+  EXPECT_FALSE(f.save_csv("/nonexistent-dir/x.csv"));
+}
+
+TEST(SpeedupSeries, Fig3Math) {
+  // times at 4, 8, 16 nodes with perfect scaling -> speedups 4, 8, 16.
+  const auto s = hs::speedup_series("bm", {"4", "8", "16"},
+                                    {10.0, 5.0, 2.5}, 10.0, 4.0);
+  EXPECT_DOUBLE_EQ(s.y[0], 4.0);
+  EXPECT_DOUBLE_EQ(s.y[1], 8.0);
+  EXPECT_DOUBLE_EQ(s.y[2], 16.0);
+}
+
+TEST(SpeedupSeries, Validation) {
+  EXPECT_THROW(hs::speedup_series("x", {"1"}, {1.0, 2.0}, 1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(hs::speedup_series("x", {"1"}, {1.0}, 0.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(hs::speedup_series("x", {"1"}, {0.0}, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Figure, GnuplotScript) {
+  hs::Figure f;
+  f.title = "Fig X";
+  f.x_label = "nodes";
+  f.y_label = "time";
+  hs::Series a{.name = "bm"}, b{.name = "docker"};
+  a.add("2", 1.0);
+  b.add("2", 2.0);
+  f.series = {a, b};
+  const std::string gp = "/tmp/hpcs_fig.gp";
+  ASSERT_TRUE(f.save_gnuplot(gp, "/tmp/hpcs_fig.csv"));
+  std::ifstream in(gp);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("set title \"Fig X\""), std::string::npos);
+  EXPECT_NE(all.find("title \"bm\""), std::string::npos);
+  EXPECT_NE(all.find("title \"docker\""), std::string::npos);
+  EXPECT_NE(all.find("using 0:3"), std::string::npos);
+  std::remove(gp.c_str());
+  hs::Figure empty;
+  EXPECT_FALSE(empty.save_gnuplot("/tmp/x.gp", "x.csv"));
+}

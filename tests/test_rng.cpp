@@ -1,0 +1,149 @@
+// Deterministic RNG: reproducibility, distribution sanity, stream
+// independence.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/rng.hpp"
+
+namespace hs = hpcs::sim;
+
+TEST(Rng, DeterministicFromSeed) {
+  hs::Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  hs::Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  hs::Rng r(7);
+  double mn = 1.0, mx = 0.0, sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    mn = std::min(mn, u);
+    mx = std::max(mx, u);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_LT(mn, 0.001);
+  EXPECT_GT(mx, 0.999);
+}
+
+TEST(Rng, UniformRange) {
+  hs::Rng r(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  hs::Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, NormalMoments) {
+  hs::Rng r(10);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(Rng, ExponentialMean) {
+  hs::Rng r(11);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.exponential(4.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, LognormalMedian) {
+  hs::Rng r(12);
+  const int n = 100001;
+  std::vector<double> v(n);
+  for (auto& x : v) x = r.lognormal_median(2.5, 0.3);
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(v[n / 2], 2.5, 0.05);
+}
+
+TEST(Rng, NamedChildStreamsIndependent) {
+  hs::Rng root(42);
+  auto a = root.child("deployment");
+  auto b = root.child("noise");
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NamedChildDeterministic) {
+  hs::Rng r1(42), r2(42);
+  auto a = r1.child("x");
+  auto b = r2.child("x");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, IndexedChildrenDiffer) {
+  hs::Rng root(42);
+  auto a = root.child(std::uint64_t{0});
+  auto b = root.child(std::uint64_t{1});
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ChildDerivedFromSeedNotState) {
+  // Drawing from the parent must not change what a child stream produces.
+  hs::Rng r1(42), r2(42);
+  (void)r1();
+  (void)r1();
+  auto a = r1.child("s");
+  auto b = r2.child("s");
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Hash64, StableAndDistinct) {
+  EXPECT_EQ(hs::hash64("abc"), hs::hash64("abc"));
+  EXPECT_NE(hs::hash64("abc"), hs::hash64("abd"));
+  EXPECT_NE(hs::hash64(""), hs::hash64("a"));
+}
+
+TEST(Splitmix, AdvancesState) {
+  std::uint64_t s = 1;
+  const auto a = hs::splitmix64(s);
+  const auto b = hs::splitmix64(s);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s, 1u);
+}

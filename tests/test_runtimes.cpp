@@ -1,0 +1,165 @@
+// The four runtime models: mechanisms (daemon/SUID, namespaces, cgroups),
+// instantiation costs, and network path wrapping.
+
+#include <gtest/gtest.h>
+
+#include "container/baremetal.hpp"
+#include "container/docker.hpp"
+#include "container/runtime.hpp"
+#include "container/shifter.hpp"
+#include "container/singularity.hpp"
+#include "hw/presets.hpp"
+#include "net/presets.hpp"
+
+namespace hc = hpcs::container;
+
+namespace {
+hc::Image sif(hc::BuildMode mode) {
+  return hc::Image("alya", "t", hc::ImageFormat::SingularitySif,
+                   hpcs::hw::CpuArch::X86_64, mode,
+                   {{"sha256:x", 300 << 20, "all"}});
+}
+hc::Image docker_img(hc::BuildMode mode) {
+  return hc::Image("alya", "t", hc::ImageFormat::DockerLayered,
+                   hpcs::hw::CpuArch::X86_64, mode,
+                   {{"sha256:a", 200 << 20, "FROM"},
+                    {"sha256:b", 100 << 20, "RUN"}});
+}
+const hpcs::hw::NodeModel kNode = hpcs::hw::presets::lenox().node;
+}  // namespace
+
+TEST(RuntimeFactory, MakesAllKinds) {
+  for (auto k : {hc::RuntimeKind::BareMetal, hc::RuntimeKind::Docker,
+                 hc::RuntimeKind::Singularity, hc::RuntimeKind::Shifter}) {
+    const auto rt = hc::ContainerRuntime::make(k);
+    ASSERT_NE(rt, nullptr);
+    EXPECT_EQ(rt->kind(), k);
+    EXPECT_EQ(hc::to_string(k), rt->name());
+  }
+}
+
+TEST(RuntimeFromString, ParsesAndRejects) {
+  EXPECT_EQ(hc::runtime_from_string("docker"), hc::RuntimeKind::Docker);
+  EXPECT_EQ(hc::runtime_from_string("bare-metal"),
+            hc::RuntimeKind::BareMetal);
+  EXPECT_EQ(hc::runtime_from_string("singularity"),
+            hc::RuntimeKind::Singularity);
+  EXPECT_EQ(hc::runtime_from_string("shifter"), hc::RuntimeKind::Shifter);
+  EXPECT_THROW(hc::runtime_from_string("podman"), std::invalid_argument);
+}
+
+TEST(Docker, MechanismsMatchPaper) {
+  hc::DockerRuntime d;
+  EXPECT_TRUE(d.uses_root_daemon());
+  EXPECT_FALSE(d.suid_exec());
+  EXPECT_EQ(d.namespaces(), hc::NamespaceSet::full());
+  EXPECT_GT(d.cgroups().compute_overhead_factor(), 1.0);
+  EXPECT_EQ(d.native_format(), hc::ImageFormat::DockerLayered);
+  EXPECT_GT(d.node_service_time(kNode), 1.0);  // daemon start
+}
+
+TEST(Docker, CannotUseHostFabricEvenSystemSpecific) {
+  hc::DockerRuntime d;
+  EXPECT_FALSE(d.can_use_host_fabric(sif(hc::BuildMode::SystemSpecific)));
+  EXPECT_FALSE(d.can_use_host_fabric(sif(hc::BuildMode::SelfContained)));
+}
+
+TEST(Docker, BridgeSlowsInternode) {
+  hc::DockerRuntime d;
+  const auto base = hpcs::net::presets::ethernet_1g_tcp();
+  const auto bridged = d.internode_path(base);
+  EXPECT_GT(bridged.latency(), base.latency());
+  EXPECT_LT(bridged.bandwidth(), base.bandwidth());
+}
+
+TEST(Docker, IntranodeLosesSharedMemory) {
+  hc::DockerRuntime d;
+  const auto shm = hpcs::net::presets::shared_memory();
+  const auto path = d.intranode_path(shm);
+  EXPECT_GT(path.latency(), shm.latency());
+  EXPECT_EQ(path.transport(), hpcs::net::Transport::Tcp);
+}
+
+TEST(Singularity, MechanismsMatchPaper) {
+  hc::SingularityRuntime s;
+  EXPECT_FALSE(s.uses_root_daemon());
+  EXPECT_TRUE(s.suid_exec());
+  EXPECT_EQ(s.namespaces(), hc::NamespaceSet::hpc_minimal());
+  EXPECT_DOUBLE_EQ(s.compute_overhead_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(s.node_service_time(kNode), 0.0);
+}
+
+TEST(Singularity, HostFabricDependsOnBuildMode) {
+  hc::SingularityRuntime s;
+  EXPECT_TRUE(s.can_use_host_fabric(sif(hc::BuildMode::SystemSpecific)));
+  EXPECT_FALSE(s.can_use_host_fabric(sif(hc::BuildMode::SelfContained)));
+}
+
+TEST(Singularity, NetworkPathsTransparent) {
+  hc::SingularityRuntime s;
+  const auto fabric = hpcs::net::presets::omnipath_100g();
+  const auto shm = hpcs::net::presets::shared_memory();
+  EXPECT_DOUBLE_EQ(s.internode_path(fabric).latency(), fabric.latency());
+  EXPECT_DOUBLE_EQ(s.intranode_path(shm).latency(), shm.latency());
+}
+
+TEST(Shifter, GatewayConversionCost) {
+  hc::ShifterRuntime s;
+  EXPECT_GT(s.image_gateway_time(docker_img(hc::BuildMode::SelfContained),
+                                 kNode),
+            5.0);
+  // Other runtimes have no gateway phase.
+  hc::SingularityRuntime sing;
+  EXPECT_DOUBLE_EQ(
+      sing.image_gateway_time(sif(hc::BuildMode::SelfContained), kNode),
+      0.0);
+}
+
+TEST(Shifter, RunTimeLikeSingularity) {
+  hc::ShifterRuntime s;
+  EXPECT_EQ(s.namespaces(), hc::NamespaceSet::hpc_minimal());
+  EXPECT_TRUE(s.suid_exec());
+  EXPECT_DOUBLE_EQ(s.compute_overhead_factor(), 1.0);
+  EXPECT_TRUE(s.can_use_host_fabric(sif(hc::BuildMode::SystemSpecific)));
+}
+
+TEST(BareMetal, NoOverheadAnywhere) {
+  hc::BareMetalRuntime b;
+  EXPECT_DOUBLE_EQ(b.compute_overhead_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(b.node_service_time(kNode), 0.0);
+  EXPECT_DOUBLE_EQ(
+      b.instantiate_time(sif(hc::BuildMode::SystemSpecific), kNode), 0.0);
+  EXPECT_EQ(b.namespaces().count(), 0);
+}
+
+TEST(Instantiate, DockerSlowestSingularityFastest) {
+  hc::DockerRuntime d;
+  hc::SingularityRuntime s;
+  hc::ShifterRuntime sh;
+  const double td = d.instantiate_time(docker_img(hc::BuildMode::SelfContained), kNode);
+  const double ts = s.instantiate_time(sif(hc::BuildMode::SelfContained), kNode);
+  const double tsh = sh.instantiate_time(sif(hc::BuildMode::SelfContained), kNode);
+  EXPECT_GT(td, tsh);
+  EXPECT_GT(tsh, ts);
+  EXPECT_LT(ts, 0.5);  // sub-second SUID start
+}
+
+TEST(Instantiate, DockerCostGrowsWithLayers) {
+  hc::DockerRuntime d;
+  const auto few = docker_img(hc::BuildMode::SelfContained);
+  hc::Image many("alya", "t", hc::ImageFormat::DockerLayered,
+                 hpcs::hw::CpuArch::X86_64, hc::BuildMode::SelfContained,
+                 {{"sha256:1", 50 << 20, "a"},
+                  {"sha256:2", 50 << 20, "b"},
+                  {"sha256:3", 50 << 20, "c"},
+                  {"sha256:4", 50 << 20, "d"},
+                  {"sha256:5", 50 << 20, "e"},
+                  {"sha256:6", 50 << 20, "f"}});
+  EXPECT_GT(d.instantiate_time(many, kNode), d.instantiate_time(few, kNode));
+}
+
+TEST(Versions, MatchPaperDeployments) {
+  EXPECT_EQ(hc::DockerRuntime{}.version(), "1.11.1");
+  EXPECT_EQ(hc::SingularityRuntime{}.version(), "2.4.5");
+  EXPECT_EQ(hc::ShifterRuntime{}.version(), "16.08.3");
+}

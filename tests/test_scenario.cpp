@@ -1,0 +1,80 @@
+// Scenario descriptors and the production mesh presets.
+
+#include <gtest/gtest.h>
+
+#include "core/images.hpp"
+#include "core/scenario.hpp"
+#include "hw/presets.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+namespace hp = hpcs::hw::presets;
+
+TEST(MeshSpec, PresetsValid) {
+  EXPECT_NO_THROW(hs::artery_cfd_mesh().validate());
+  EXPECT_NO_THROW(hs::artery_fsi_mesh().validate());
+  // FSI case is the bigger one (it scales to 12k cores).
+  EXPECT_GT(hs::artery_fsi_mesh().elements, hs::artery_cfd_mesh().elements);
+  hs::MeshSpec bad{};
+  EXPECT_THROW(bad.validate(), std::invalid_argument);
+}
+
+TEST(Scenario, ValidatesGoodConfig) {
+  hs::Scenario s{.cluster = hp::lenox(),
+                 .runtime = hc::RuntimeKind::BareMetal,
+                 .app = hs::AppCase::ArteryCfd,
+                 .nodes = 4,
+                 .ranks = 28,
+                 .threads = 4};
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Scenario, ContainerRuntimeNeedsImage) {
+  hs::Scenario s{.cluster = hp::lenox(),
+                 .runtime = hc::RuntimeKind::Docker,
+                 .nodes = 4,
+                 .ranks = 28,
+                 .threads = 4};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.image = hs::alya_image(hp::lenox(), hc::RuntimeKind::Docker,
+                           hc::BuildMode::SelfContained);
+  EXPECT_NO_THROW(s.validate());
+}
+
+TEST(Scenario, GeometryChecks) {
+  hs::Scenario s{.cluster = hp::lenox(),
+                 .runtime = hc::RuntimeKind::BareMetal,
+                 .nodes = 4,
+                 .ranks = 30,  // not divisible by 4
+                 .threads = 1};
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.ranks = 28;
+  s.threads = 5;  // 7 * 5 > 28 cores
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.threads = 1;
+  s.nodes = 9;  // Lenox has 4 nodes
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s.nodes = 4;
+  s.time_steps = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Scenario, LabelDescriptive) {
+  hs::Scenario s{.cluster = hp::lenox(),
+                 .runtime = hc::RuntimeKind::BareMetal,
+                 .app = hs::AppCase::ArteryCfd,
+                 .nodes = 4,
+                 .ranks = 28,
+                 .threads = 4};
+  EXPECT_EQ(s.label(), "Lenox/bare-metal/28x4/artery-cfd");
+  s.runtime = hc::RuntimeKind::Singularity;
+  s.image = hs::alya_image(hp::lenox(), hc::RuntimeKind::Singularity,
+                           hc::BuildMode::SystemSpecific);
+  EXPECT_EQ(s.label(),
+            "Lenox/singularity(system-specific)/28x4/artery-cfd");
+}
+
+TEST(AppCase, Names) {
+  EXPECT_EQ(hs::to_string(hs::AppCase::ArteryCfd), "artery-cfd");
+  EXPECT_EQ(hs::to_string(hs::AppCase::ArteryFsi), "artery-fsi");
+}

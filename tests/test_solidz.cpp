@@ -1,0 +1,169 @@
+// Solid-module validation against Lamé's thick-walled cylinder: an annulus
+// under internal pressure, plane-strain ends, must reproduce the analytic
+// radial displacement.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "alya/solidz.hpp"
+#include "alya/tube_mesh.hpp"
+
+namespace ha = hpcs::alya;
+
+namespace {
+
+constexpr double kA = 1.0;    // inner radius
+constexpr double kB = 1.3;    // outer radius
+constexpr double kE = 1000.0;
+constexpr double kNu = 0.3;
+constexpr double kP = 1.0;    // internal pressure
+
+/// Lamé plane-strain radial displacement.
+double lame_u(double r) {
+  const double a2 = kA * kA, b2 = kB * kB;
+  const double c = kP * a2 / (kE * (b2 - a2)) * (1 + kNu);
+  return c * ((1 - 2 * kNu) * r + b2 / r);
+}
+
+ha::Mesh make_wall() {
+  ha::WallParams wp;
+  wp.inner_radius = kA;
+  wp.thickness = kB - kA;
+  wp.length = 1.0;
+  wp.radial_cells = 3;
+  wp.circumferential_cells = 24;
+  wp.axial_cells = 4;
+  return ha::wall_mesh(wp);
+}
+
+/// Plane-strain constraints: u_z pinned at the end rings; in-plane rigid
+/// modes removed by pinning the components that vanish by symmetry at the
+/// four axis-aligned circumferential positions.
+std::vector<ha::Index> plane_strain_constraints(const ha::Mesh& mesh) {
+  std::vector<ha::Index> fixed;
+  for (ha::Index v : mesh.node_group("ends")) fixed.push_back(3 * v + 2);
+  for (ha::Index v = 0; v < mesh.node_count(); ++v) {
+    const auto& p = mesh.node(v);
+    const double r = std::hypot(p.x, p.y);
+    if (r <= 0) continue;
+    if (std::abs(p.y) < 1e-9 * r) fixed.push_back(3 * v + 1);  // on x-axis
+    if (std::abs(p.x) < 1e-9 * r) fixed.push_back(3 * v + 0);  // on y-axis
+  }
+  return fixed;
+}
+
+}  // namespace
+
+TEST(Solidz, ParamValidation) {
+  ha::SolidParams sp;
+  sp.poisson_ratio = 0.5;
+  EXPECT_THROW(sp.validate(), std::invalid_argument);
+  sp = ha::SolidParams{};
+  sp.youngs_modulus = -1;
+  EXPECT_THROW(sp.validate(), std::invalid_argument);
+}
+
+TEST(Solidz, PressureLoadBalancedInPlane) {
+  // The net in-plane force of a uniform internal pressure on a closed
+  // annulus is zero.
+  const auto mesh = make_wall();
+  const auto f = ha::pressure_load(mesh, "inner", kP);
+  double fx = 0, fy = 0;
+  for (const auto& v : f) {
+    fx += v.x;
+    fy += v.y;
+  }
+  EXPECT_NEAR(fx, 0.0, 1e-9);
+  EXPECT_NEAR(fy, 0.0, 1e-9);
+}
+
+TEST(Solidz, PressureLoadPointsOutward) {
+  const auto mesh = make_wall();
+  const auto f = ha::pressure_load(mesh, "inner", kP);
+  // Radial projection must be positive (outward) on loaded nodes.
+  double radial_sum = 0.0;
+  for (ha::Index v : mesh.node_group("inner")) {
+    const auto& p = mesh.node(v);
+    const double r = std::hypot(p.x, p.y);
+    const auto& fv = f[static_cast<std::size_t>(v)];
+    radial_sum += (fv.x * p.x + fv.y * p.y) / r;
+  }
+  EXPECT_GT(radial_sum, 0.0);
+}
+
+TEST(Solidz, PressureLoadTotalMagnitude) {
+  // Sum of |radial force| over inner nodes ~ p * (2 pi a L) within mesh
+  // faceting error.
+  const auto mesh = make_wall();
+  const auto f = ha::pressure_load(mesh, "inner", kP);
+  double total = 0.0;
+  for (ha::Index v : mesh.node_group("inner")) {
+    const auto& p = mesh.node(v);
+    const double r = std::hypot(p.x, p.y);
+    const auto& fv = f[static_cast<std::size_t>(v)];
+    total += (fv.x * p.x + fv.y * p.y) / r;
+  }
+  const double exact = kP * 2 * std::numbers::pi * kA * 1.0;
+  EXPECT_NEAR(total, exact, 0.02 * exact);
+}
+
+TEST(Solidz, LameThickCylinder) {
+  const auto mesh = make_wall();
+  ha::SolidParams sp;
+  sp.youngs_modulus = kE;
+  sp.poisson_ratio = kNu;
+  sp.solver.max_iterations = 20000;
+  sp.solver.rel_tolerance = 1e-10;
+  ha::SolidzSolver solver(mesh, sp);
+
+  const auto load = ha::pressure_load(mesh, "inner", kP);
+  solver.solve(load, plane_strain_constraints(mesh));
+
+  const double u_inner = solver.mean_radial_displacement("inner");
+  const double u_outer = solver.mean_radial_displacement("outer");
+  EXPECT_NEAR(u_inner, lame_u(kA), 0.06 * lame_u(kA));
+  EXPECT_NEAR(u_outer, lame_u(kB), 0.08 * lame_u(kB));
+  // Inner displacement exceeds outer for internal pressure.
+  EXPECT_GT(u_inner, u_outer);
+}
+
+TEST(Solidz, DisplacementScalesLinearlyWithPressure) {
+  const auto mesh = make_wall();
+  ha::SolidParams sp;
+  sp.youngs_modulus = kE;
+  sp.poisson_ratio = kNu;
+  sp.solver.max_iterations = 20000;
+  sp.solver.rel_tolerance = 1e-10;
+  ha::SolidzSolver solver(mesh, sp);
+  const auto fixed = plane_strain_constraints(mesh);
+
+  solver.solve(ha::pressure_load(mesh, "inner", kP), fixed);
+  const double u1 = solver.mean_radial_displacement("inner");
+  solver.solve(ha::pressure_load(mesh, "inner", 3.0 * kP), fixed);
+  const double u3 = solver.mean_radial_displacement("inner");
+  EXPECT_NEAR(u3 / u1, 3.0, 1e-6);
+}
+
+TEST(Solidz, StifferWallDisplacesLess) {
+  const auto mesh = make_wall();
+  const auto fixed = plane_strain_constraints(mesh);
+  auto solve_with_E = [&](double E) {
+    ha::SolidParams sp;
+    sp.youngs_modulus = E;
+    sp.poisson_ratio = kNu;
+    sp.solver.max_iterations = 20000;
+    sp.solver.rel_tolerance = 1e-10;
+    ha::SolidzSolver s(mesh, sp);
+    s.solve(ha::pressure_load(mesh, "inner", kP), fixed);
+    return s.mean_radial_displacement("inner");
+  };
+  EXPECT_GT(solve_with_E(500.0), solve_with_E(2000.0));
+}
+
+TEST(Solidz, SolveRejectsBadForceSize) {
+  const auto mesh = make_wall();
+  ha::SolidzSolver solver(mesh, ha::SolidParams{});
+  EXPECT_THROW(solver.solve({ha::Vec3{}}, {}), std::invalid_argument);
+}

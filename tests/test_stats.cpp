@@ -1,0 +1,128 @@
+// Statistics: Welford accumulator, merge, quantiles, CI, line fit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/stats.hpp"
+
+namespace hs = hpcs::sim;
+
+TEST(RunningStats, Empty) {
+  hs::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  hs::RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  hs::RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  hs::RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(Samples, MeanStd) {
+  hs::Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(Samples, QuantileInterpolates) {
+  hs::Samples s;
+  for (double v : {10.0, 20.0, 30.0, 40.0, 50.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(s.quantile(0.125), 15.0);  // interpolated
+}
+
+TEST(Samples, QuantileAfterNewAdd) {
+  hs::Samples s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+  s.add(100.0);  // invalidates the sort cache
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Samples, ErrorsOnEmpty) {
+  hs::Samples s;
+  EXPECT_THROW(s.quantile(0.5), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.max(), std::logic_error);
+}
+
+TEST(Samples, QuantileRangeChecked) {
+  hs::Samples s;
+  s.add(1.0);
+  EXPECT_THROW(s.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(s.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Samples, Ci95ShrinksWithN) {
+  hs::Samples small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 2 ? 1.0 : 2.0);
+  for (int i = 0; i < 1000; ++i) large.add(i % 2 ? 1.0 : 2.0);
+  EXPECT_GT(small.ci95_halfwidth(), large.ci95_halfwidth());
+  EXPECT_GT(small.ci95_halfwidth(), 0.0);
+}
+
+TEST(FitLine, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5}, y;
+  for (double v : x) y.push_back(3.0 + 2.0 * v);
+  const auto f = hs::fit_line(x, y);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, PowerLawOnLogAxes) {
+  // y = 4 x^{2/3} -> log y = log 4 + (2/3) log x.
+  std::vector<double> lx, ly;
+  for (double x : {1.0, 2.0, 5.0, 10.0, 50.0}) {
+    lx.push_back(std::log(x));
+    ly.push_back(std::log(4.0 * std::pow(x, 2.0 / 3.0)));
+  }
+  const auto f = hs::fit_line(lx, ly);
+  EXPECT_NEAR(f.slope, 2.0 / 3.0, 1e-10);
+}
+
+TEST(FitLine, Validation) {
+  EXPECT_THROW(hs::fit_line({1.0}, {2.0}), std::invalid_argument);
+  EXPECT_THROW(hs::fit_line({1, 2}, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(hs::fit_line({2, 2, 2}, {1, 2, 3}), std::invalid_argument);
+}

@@ -1,0 +1,89 @@
+// Thread pool: coverage, determinism of chunking, exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "alya/threading.hpp"
+
+namespace ha = hpcs::alya;
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ha::ThreadPool pool(1);
+  std::vector<int> v(100, 0);
+  pool.parallel_for(v.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) v[i] = 1;
+  });
+  EXPECT_EQ(std::accumulate(v.begin(), v.end(), 0), 100);
+}
+
+TEST(ThreadPool, CoversAllIndicesExactlyOnce) {
+  ha::ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, HandlesFewerItemsThanThreads) {
+  ha::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(hits.size(), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ZeroItemsNoop) {
+  ha::ThreadPool pool(4);
+  bool touched = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ha::ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int rep = 0; rep < 50; ++rep)
+    pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+      total.fetch_add(static_cast<int>(e - b));
+    });
+  EXPECT_EQ(total.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ha::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t b, std::size_t) {
+                                   if (b == 0)
+                                     throw std::runtime_error("worker boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives the exception.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](std::size_t b, std::size_t e) {
+    n.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, InvalidThreadCount) {
+  EXPECT_THROW(ha::ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ha::ThreadPool(-2), std::invalid_argument);
+}
+
+TEST(ThreadPool, ForEachHelper) {
+  ha::ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  ha::parallel_for_each(pool, hits.size(),
+                        [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ThreadCountVisible) {
+  ha::ThreadPool pool(5);
+  EXPECT_EQ(pool.thread_count(), 5);
+}

@@ -1,0 +1,112 @@
+// Timeline tracing (Paraver-lite) and its runner integration.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/runner.hpp"
+#include "hw/presets.hpp"
+#include "sim/trace.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+namespace hsim = hpcs::sim;
+
+TEST(Timeline, RecordAndTotals) {
+  hsim::Timeline t;
+  EXPECT_TRUE(t.empty());
+  t.record(0, hsim::Phase::Compute, 0.0, 2.0);
+  t.record(0, hsim::Phase::HaloExchange, 2.0, 0.5);
+  t.record(1, hsim::Phase::Compute, 0.0, 1.0);
+  EXPECT_EQ(t.size(), 3u);
+  const auto totals = t.totals();
+  EXPECT_DOUBLE_EQ(totals.at(hsim::Phase::Compute), 3.0);
+  EXPECT_DOUBLE_EQ(totals.at(hsim::Phase::HaloExchange), 0.5);
+  EXPECT_DOUBLE_EQ(t.span(), 2.5);
+}
+
+TEST(Timeline, Validation) {
+  hsim::Timeline t;
+  EXPECT_THROW(t.record(0, hsim::Phase::Compute, -1.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(t.record(0, hsim::Phase::Compute, 0.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Timeline, EmptySpanZero) {
+  hsim::Timeline t;
+  EXPECT_DOUBLE_EQ(t.span(), 0.0);
+  EXPECT_TRUE(t.totals().empty());
+}
+
+TEST(Timeline, CsvExport) {
+  hsim::Timeline t;
+  t.record(3, hsim::Phase::Reduction, 1.5, 0.25);
+  const std::string path = "/tmp/hpcs_trace_test.csv";
+  ASSERT_TRUE(t.save_csv(path));
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "entity,phase,start,duration");
+  EXPECT_EQ(row, "3,reduction,1.5,0.25");
+  std::remove(path.c_str());
+  EXPECT_FALSE(t.save_csv("/no-such-dir/x.csv"));
+}
+
+TEST(Timeline, PhaseNames) {
+  EXPECT_EQ(hsim::to_string(hsim::Phase::Compute), "compute");
+  EXPECT_EQ(hsim::to_string(hsim::Phase::Interface), "interface");
+  EXPECT_EQ(hsim::to_string(hsim::Phase::Deployment), "deployment");
+}
+
+TEST(RunnerTimeline, DisabledByDefault) {
+  const hs::ExperimentRunner runner;
+  hs::Scenario s{.cluster = hpcs::hw::presets::lenox(),
+                 .runtime = hc::RuntimeKind::BareMetal,
+                 .nodes = 4,
+                 .ranks = 28,
+                 .threads = 4,
+                 .time_steps = 3};
+  EXPECT_TRUE(runner.run(s).timeline.empty());
+}
+
+TEST(RunnerTimeline, RecordsPhasesPerStep) {
+  hs::RunnerOptions opts;
+  opts.record_timeline = true;
+  const hs::ExperimentRunner runner(opts);
+  hs::Scenario s{.cluster = hpcs::hw::presets::lenox(),
+                 .runtime = hc::RuntimeKind::BareMetal,
+                 .nodes = 4,
+                 .ranks = 28,
+                 .threads = 4,
+                 .time_steps = 4};
+  const auto r = runner.run(s);
+  // CFD: 3 phases per step (no interface phase).
+  EXPECT_EQ(r.timeline.size(), 12u);
+  // The timeline reconstructs the campaign duration.
+  EXPECT_NEAR(r.timeline.span(), r.total_time, r.total_time * 1e-9);
+  // Phase totals match the result decomposition.
+  const auto totals = r.timeline.totals();
+  EXPECT_NEAR(totals.at(hsim::Phase::Compute), r.compute_time * 4.0,
+              r.compute_time * 4e-9 + 1e-12);
+  EXPECT_NEAR(totals.at(hsim::Phase::HaloExchange), r.halo_time * 4.0,
+              r.halo_time * 4e-9 + 1e-12);
+}
+
+TEST(RunnerTimeline, FsiIncludesInterfacePhase) {
+  hs::RunnerOptions opts;
+  opts.record_timeline = true;
+  const hs::ExperimentRunner runner(opts);
+  hs::Scenario s{.cluster = hpcs::hw::presets::marenostrum4(),
+                 .runtime = hc::RuntimeKind::BareMetal,
+                 .app = hs::AppCase::ArteryFsi,
+                 .nodes = 8,
+                 .ranks = 384,
+                 .threads = 1,
+                 .time_steps = 2};
+  const auto r = runner.run(s);
+  EXPECT_EQ(r.timeline.size(), 8u);  // 4 phases x 2 steps
+  EXPECT_GT(r.timeline.totals().at(hsim::Phase::Interface), 0.0);
+}

@@ -1,0 +1,135 @@
+// The communication-path decision table: who reaches the fabric, who falls
+// back to TCP, who gets bridged — the mechanism behind Figs. 2 and 3.
+
+#include <gtest/gtest.h>
+
+#include "container/transport.hpp"
+#include "hw/presets.hpp"
+
+namespace hc = hpcs::container;
+namespace hp = hpcs::hw::presets;
+
+namespace {
+hc::Image img(hc::BuildMode mode,
+              hpcs::hw::CpuArch arch = hpcs::hw::CpuArch::X86_64) {
+  return hc::Image("alya", "t", hc::ImageFormat::SingularitySif, arch, mode,
+                   {{"sha256:x", 300 << 20, "all"}});
+}
+std::unique_ptr<hc::ContainerRuntime> rt(hc::RuntimeKind k) {
+  return hc::ContainerRuntime::make(k);
+}
+}  // namespace
+
+TEST(Transport, BareMetalGetsFabric) {
+  const auto mn4 = hp::marenostrum4();
+  const auto paths = hc::resolve_comm_paths(
+      *rt(hc::RuntimeKind::BareMetal), nullptr, mn4);
+  EXPECT_EQ(paths.internode.name(), mn4.fabric.name());
+  EXPECT_TRUE(paths.uses_host_fabric);
+}
+
+TEST(Transport, SystemSpecificSingularityGetsFabric) {
+  const auto mn4 = hp::marenostrum4();
+  const auto i = img(hc::BuildMode::SystemSpecific);
+  const auto paths = hc::resolve_comm_paths(
+      *rt(hc::RuntimeKind::Singularity), &i, mn4);
+  EXPECT_EQ(paths.internode.name(), mn4.fabric.name());
+  EXPECT_TRUE(paths.uses_host_fabric);
+}
+
+TEST(Transport, SelfContainedFallsBackToManagementOnRdmaClusters) {
+  for (const auto& cluster : {hp::marenostrum4(), hp::cte_power()}) {
+    const auto i = img(hc::BuildMode::SelfContained, cluster.node.cpu.arch);
+    const auto paths = hc::resolve_comm_paths(
+        *rt(hc::RuntimeKind::Singularity), &i, cluster);
+    EXPECT_EQ(paths.internode.transport(), hpcs::net::Transport::Tcp)
+        << cluster.name;
+    EXPECT_FALSE(paths.uses_host_fabric);
+    EXPECT_LT(paths.internode.bandwidth(), cluster.fabric.bandwidth());
+  }
+}
+
+TEST(Transport, SelfContainedKeepsEthernetFabricOnTcpClusters) {
+  // On Lenox/ThunderX the fabric is already TCP Ethernet; a bundled MPI
+  // can use it directly.
+  const auto lenox = hp::lenox();
+  const auto i = img(hc::BuildMode::SelfContained);
+  const auto paths = hc::resolve_comm_paths(
+      *rt(hc::RuntimeKind::Singularity), &i, lenox);
+  EXPECT_EQ(paths.internode.name(), lenox.fabric.name());
+}
+
+TEST(Transport, DockerAlwaysBridged) {
+  const auto lenox = hp::lenox();
+  for (auto mode :
+       {hc::BuildMode::SystemSpecific, hc::BuildMode::SelfContained}) {
+    const auto i = img(mode);
+    const auto paths =
+        hc::resolve_comm_paths(*rt(hc::RuntimeKind::Docker), &i, lenox);
+    EXPECT_NE(paths.internode.name().find("docker0"), std::string::npos);
+    EXPECT_GT(paths.internode.latency(), lenox.fabric.latency());
+    // Intra-node shm is lost too.
+    EXPECT_EQ(paths.intranode.transport(), hpcs::net::Transport::Tcp);
+    EXPECT_GT(paths.intranode.latency(), lenox.intranode.latency());
+  }
+}
+
+TEST(Transport, HpcRuntimesKeepSharedMemory) {
+  const auto lenox = hp::lenox();
+  const auto i = img(hc::BuildMode::SelfContained);
+  for (auto k : {hc::RuntimeKind::Singularity, hc::RuntimeKind::Shifter}) {
+    const auto paths = hc::resolve_comm_paths(*rt(k), &i, lenox);
+    EXPECT_EQ(paths.intranode.transport(),
+              hpcs::net::Transport::SharedMemory);
+  }
+}
+
+TEST(Transport, ExecFormatErrorAcrossIsas) {
+  // An x86_64 image cannot exec on POWER9 — the core of the cross-arch
+  // portability experiment.
+  const auto power = hp::cte_power();
+  const auto i = img(hc::BuildMode::SelfContained, hpcs::hw::CpuArch::X86_64);
+  EXPECT_THROW(hc::resolve_comm_paths(*rt(hc::RuntimeKind::Singularity),
+                                      &i, power),
+               hc::ExecFormatError);
+}
+
+TEST(Transport, MatchingIsaRunsEverywhere) {
+  for (const auto& cluster : hp::all()) {
+    if (!cluster.has_runtime("singularity")) continue;
+    const auto i = img(hc::BuildMode::SelfContained, cluster.node.cpu.arch);
+    EXPECT_NO_THROW(hc::resolve_comm_paths(
+        *rt(hc::RuntimeKind::Singularity), &i, cluster))
+        << cluster.name;
+  }
+}
+
+TEST(Transport, RuntimeMustBeInstalled) {
+  // Docker is only on Lenox; MareNostrum4 has no Docker.
+  const auto mn4 = hp::marenostrum4();
+  const auto i = img(hc::BuildMode::SelfContained);
+  EXPECT_THROW(
+      hc::resolve_comm_paths(*rt(hc::RuntimeKind::Docker), &i, mn4),
+      hc::RuntimeUnavailableError);
+}
+
+TEST(Transport, ContainerizedNeedsImage) {
+  const auto lenox = hp::lenox();
+  EXPECT_THROW(hc::resolve_comm_paths(*rt(hc::RuntimeKind::Singularity),
+                                      nullptr, lenox),
+               std::invalid_argument);
+}
+
+TEST(Transport, ErrorMessagesAreInformative) {
+  const auto power = hp::cte_power();
+  const auto i = img(hc::BuildMode::SelfContained, hpcs::hw::CpuArch::X86_64);
+  try {
+    hc::resolve_comm_paths(*rt(hc::RuntimeKind::Singularity), &i, power);
+    FAIL();
+  } catch (const hc::ExecFormatError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("x86_64"), std::string::npos);
+    EXPECT_NE(msg.find("ppc64le"), std::string::npos);
+    EXPECT_NE(msg.find("CTE-POWER"), std::string::npos);
+  }
+}

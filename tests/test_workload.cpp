@@ -1,0 +1,147 @@
+// Workload model: scaling laws, calibration from real runs, validation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "alya/partition.hpp"
+#include "alya/tube_mesh.hpp"
+#include "alya/workload.hpp"
+
+namespace ha = hpcs::alya;
+
+TEST(WorkloadModel, DefaultsValidate) {
+  EXPECT_NO_THROW(ha::WorkloadModel::default_cfd().validate());
+  EXPECT_NO_THROW(ha::WorkloadModel::default_fsi().validate());
+}
+
+TEST(WorkloadModel, FsiHasCouplingAndInterface) {
+  const auto fsi = ha::WorkloadModel::default_fsi();
+  EXPECT_GT(fsi.coupling_iterations, 1.0);
+  EXPECT_GT(fsi.solid_work_fraction, 0.0);
+  const auto w = fsi.per_rank(1'000'000, 1'050'000, 64);
+  EXPECT_GT(w.coupling_iterations, 1.0);
+  EXPECT_GT(w.interface_bytes, 0u);
+}
+
+TEST(WorkloadModel, ComputeScalesInverselyWithRanks) {
+  const auto m = ha::WorkloadModel::default_cfd();
+  const auto w1 = m.per_rank(1'000'000, 1'050'000, 10);
+  const auto w2 = m.per_rank(1'000'000, 1'050'000, 20);
+  EXPECT_NEAR(w1.assembly.flops / w2.assembly.flops, 2.0, 1e-9);
+  EXPECT_NEAR(w1.per_iteration.mem_bytes / w2.per_iteration.mem_bytes, 2.0,
+              1e-9);
+}
+
+TEST(WorkloadModel, IterationsIndependentOfRanks) {
+  // CG iterations depend on the global problem, not the decomposition.
+  const auto m = ha::WorkloadModel::default_cfd();
+  EXPECT_EQ(m.per_rank(1'000'000, 1'050'000, 8).solver_iterations,
+            m.per_rank(1'000'000, 1'050'000, 512).solver_iterations);
+}
+
+TEST(WorkloadModel, IterationsGrowWithProblemSize) {
+  const auto m = ha::WorkloadModel::default_cfd();
+  EXPECT_GT(m.per_rank(8'000'000, 8'200'000, 8).solver_iterations,
+            m.per_rank(1'000'000, 1'050'000, 8).solver_iterations);
+}
+
+TEST(WorkloadModel, HaloFollowsTwoThirdsPower) {
+  const auto m = ha::WorkloadModel::default_cfd();
+  const auto w1 = m.per_rank(1'000'000, 1'050'000, 10);
+  const auto w8 = m.per_rank(1'000'000, 1'050'000, 80);
+  // elements/rank shrinks 8x -> halo per rank shrinks 4x.
+  const double ratio =
+      static_cast<double>(w1.halo_bytes_per_neighbor) /
+      static_cast<double>(w8.halo_bytes_per_neighbor);
+  EXPECT_NEAR(ratio, 4.0, 0.15);
+}
+
+TEST(WorkloadModel, SingleRankHasNoHalo) {
+  const auto m = ha::WorkloadModel::default_cfd();
+  const auto w = m.per_rank(1'000'000, 1'050'000, 1);
+  EXPECT_EQ(w.halo_neighbors, 0);
+  EXPECT_EQ(w.halo_bytes_per_neighbor, 0u);
+}
+
+TEST(WorkloadModel, PerRankValidation) {
+  const auto m = ha::WorkloadModel::default_cfd();
+  EXPECT_THROW(m.per_rank(0, 1, 1), std::invalid_argument);
+  EXPECT_THROW(m.per_rank(100, 100, 0), std::invalid_argument);
+  EXPECT_THROW(m.per_rank(100, 100, 200), std::invalid_argument);
+}
+
+TEST(WorkloadModel, BadConstantsRejected) {
+  auto m = ha::WorkloadModel::default_cfd();
+  m.cg_iter_coefficient = 0.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = ha::WorkloadModel::default_cfd();
+  m.coupling_iterations = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(StepWorkload, Validation) {
+  ha::StepWorkload w;
+  w.coupling_iterations = 0.0;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+  w = ha::StepWorkload{};
+  w.solver_iterations = -1;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(Calibration, MeasuredConstantsNearDefaults) {
+  // Run the real fluid solver on a small artery case, calibrate, and check
+  // the measured constants land in the same decade as the defaults the
+  // large-scale study uses.
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{
+      .radius = 1.0, .length = 4.0, .cross_cells = 8, .axial_cells = 8});
+  ha::FluidParams fp;
+  fp.density = 1.0;
+  fp.viscosity = 1.0;
+  fp.inlet_pressure = 16.0;
+  fp.dt = 5e-3;
+  ha::NastinSolver solver(mesh, fp);
+  for (int s = 0; s < 5; ++s) solver.step();
+  ha::MeshPartition part(mesh, 8);
+
+  const auto measured = ha::WorkloadModel::calibrate_cfd(solver, part);
+  const auto defaults = ha::WorkloadModel::default_cfd();
+  EXPECT_NO_THROW(measured.validate());
+  EXPECT_GT(measured.assembly_flops_per_element,
+            defaults.assembly_flops_per_element / 10);
+  EXPECT_LT(measured.assembly_flops_per_element,
+            defaults.assembly_flops_per_element * 10);
+  EXPECT_GT(measured.solver_bytes_per_node_iter,
+            defaults.solver_bytes_per_node_iter / 10);
+  EXPECT_LT(measured.solver_bytes_per_node_iter,
+            defaults.solver_bytes_per_node_iter * 10);
+  EXPECT_GT(measured.cg_iter_coefficient, 0.2);
+  EXPECT_LT(measured.cg_iter_coefficient, 20.0);
+  EXPECT_GE(measured.typical_neighbors, 1);
+}
+
+TEST(Calibration, RequiresSteppedRun) {
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{});
+  ha::FluidParams fp;
+  ha::NastinSolver solver(mesh, fp);
+  ha::MeshPartition part(mesh, 4);
+  EXPECT_THROW(ha::WorkloadModel::calibrate_cfd(solver, part),
+               std::invalid_argument);
+}
+
+TEST(Calibration, HaloCoefficientFromPartition) {
+  const auto mesh = ha::lumen_mesh(ha::TubeParams{
+      .radius = 1.0, .length = 4.0, .cross_cells = 8, .axial_cells = 16});
+  ha::FluidParams fp;
+  fp.density = 1.0;
+  fp.viscosity = 1.0;
+  fp.dt = 5e-3;
+  ha::NastinSolver solver(mesh, fp);
+  solver.step();
+  ha::MeshPartition part(mesh, 16);
+  const auto m = ha::WorkloadModel::calibrate_cfd(solver, part);
+  // The measured halo coefficient should be within a factor ~3 of the
+  // geometric 6.0 for cube-ish parts.
+  EXPECT_GT(m.halo_coefficient, 2.0);
+  EXPECT_LT(m.halo_coefficient, 20.0);
+}

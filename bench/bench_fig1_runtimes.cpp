@@ -5,82 +5,71 @@
 // Expected shape (paper): the HPC-designed containers (Shifter and
 // Singularity) reach close to bare-metal performance at every
 // decomposition, whereas Docker degrades as the job scales in MPI ranks.
+//
+// The whole 4 x 5 grid runs as one parallel campaign: every variant's
+// image is built once through the shared cache and all 20 cells execute
+// concurrently on the work-stealing pool.
 
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "core/campaign.hpp"
 #include "hw/presets.hpp"
 
 namespace hs = hpcs::study;
 namespace hc = hpcs::container;
 using hpcs::bench::emit;
-using hpcs::bench::make_scenario;
 
 int main() {
-  const auto lenox = hpcs::hw::presets::lenox();
-  const hs::ExperimentRunner runner;
-  constexpr int kTimeSteps = 10;
+  hs::CampaignSpec spec;
+  spec.name = "fig1-lenox-runtimes";
+  spec.cluster(hpcs::hw::presets::lenox())
+      .variant(hc::RuntimeKind::BareMetal, hc::BuildMode::SystemSpecific,
+               "Bare-metal")
+      .variant(hc::RuntimeKind::Singularity, hc::BuildMode::SystemSpecific,
+               "Singularity")
+      .variant(hc::RuntimeKind::Shifter, hc::BuildMode::SystemSpecific,
+               "Shifter")
+      .variant(hc::RuntimeKind::Docker, hc::BuildMode::SystemSpecific,
+               "Docker")
+      .nodes({4})
+      .geometry(8, 14)
+      .geometry(16, 7)
+      .geometry(28, 4)
+      .geometry(56, 2)
+      .geometry(112, 1)
+      .steps(10);
+  // On its own cluster every image is built system-specific; the
+  // build-mode axis is Fig. 2/3's subject.  (Docker cannot use the host
+  // fabric regardless of mode.)
 
-  const std::pair<int, int> kConfigs[] = {
-      {8, 14}, {16, 7}, {28, 4}, {56, 2}, {112, 1}};
-
-  struct Variant {
-    const char* name;
-    hc::RuntimeKind runtime;
-  };
-  const Variant kVariants[] = {
-      {"Bare-metal", hc::RuntimeKind::BareMetal},
-      {"Singularity", hc::RuntimeKind::Singularity},
-      {"Shifter", hc::RuntimeKind::Shifter},
-      {"Docker", hc::RuntimeKind::Docker},
-  };
+  const hs::CampaignRunner runner(hs::CampaignOptions{.jobs = 0});
+  const auto res = runner.run(spec);
 
   hs::Figure fig;
   fig.title =
       "Fig. 1 — Average elapsed time of the artery CFD case in Lenox";
   fig.x_label = "ranks x threads";
   fig.y_label = "avg time per simulated campaign [s] (10 time steps)";
-
-  for (const auto& v : kVariants) {
-    hs::Series series{.name = v.name};
-    for (const auto& [ranks, threads] : kConfigs) {
-      auto s = make_scenario(lenox, v.runtime, hs::AppCase::ArteryCfd, 4,
-                             ranks, threads, kTimeSteps);
-      if (v.runtime != hc::RuntimeKind::BareMetal) {
-        // On its own cluster every image is built system-specific; the
-        // build-mode axis is Fig. 2/3's subject.  (Docker cannot use the
-        // host fabric regardless of mode.)
-        s.image = hs::alya_image(lenox, v.runtime,
-                                 hc::BuildMode::SystemSpecific);
-      }
-      const auto r = runner.run(s);
-      series.add(std::to_string(ranks) + "x" + std::to_string(threads),
-                 r.total_time);
-    }
-    fig.series.push_back(std::move(series));
-  }
-
+  for (std::size_t v = 0; v < res.axes[1]; ++v)
+    fig.series.push_back(res.series(
+        0, v, 0, [](const hs::RunResult& r) { return r.total_time; }));
   emit(fig, "fig1_lenox_runtimes.csv");
 
-  // Companion detail: communication fraction per variant at the extremes,
-  // showing *why* Docker degrades (bridged messaging).
+  // Companion detail: communication fraction per variant, showing *why*
+  // Docker degrades (bridged messaging) — same cells, different metric.
   hs::Figure detail;
   detail.title = "Fig. 1 detail — communication fraction of a time step";
   detail.x_label = "ranks x threads";
   detail.y_label = "communication fraction";
-  for (const auto& v : kVariants) {
-    hs::Series series{.name = v.name};
-    for (const auto& [ranks, threads] : {std::pair{8, 14}, {112, 1}}) {
-      auto s = make_scenario(lenox, v.runtime, hs::AppCase::ArteryCfd, 4,
-                             ranks, threads, kTimeSteps);
-      if (v.runtime != hc::RuntimeKind::BareMetal)
-        s.image = hs::alya_image(lenox, v.runtime,
-                                 hc::BuildMode::SystemSpecific);
-      series.add(std::to_string(ranks) + "x" + std::to_string(threads),
-                 runner.run(s).comm_fraction);
-    }
-    detail.series.push_back(std::move(series));
-  }
+  for (std::size_t v = 0; v < res.axes[1]; ++v)
+    detail.series.push_back(res.series(
+        0, v, 0, [](const hs::RunResult& r) { return r.comm_fraction; }));
   emit(detail, "fig1_lenox_comm_fraction.csv");
+
+  std::cout << "campaign: " << res.cells.size() << " cells on " << res.jobs
+            << " jobs in " << res.wall_time_s << " s; images built "
+            << res.image_cache_misses << ", cache hits "
+            << res.image_cache_hits << "\n";
   return 0;
 }

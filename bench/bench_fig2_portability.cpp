@@ -7,55 +7,44 @@
 // equals bare-metal; the self-contained container cannot use the Mellanox
 // EDR network, falls back to TCP over the management Ethernet, and falls
 // increasingly behind as the node count grows.
+//
+// The 3 x 15 grid runs as one parallel campaign; the two Singularity
+// images are built once each through the shared build cache.
 
 #include <iostream>
 
 #include "bench_util.hpp"
+#include "core/campaign.hpp"
 #include "hw/presets.hpp"
 
 namespace hs = hpcs::study;
 namespace hc = hpcs::container;
 using hpcs::bench::emit;
-using hpcs::bench::make_scenario;
 
 int main() {
-  const auto cte = hpcs::hw::presets::cte_power();
-  const hs::ExperimentRunner runner;
-  constexpr int kTimeSteps = 10;
-  const int kNodes[] = {2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16};
+  hs::CampaignSpec spec;
+  spec.name = "fig2-ctepower-portability";
+  spec.cluster(hpcs::hw::presets::cte_power())
+      .variant(hc::RuntimeKind::BareMetal, hc::BuildMode::SystemSpecific,
+               "Bare-metal")
+      .variant(hc::RuntimeKind::Singularity, hc::BuildMode::SystemSpecific,
+               "Singularity system-specific")
+      .variant(hc::RuntimeKind::Singularity, hc::BuildMode::SelfContained,
+               "Singularity self-contained")
+      .nodes({2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+      .steps(10);
+
+  const hs::CampaignRunner runner(hs::CampaignOptions{.jobs = 0});
+  const auto res = runner.run(spec);
 
   hs::Figure fig;
   fig.title =
       "Fig. 2 — Average elapsed time of artery CFD case in CTE-POWER";
   fig.x_label = "nodes";
   fig.y_label = "avg time per simulated campaign [s] (10 time steps)";
-
-  struct Variant {
-    const char* name;
-    hc::RuntimeKind runtime;
-    hc::BuildMode mode;
-  };
-  const Variant kVariants[] = {
-      {"Bare-metal", hc::RuntimeKind::BareMetal,
-       hc::BuildMode::SystemSpecific},
-      {"Singularity system-specific", hc::RuntimeKind::Singularity,
-       hc::BuildMode::SystemSpecific},
-      {"Singularity self-contained", hc::RuntimeKind::Singularity,
-       hc::BuildMode::SelfContained},
-  };
-
-  for (const auto& v : kVariants) {
-    hs::Series series{.name = v.name};
-    for (int nodes : kNodes) {
-      auto s = make_scenario(cte, v.runtime, hs::AppCase::ArteryCfd, nodes,
-                             nodes * 40, 1, kTimeSteps);
-      if (v.runtime != hc::RuntimeKind::BareMetal)
-        s.image = hs::alya_image(cte, v.runtime, v.mode);
-      series.add(std::to_string(nodes), runner.run(s).total_time);
-    }
-    fig.series.push_back(std::move(series));
-  }
-
+  for (std::size_t v = 0; v < res.axes[1]; ++v)
+    fig.series.push_back(res.series(
+        0, v, 0, [](const hs::RunResult& r) { return r.total_time; }));
   emit(fig, "fig2_ctepower_portability.csv");
 
   // Slowdown of the self-contained image vs bare-metal per node count —
@@ -71,5 +60,10 @@ int main() {
     rs.add(bm.x[i], self.y[i] / bm.y[i]);
   ratio.series.push_back(std::move(rs));
   emit(ratio, "fig2_ctepower_slowdown.csv");
+
+  std::cout << "campaign: " << res.cells.size() << " cells on " << res.jobs
+            << " jobs in " << res.wall_time_s << " s; images built "
+            << res.image_cache_misses << ", cache hits "
+            << res.image_cache_hits << "\n";
   return 0;
 }

@@ -1,16 +1,14 @@
 // container_study: a compact version of the paper's full study — all four
 // execution variants on Lenox across the hybrid decompositions, with
 // deployment costs, in one run.  This is the "one figure point to full
-// campaign" workflow a facility engineer would script.
+// campaign" workflow a facility engineer would script: declare the grid,
+// run it in parallel, read the table.
 //
 // Build & run:  ./build/examples/container_study
 
 #include <iostream>
 
-#include "container/deployment.hpp"
-#include "core/images.hpp"
-#include "core/report.hpp"
-#include "core/runner.hpp"
+#include "core/campaign.hpp"
 #include "hw/presets.hpp"
 #include "sim/table.hpp"
 
@@ -20,42 +18,48 @@ using hpcs::sim::TextTable;
 
 int main() {
   const auto lenox = hpcs::hw::presets::lenox();
-  const hs::ExperimentRunner runner;
 
   std::cout << "=== Container study on " << lenox.name << " ("
             << lenox.total_cores() << " cores, " << lenox.fabric.name()
             << ") ===\n\n";
 
+  hs::CampaignSpec spec;
+  spec.name = "container-study-lenox";
+  spec.cluster(lenox)
+      .variant(hc::RuntimeKind::BareMetal)
+      .variant(hc::RuntimeKind::Singularity)
+      .variant(hc::RuntimeKind::Shifter)
+      .variant(hc::RuntimeKind::Docker)
+      .nodes({4})
+      .geometry(8, 14)
+      .geometry(28, 4)
+      .geometry(112, 1)
+      .steps(10);
+
+  const hs::CampaignRunner runner(hs::CampaignOptions{.jobs = 0});
+  const auto res = runner.run(spec);
+
   TextTable t({"variant", "deploy [s]", "8x14 [s]", "28x4 [s]", "112x1 [s]",
                "112x1 vs bare-metal"});
-  double bare_112 = 0.0;
-
-  for (auto kind : {hc::RuntimeKind::BareMetal, hc::RuntimeKind::Singularity,
-                    hc::RuntimeKind::Shifter, hc::RuntimeKind::Docker}) {
-    std::vector<double> times;
-    double deploy_time = 0.0;
-    for (auto [ranks, threads] :
-         {std::pair{8, 14}, {28, 4}, {112, 1}}) {
-      hs::Scenario s{.cluster = lenox,
-                     .runtime = kind,
-                     .app = hs::AppCase::ArteryCfd,
-                     .nodes = 4,
-                     .ranks = ranks,
-                     .threads = threads,
-                     .time_steps = 10};
-      if (kind != hc::RuntimeKind::BareMetal)
-        s.image = hs::alya_image(lenox, kind, hc::BuildMode::SystemSpecific);
-      const auto r = runner.run(s);
-      times.push_back(r.total_time);
-      deploy_time = r.deployment.total_time;
-    }
-    if (kind == hc::RuntimeKind::BareMetal) bare_112 = times[2];
-    t.add_row({std::string(to_string(kind)),
-               TextTable::num(deploy_time, 2), TextTable::num(times[0], 2),
-               TextTable::num(times[1], 2), TextTable::num(times[2], 2),
-               TextTable::num(times[2] / bare_112, 2) + "x"});
+  const double bare_112 = res.at(0, 0, 0, 0, 2).result.total_time;
+  for (std::size_t v = 0; v < res.axes[1]; ++v) {
+    const auto& c8 = res.at(0, v, 0, 0, 0);
+    const auto& c28 = res.at(0, v, 0, 0, 1);
+    const auto& c112 = res.at(0, v, 0, 0, 2);
+    t.add_row({std::string(to_string(c8.variant.runtime)),
+               TextTable::num(c112.result.deployment.total_time, 2),
+               TextTable::num(c8.result.total_time, 2),
+               TextTable::num(c28.result.total_time, 2),
+               TextTable::num(c112.result.total_time, 2),
+               TextTable::num(c112.result.total_time / bare_112, 2) + "x"});
   }
   t.print(std::cout);
+
+  std::cout << "\ncampaign: " << res.cells.size() << " cells on "
+            << res.jobs << " jobs in "
+            << TextTable::num(res.wall_time_s, 3) << " s; images built "
+            << res.image_cache_misses << ", cache hits "
+            << res.image_cache_hits << "\n";
 
   std::cout
       << "\nReading the table like the paper does:\n"

@@ -1,13 +1,23 @@
-// study_cli: run any single scenario of the study from the command line.
+// study_cli: run any single scenario of the study from the command line —
+// or, with --campaign, a whole figure sweep in parallel.
 //
 //   ./build/examples/study_cli --cluster cte-power --runtime singularity
 //       --mode self-contained --nodes 16 --app artery-cfd
 //
-// Prints the result row (avg step time, communication split, energy,
-// deployment) and, with --timeline, the per-step phase timeline.
+//   ./build/examples/study_cli --campaign --jobs 8
+//       --cluster lenox,cte-power --runtime bare-metal,singularity
+//       --nodes 2,4 --steps 5
+//
+// Single-scenario mode prints the result row (avg step time, communication
+// split, energy, deployment) and, with --timeline, the per-step phase
+// timeline.  Campaign mode prints the per-cell table and mirrors it to CSV
+// (per cell) and JSON (summary); results are byte-identical for any
+// --jobs count.
 
+#include <filesystem>
 #include <iostream>
 
+#include "core/campaign.hpp"
 #include "core/cli.hpp"
 #include "core/runner.hpp"
 #include "sim/table.hpp"
@@ -15,11 +25,41 @@
 namespace hs = hpcs::study;
 using hpcs::sim::TextTable;
 
+namespace {
+
+int run_campaign(const hs::CliOptions& opts) {
+  const auto spec = hs::to_campaign_spec(opts);
+  const hs::CampaignRunner runner(hs::CampaignOptions{.jobs = opts.jobs});
+  const auto res = runner.run(spec);
+  res.print(std::cout);
+
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(opts.csv_path).parent_path(), ec);
+  std::filesystem::create_directories(
+      std::filesystem::path(opts.json_path).parent_path(), ec);
+  if (res.save_csv(opts.csv_path))
+    std::cout << "[saved " << opts.csv_path << "]\n";
+  else
+    std::cerr << "warning: could not write " << opts.csv_path << "\n";
+  if (res.save_json(opts.json_path))
+    std::cout << "[saved " << opts.json_path << "]\n";
+  else
+    std::cerr << "warning: could not write " << opts.json_path << "\n";
+
+  // Failed cells are part of a campaign's normal output; only a campaign
+  // with no successful cell at all is a usage error.
+  return res.succeeded == 0 ? 1 : 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   hs::CliOptions opts;
   try {
     opts = hs::parse_cli(
-        std::span<const char* const>(argv + 1, static_cast<std::size_t>(argc - 1)));
+        std::span<const char* const>(argv + 1,
+                                     static_cast<std::size_t>(argc - 1)));
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;
@@ -30,6 +70,7 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (opts.campaign) return run_campaign(opts);
     const auto scenario = hs::to_scenario(opts);
     hs::RunnerOptions ropts;
     ropts.record_timeline = opts.timeline;

@@ -1,0 +1,470 @@
+#include "core/campaign.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "core/images.hpp"
+#include "core/thread_pool.hpp"
+#include "sim/csv.hpp"
+#include "sim/rng.hpp"
+#include "sim/table.hpp"
+
+namespace hpcs::study {
+
+namespace {
+
+// Effective axis values after defaulting the optional axes.
+const std::vector<AppCase>& effective_apps(const CampaignSpec& spec) {
+  static const std::vector<AppCase> kDefault{AppCase::ArteryCfd};
+  return spec.apps.empty() ? kDefault : spec.apps;
+}
+
+const std::vector<int>& effective_nodes(const CampaignSpec& spec) {
+  static const std::vector<int> kDefault{4};
+  return spec.node_counts.empty() ? kDefault : spec.node_counts;
+}
+
+const std::vector<Geometry>& effective_geometries(const CampaignSpec& spec) {
+  static const std::vector<Geometry> kDefault{Geometry{}};
+  return spec.geometries.empty() ? kDefault : spec.geometries;
+}
+
+std::array<std::size_t, 6> effective_axes(const CampaignSpec& spec) {
+  return {spec.clusters.size(),
+          spec.variants.size(),
+          effective_apps(spec).size(),
+          effective_nodes(spec).size(),
+          effective_geometries(spec).size(),
+          static_cast<std::size_t>(spec.repetitions)};
+}
+
+/// Cell seed: derived from the campaign seed and the cell *name* only, so
+/// it is independent of thread count, completion order, and the presence
+/// of other axis values.
+std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key) {
+  std::uint64_t state = base_seed ^ sim::hash64(key);
+  return sim::splitmix64(state);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RuntimeVariant::name() const {
+  if (!display.empty()) return display;
+  std::string n{to_string(runtime)};
+  if (runtime != container::RuntimeKind::BareMetal) {
+    n += "(";
+    n += to_string(mode);
+    n += ")";
+  }
+  if (image_arch) {
+    n += "@";
+    n += to_string(*image_arch);
+  }
+  return n;
+}
+
+CampaignSpec& CampaignSpec::cluster(hw::ClusterSpec c) {
+  clusters.push_back(std::move(c));
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::variant(container::RuntimeKind rt,
+                                    container::BuildMode mode,
+                                    std::string display,
+                                    std::optional<hw::CpuArch> image_arch) {
+  variants.push_back(RuntimeVariant{rt, mode, image_arch, std::move(display)});
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::app(AppCase a) {
+  apps.push_back(a);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::nodes(std::vector<int> counts) {
+  node_counts = std::move(counts);
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::geometry(int ranks, int threads) {
+  geometries.push_back(Geometry{ranks, threads});
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::steps(int s) {
+  time_steps = s;
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::reps(int r) {
+  repetitions = r;
+  return *this;
+}
+
+CampaignSpec& CampaignSpec::seed(std::uint64_t s) {
+  base_seed = s;
+  return *this;
+}
+
+std::size_t CampaignSpec::size() const noexcept {
+  std::size_t n = 1;
+  for (std::size_t axis : effective_axes(*this)) n *= axis;
+  return n;
+}
+
+void CampaignSpec::validate() const {
+  if (clusters.empty())
+    throw std::invalid_argument("CampaignSpec: no clusters");
+  if (variants.empty())
+    throw std::invalid_argument("CampaignSpec: no runtime variants");
+  if (time_steps < 1)
+    throw std::invalid_argument("CampaignSpec: time_steps < 1");
+  if (repetitions < 1)
+    throw std::invalid_argument("CampaignSpec: repetitions < 1");
+  for (int n : node_counts)
+    if (n < 1) throw std::invalid_argument("CampaignSpec: node count < 1");
+  for (const Geometry& g : geometries)
+    if (g.ranks < 0 || g.threads < 1)
+      throw std::invalid_argument("CampaignSpec: bad geometry");
+}
+
+std::vector<CampaignCell> CampaignSpec::expand() const {
+  validate();
+  const auto& apps_ = effective_apps(*this);
+  const auto& nodes_ = effective_nodes(*this);
+  const auto& geoms_ = effective_geometries(*this);
+
+  std::vector<CampaignCell> cells;
+  cells.reserve(size());
+  for (std::size_t ci = 0; ci < clusters.size(); ++ci)
+    for (std::size_t vi = 0; vi < variants.size(); ++vi)
+      for (std::size_t ai = 0; ai < apps_.size(); ++ai)
+        for (std::size_t ni = 0; ni < nodes_.size(); ++ni)
+          for (std::size_t gi = 0; gi < geoms_.size(); ++gi)
+            for (int rep = 0; rep < repetitions; ++rep) {
+              const auto& cluster = clusters[ci];
+              const RuntimeVariant& variant = variants[vi];
+              const Geometry& g = geoms_[gi];
+              const int n = nodes_[ni];
+              const int ranks =
+                  g.ranks > 0
+                      ? g.ranks
+                      : n * cluster.node.cpu.cores() / g.threads;
+
+              std::string key = cluster.name;
+              key += "/";
+              key += variant.name();
+              key += "/";
+              key += to_string(apps_[ai]);
+              key += "/n" + std::to_string(n);
+              key += "/" + std::to_string(ranks) + "x" +
+                     std::to_string(g.threads);
+              key += "/r" + std::to_string(rep);
+
+              Scenario scenario{.cluster = cluster,
+                                .runtime = variant.runtime,
+                                .app = apps_[ai],
+                                .nodes = n,
+                                .ranks = ranks,
+                                .threads = g.threads,
+                                .time_steps = time_steps,
+                                .seed = cell_seed(base_seed, key)};
+              cells.push_back(CampaignCell{.index = cells.size(),
+                                           .cluster_index = ci,
+                                           .variant_index = vi,
+                                           .app_index = ai,
+                                           .nodes_index = ni,
+                                           .geometry_index = gi,
+                                           .repetition = rep,
+                                           .key = std::move(key),
+                                           .variant = variant,
+                                           .scenario = std::move(scenario)});
+            }
+  return cells;
+}
+
+container::Image ImageBuildCache::get(const hw::ClusterSpec& cluster,
+                                      const RuntimeVariant& variant) {
+  const auto arch =
+      variant.image_arch ? *variant.image_arch : cluster.node.cpu.arch;
+  const auto format =
+      container::ContainerRuntime::make(variant.runtime)->native_format();
+  std::string k{to_string(arch)};
+  k += "|";
+  k += to_string(variant.mode);
+  k += "|";
+  k += to_string(format);
+
+  // Build under the lock: builds are simulated (microseconds of host
+  // time), and serializing them guarantees each distinct key is built
+  // exactly once, keeping hit/miss totals jobs-invariant.
+  std::lock_guard lock(mutex_);
+  if (auto it = cache_.find(k); it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  auto image =
+      alya_image(cluster, variant.runtime, variant.mode, variant.image_arch);
+  return cache_.emplace(std::move(k), std::move(image)).first->second;
+}
+
+std::size_t ImageBuildCache::hits() const noexcept {
+  std::lock_guard lock(mutex_);
+  return hits_;
+}
+
+std::size_t ImageBuildCache::misses() const noexcept {
+  std::lock_guard lock(mutex_);
+  return misses_;
+}
+
+void CampaignOptions::validate() const {
+  if (jobs < 0) throw std::invalid_argument("CampaignOptions: jobs < 0");
+  runner.validate();
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions options)
+    : options_(std::move(options)) {
+  options_.validate();
+}
+
+CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
+  auto cells = spec.expand();
+
+  CampaignResult res;
+  res.name = spec.name;
+  res.axes = effective_axes(spec);
+  res.jobs = options_.jobs > 0
+                 ? options_.jobs
+                 : std::max(1, static_cast<int>(
+                                   std::thread::hardware_concurrency()));
+
+  const ExperimentRunner runner(options_.runner);
+  ImageBuildCache cache;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    TaskPool pool(res.jobs);
+    for (CampaignCell& cell : cells)
+      pool.submit([&cell, &runner, &cache] {
+        try {
+          if (cell.scenario.runtime != container::RuntimeKind::BareMetal)
+            cell.scenario.image =
+                cache.get(cell.scenario.cluster, cell.variant);
+          cell.result = runner.run(cell.scenario);
+          cell.ok = true;
+        } catch (const std::exception& e) {
+          cell.ok = false;
+          cell.error = e.what();
+        }
+      });
+    pool.wait_idle();
+  }
+  res.wall_time_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  for (const CampaignCell& cell : cells)
+    (cell.ok ? res.succeeded : res.failed)++;
+  res.image_cache_hits = cache.hits();
+  res.image_cache_misses = cache.misses();
+  res.cells = std::move(cells);
+  return res;
+}
+
+const CampaignCell& CampaignResult::at(std::size_t cluster,
+                                       std::size_t variant, std::size_t app,
+                                       std::size_t nodes,
+                                       std::size_t geometry,
+                                       int repetition) const {
+  const std::size_t index =
+      ((((cluster * axes[1] + variant) * axes[2] + app) * axes[3] + nodes) *
+           axes[4] +
+       geometry) *
+          axes[5] +
+      static_cast<std::size_t>(repetition);
+  if (index >= cells.size())
+    throw std::out_of_range("CampaignResult::at: index out of range");
+  return cells[index];
+}
+
+Series CampaignResult::series(
+    std::size_t cluster, std::size_t variant, std::size_t app,
+    const std::function<double(const RunResult&)>& metric) const {
+  Series s;
+  const bool sweep_nodes = axes[3] > 1;
+  const bool sweep_geometry = axes[4] > 1;
+  for (std::size_t ni = 0; ni < axes[3]; ++ni)
+    for (std::size_t gi = 0; gi < axes[4]; ++gi) {
+      double sum = 0.0;
+      int n_ok = 0;
+      const CampaignCell* any = nullptr;
+      for (int rep = 0; rep < static_cast<int>(axes[5]); ++rep) {
+        const CampaignCell& cell = at(cluster, variant, app, ni, gi, rep);
+        any = &cell;
+        if (!cell.ok) continue;
+        sum += metric(cell.result);
+        ++n_ok;
+      }
+      if (s.name.empty() && any) s.name = any->variant.name();
+      if (n_ok == 0) continue;  // every repetition failed: no point
+      std::string label;
+      if (sweep_nodes) label = std::to_string(any->scenario.nodes);
+      if (sweep_geometry || !sweep_nodes) {
+        if (!label.empty()) label += "/";
+        label += std::to_string(any->scenario.ranks) + "x" +
+                 std::to_string(any->scenario.threads);
+      }
+      s.add(std::move(label), sum / n_ok);
+    }
+  return s;
+}
+
+void CampaignResult::write_csv(std::ostream& out) const {
+  sim::CsvWriter csv(out, {"index", "cluster", "runtime", "mode", "app",
+                           "nodes", "ranks", "threads", "steps", "rep",
+                           "seed", "status", "avg_step_time_s",
+                           "total_time_s", "compute_s", "halo_s",
+                           "reduction_s", "interface_s", "comm_fraction",
+                           "energy_j", "avg_node_power_w", "deploy_s",
+                           "error"});
+  for (const CampaignCell& cell : cells) {
+    const Scenario& sc = cell.scenario;
+    std::vector<std::string> row{
+        sim::CsvWriter::cell(cell.index),
+        sc.cluster.name,
+        std::string(to_string(cell.variant.runtime)),
+        cell.variant.runtime == container::RuntimeKind::BareMetal
+            ? "-"
+            : std::string(to_string(cell.variant.mode)),
+        std::string(to_string(sc.app)),
+        sim::CsvWriter::cell(static_cast<long long>(sc.nodes)),
+        sim::CsvWriter::cell(static_cast<long long>(sc.ranks)),
+        sim::CsvWriter::cell(static_cast<long long>(sc.threads)),
+        sim::CsvWriter::cell(static_cast<long long>(sc.time_steps)),
+        sim::CsvWriter::cell(static_cast<long long>(cell.repetition)),
+        sim::CsvWriter::cell(static_cast<std::size_t>(sc.seed)),
+        cell.ok ? "ok" : "failed"};
+    if (cell.ok) {
+      const RunResult& r = cell.result;
+      row.push_back(sim::CsvWriter::cell(r.avg_step_time));
+      row.push_back(sim::CsvWriter::cell(r.total_time));
+      row.push_back(sim::CsvWriter::cell(r.compute_time));
+      row.push_back(sim::CsvWriter::cell(r.halo_time));
+      row.push_back(sim::CsvWriter::cell(r.reduction_time));
+      row.push_back(sim::CsvWriter::cell(r.interface_time));
+      row.push_back(sim::CsvWriter::cell(r.comm_fraction));
+      row.push_back(sim::CsvWriter::cell(r.energy_j));
+      row.push_back(sim::CsvWriter::cell(r.avg_node_power_w));
+      row.push_back(sim::CsvWriter::cell(r.deployment.total_time));
+      row.push_back("");
+    } else {
+      for (int i = 0; i < 10; ++i) row.push_back("");
+      row.push_back(cell.error);
+    }
+    csv.row(row);
+  }
+}
+
+bool CampaignResult::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return out.good();
+}
+
+void CampaignResult::write_json(std::ostream& out) const {
+  out << "{\n";
+  out << "  \"name\": \"" << json_escape(name) << "\",\n";
+  out << "  \"jobs\": " << jobs << ",\n";
+  out << "  \"cells\": " << cells.size() << ",\n";
+  out << "  \"succeeded\": " << succeeded << ",\n";
+  out << "  \"failed\": " << failed << ",\n";
+  out << "  \"image_builds\": {\"misses\": " << image_cache_misses
+      << ", \"hits\": " << image_cache_hits << "},\n";
+  out << "  \"axes\": {\"clusters\": " << axes[0]
+      << ", \"variants\": " << axes[1] << ", \"apps\": " << axes[2]
+      << ", \"node_counts\": " << axes[3] << ", \"geometries\": " << axes[4]
+      << ", \"repetitions\": " << axes[5] << "},\n";
+  out << "  \"wall_time_s\": " << wall_time_s << ",\n";
+  out << "  \"failed_cells\": [";
+  bool first = true;
+  for (const CampaignCell& cell : cells) {
+    if (cell.ok) continue;
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"key\": \"" << json_escape(cell.key) << "\", \"error\": \""
+        << json_escape(cell.error) << "\"}";
+  }
+  out << "]\n}\n";
+}
+
+bool CampaignResult::save_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_json(out);
+  return out.good();
+}
+
+void CampaignResult::print(std::ostream& out) const {
+  sim::TextTable t({"cell", "status", "avg step [s]", "total [s]",
+                    "comm frac", "deploy [s]"});
+  for (const CampaignCell& cell : cells) {
+    if (cell.ok) {
+      t.add_row({cell.key, "ok",
+                 sim::TextTable::num(cell.result.avg_step_time, 5),
+                 sim::TextTable::num(cell.result.total_time, 3),
+                 sim::TextTable::num(cell.result.comm_fraction, 3),
+                 sim::TextTable::num(cell.result.deployment.total_time, 3)});
+    } else {
+      t.add_row({cell.key, "FAILED: " + cell.error, "-", "-", "-", "-"});
+    }
+  }
+  t.print(out);
+  out << "\ncampaign '" << name << "': " << cells.size() << " cells, "
+      << succeeded << " ok, " << failed << " failed | image builds: "
+      << image_cache_misses << " built, " << image_cache_hits
+      << " cache hits | " << jobs << " jobs, wall "
+      << sim::TextTable::num(wall_time_s, 3) << " s\n";
+}
+
+}  // namespace hpcs::study

@@ -28,6 +28,29 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
   return out;
 }
 
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= value.size()) {
+    const std::size_t comma = value.find(',', start);
+    const std::size_t end = comma == std::string::npos ? value.size() : comma;
+    if (end > start) out.push_back(value.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::vector<int> parse_int_list(const std::string& flag,
+                                const std::string& value) {
+  std::vector<int> out;
+  for (const auto& item : split_list(value))
+    out.push_back(parse_int(flag, item));
+  if (out.empty())
+    throw std::invalid_argument(flag + ": empty list: '" + value + "'");
+  return out;
+}
+
 }  // namespace
 
 CliOptions parse_cli(std::span<const char* const> args) {
@@ -52,7 +75,8 @@ CliOptions parse_cli(std::span<const char* const> args) {
     } else if (flag == "--app") {
       o.app = value();
     } else if (flag == "--nodes") {
-      o.nodes = parse_int(flag, value());
+      o.nodes_list = parse_int_list(flag, value());
+      o.nodes = o.nodes_list.front();
     } else if (flag == "--ranks") {
       o.ranks = parse_int(flag, value());
     } else if (flag == "--threads") {
@@ -61,6 +85,20 @@ CliOptions parse_cli(std::span<const char* const> args) {
       o.steps = parse_int(flag, value());
     } else if (flag == "--seed") {
       o.seed = parse_u64(flag, value());
+    } else if (flag == "--campaign") {
+      o.campaign = true;
+    } else if (flag == "--jobs") {
+      o.jobs = parse_int(flag, value());
+      if (o.jobs < 0)
+        throw std::invalid_argument("--jobs: must be >= 0");
+    } else if (flag == "--reps") {
+      o.repetitions = parse_int(flag, value());
+      if (o.repetitions < 1)
+        throw std::invalid_argument("--reps: must be >= 1");
+    } else if (flag == "--csv") {
+      o.csv_path = value();
+    } else if (flag == "--json") {
+      o.json_path = value();
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" +
                                   cli_usage());
@@ -81,28 +119,31 @@ hw::ClusterSpec cluster_by_name(const std::string& name) {
       "' (try lenox, marenostrum4, cte-power, thunderx)");
 }
 
+namespace {
+
+AppCase app_from_string(const std::string& name) {
+  if (name == "artery-cfd") return AppCase::ArteryCfd;
+  if (name == "artery-fsi") return AppCase::ArteryFsi;
+  throw std::invalid_argument("unknown app '" + name +
+                              "' (artery-cfd | artery-fsi)");
+}
+
+container::BuildMode mode_from_string(const std::string& name) {
+  if (name == "system-specific") return container::BuildMode::SystemSpecific;
+  if (name == "self-contained") return container::BuildMode::SelfContained;
+  throw std::invalid_argument("unknown mode '" + name +
+                              "' (system-specific | self-contained)");
+}
+
+}  // namespace
+
 Scenario to_scenario(const CliOptions& o) {
+  if (o.nodes_list.size() > 1)
+    throw std::invalid_argument("--nodes list requires --campaign");
   const auto cluster = cluster_by_name(o.cluster);
   const auto runtime = container::runtime_from_string(o.runtime);
-
-  AppCase app;
-  if (o.app == "artery-cfd")
-    app = AppCase::ArteryCfd;
-  else if (o.app == "artery-fsi")
-    app = AppCase::ArteryFsi;
-  else
-    throw std::invalid_argument("unknown app '" + o.app +
-                                "' (artery-cfd | artery-fsi)");
-
-  container::BuildMode mode;
-  if (o.mode == "system-specific")
-    mode = container::BuildMode::SystemSpecific;
-  else if (o.mode == "self-contained")
-    mode = container::BuildMode::SelfContained;
-  else
-    throw std::invalid_argument(
-        "unknown mode '" + o.mode +
-        "' (system-specific | self-contained)");
+  const auto app = app_from_string(o.app);
+  const auto mode = mode_from_string(o.mode);
 
   const int ranks =
       o.ranks > 0 ? o.ranks : o.nodes * cluster.node.cpu.cores() / o.threads;
@@ -121,6 +162,33 @@ Scenario to_scenario(const CliOptions& o) {
   return s;
 }
 
+CampaignSpec to_campaign_spec(const CliOptions& o) {
+  CampaignSpec spec;
+  spec.name = "study-cli-campaign";
+  for (const auto& name : split_list(o.cluster))
+    spec.cluster(cluster_by_name(name));
+
+  const auto modes = split_list(o.mode);
+  if (modes.empty())
+    throw std::invalid_argument("--mode: empty list");
+  for (const auto& rt_name : split_list(o.runtime)) {
+    const auto rt = container::runtime_from_string(rt_name);
+    if (rt == container::RuntimeKind::BareMetal) {
+      spec.variant(rt);
+    } else {
+      for (const auto& mode_name : modes)
+        spec.variant(rt, mode_from_string(mode_name));
+    }
+  }
+  for (const auto& app_name : split_list(o.app))
+    spec.app(app_from_string(app_name));
+  spec.nodes(o.nodes_list);
+  spec.geometry(o.ranks, o.threads);
+  spec.steps(o.steps).reps(o.repetitions).seed(o.seed);
+  spec.validate();
+  return spec;
+}
+
 std::string cli_usage() {
   return R"(usage: study_cli [flags]
   --cluster NAME   lenox | marenostrum4 | cte-power | thunderx
@@ -134,6 +202,14 @@ std::string cli_usage() {
   --seed X         RNG seed (default 42)
   --timeline       record and print the phase timeline
   --help           this text
+
+campaign mode (sweeps the cartesian product of the lists):
+  --campaign       run a campaign; --cluster/--runtime/--mode/--app/--nodes
+                   then accept comma-separated lists
+  --jobs N         campaign worker threads (0 = hardware concurrency)
+  --reps R         repetitions per cell (default 1)
+  --csv PATH       per-cell CSV output (default results/campaign.csv)
+  --json PATH      campaign summary JSON (default results/campaign.json)
 )";
 }
 

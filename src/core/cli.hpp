@@ -12,10 +12,17 @@
 ///   --app      artery-cfd | artery-fsi
 ///   --nodes N  --ranks R (0 = one per core)  --threads T
 ///   --steps S  --seed X  --timeline  --help
+///
+/// Campaign mode (--campaign) sweeps the cartesian product instead of one
+/// point: --cluster/--runtime/--mode/--app/--nodes accept comma-separated
+/// lists, --jobs N sets the worker threads, --reps R the repetitions, and
+/// --csv/--json the per-cell and summary output paths.
 
 #include <span>
 #include <string>
+#include <vector>
 
+#include "core/campaign.hpp"
 #include "core/scenario.hpp"
 
 namespace hpcs::study {
@@ -26,12 +33,19 @@ struct CliOptions {
   std::string mode = "system-specific";
   std::string app = "artery-cfd";
   int nodes = 4;
+  std::vector<int> nodes_list = {4};  ///< every --nodes value (comma list)
   int ranks = 0;  ///< 0: fill every core with single-thread ranks
   int threads = 1;
   int steps = 10;
   std::uint64_t seed = 42;
   bool timeline = false;
   bool help = false;
+  /// Campaign mode.
+  bool campaign = false;
+  int jobs = 1;  ///< campaign worker threads; 0 = hardware concurrency
+  int repetitions = 1;
+  std::string csv_path = "results/campaign.csv";
+  std::string json_path = "results/campaign.json";
 };
 
 /// Parses argv-style arguments (excluding argv[0]).
@@ -45,6 +59,12 @@ hw::ClusterSpec cluster_by_name(const std::string& name);
 /// Materializes the scenario (builds the image for containerized runs).
 /// \throws std::invalid_argument for inconsistent options.
 Scenario to_scenario(const CliOptions& options);
+
+/// Materializes the campaign grid from the (comma-separated) option lists.
+/// Bare-metal contributes one variant regardless of the mode list; every
+/// containerized runtime is crossed with every mode.
+/// \throws std::invalid_argument for unknown names or empty lists.
+CampaignSpec to_campaign_spec(const CliOptions& options);
 
 /// The usage/help text.
 std::string cli_usage();

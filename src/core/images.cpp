@@ -29,11 +29,12 @@ container::Recipe alya_recipe(hw::CpuArch arch, BuildMode mode) {
 }
 
 container::Image alya_image(const hw::ClusterSpec& cluster,
-                            container::RuntimeKind runtime,
-                            BuildMode mode) {
+                            container::RuntimeKind runtime, BuildMode mode,
+                            std::optional<hw::CpuArch> arch) {
   const auto rt = container::ContainerRuntime::make(runtime);
   container::ImageBuilder builder(cluster.node);
-  const auto recipe = alya_recipe(cluster.node.cpu.arch, mode);
+  const auto recipe =
+      alya_recipe(arch.value_or(cluster.node.cpu.arch), mode);
   // Docker images build natively; Singularity/Shifter images of the era
   // were usually built from a Docker image and converted, but a direct
   // native build yields the same flat artifact — we build natively here

@@ -11,6 +11,8 @@
 ///  * system-specific — binds the host's MPI and fabric libraries; reaches
 ///    bare-metal speed on the machine it was built for.
 
+#include <optional>
+
 #include "container/builder.hpp"
 #include "container/image.hpp"
 #include "container/recipe.hpp"
@@ -24,8 +26,11 @@ container::Recipe alya_recipe(hw::CpuArch arch, container::BuildMode mode);
 
 /// Builds the Alya image in the native format of \p runtime for
 /// \p cluster's ISA.  Uses the cluster's node model as the build host.
+/// \p arch overrides the target ISA (models pulling an image that was
+/// built for a different machine — the Section B.2 portability probe).
 container::Image alya_image(const hw::ClusterSpec& cluster,
                             container::RuntimeKind runtime,
-                            container::BuildMode mode);
+                            container::BuildMode mode,
+                            std::optional<hw::CpuArch> arch = {});
 
 }  // namespace hpcs::study

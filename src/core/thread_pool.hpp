@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// \brief Work-stealing task pool driving campaign execution.
+///
+/// Unlike `alya::ThreadPool` (a fork-join pool with a *static* schedule,
+/// mirroring the solver's OpenMP loops), this pool schedules independent
+/// coarse-grained tasks — one per campaign cell — dynamically: each worker
+/// owns a deque, `submit` deals tasks round-robin, and an idle worker
+/// steals from the back of the most loaded victim.  Campaign cells vary
+/// wildly in cost (a 256-node FSI sweep point is ~100x a 2-node CFD one),
+/// so stealing is what keeps all workers busy until the tail.
+///
+/// Determinism: the pool never reorders *results* — campaign cells write
+/// to disjoint slots — so anything built on it is reproducible regardless
+/// of worker count or completion order.
+
+#include <cstddef>
+#include <functional>
+
+namespace hpcs::study {
+
+class TaskPool {
+ public:
+  struct Impl;  // opaque; public so the worker entry point can name it
+
+  /// Creates \p threads workers (>= 1 required).
+  /// \throws std::invalid_argument for threads < 1.
+  explicit TaskPool(int threads);
+
+  /// Waits for every submitted task to finish, then joins the workers.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  int thread_count() const noexcept { return threads_; }
+
+  /// Enqueues a task.  Tasks may themselves submit further tasks (they are
+  /// pushed onto the submitting worker's own deque).
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks (including nested ones) completed.
+  /// Rethrows the first exception a task threw; the pool remains usable.
+  void wait_idle();
+
+  /// Successful steals since construction (scheduling diagnostic).
+  std::size_t steal_count() const noexcept;
+
+ private:
+  Impl* impl_;  // pimpl keeps <thread>/<deque> out of the header
+  int threads_;
+};
+
+}  // namespace hpcs::study

@@ -91,3 +91,30 @@ TEST(Cli, ScenarioRejectsBadCombos) {
   o = parse({"--cluster", "lenox", "--nodes", "9"});
   EXPECT_THROW(hs::to_scenario(o), std::invalid_argument);
 }
+
+TEST(Cli, NodesCommaListParses) {
+  const auto o = parse({"--nodes", "2,4,8"});
+  EXPECT_EQ(o.nodes, 2);  // single-scenario mode uses the first value
+  EXPECT_EQ(o.nodes_list, (std::vector<int>{2, 4, 8}));
+}
+
+TEST(Cli, CampaignFlags) {
+  const auto o = parse({"--campaign", "--jobs", "8", "--reps", "3",
+                        "--csv", "out/c.csv", "--json", "out/c.json"});
+  EXPECT_TRUE(o.campaign);
+  EXPECT_EQ(o.jobs, 8);
+  EXPECT_EQ(o.repetitions, 3);
+  EXPECT_EQ(o.csv_path, "out/c.csv");
+  EXPECT_EQ(o.json_path, "out/c.json");
+}
+
+TEST(Cli, CampaignFlagErrors) {
+  EXPECT_THROW(parse({"--jobs", "-1"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--reps", "0"}), std::invalid_argument);
+  EXPECT_THROW(parse({"--nodes", "2,x"}), std::invalid_argument);
+}
+
+TEST(Cli, NodesListRequiresCampaign) {
+  auto o = parse({"--nodes", "2,4"});
+  EXPECT_THROW(hs::to_scenario(o), std::invalid_argument);
+}

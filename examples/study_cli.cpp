@@ -29,7 +29,10 @@ namespace {
 
 int run_campaign(const hs::CliOptions& opts) {
   const auto spec = hs::to_campaign_spec(opts);
-  const hs::CampaignRunner runner(hs::CampaignOptions{.jobs = opts.jobs});
+  const hs::CampaignRunner runner(
+      hs::CampaignOptions{.jobs = opts.jobs,
+                          .runner = hs::to_runner_options(opts),
+                          .cell_retries = opts.cell_retries});
   const auto res = runner.run(spec);
   res.print(std::cout);
 
@@ -72,8 +75,7 @@ int main(int argc, char** argv) {
   try {
     if (opts.campaign) return run_campaign(opts);
     const auto scenario = hs::to_scenario(opts);
-    hs::RunnerOptions ropts;
-    ropts.record_timeline = opts.timeline;
+    const hs::RunnerOptions ropts = hs::to_runner_options(opts);
     const hs::ExperimentRunner runner(ropts);
     const auto r = runner.run(scenario);
 
@@ -93,6 +95,30 @@ int main(int argc, char** argv) {
     t.add_row({"deployment [s]",
                TextTable::num(r.deployment.total_time, 3)});
     t.print(std::cout);
+
+    if (ropts.faults.enabled) {
+      const auto& rs = r.resilience;
+      std::cout << "\nresilience under '" << ropts.faults.label << "':\n";
+      TextTable rt({"metric", "value"});
+      rt.add_row({"ideal time [s]", TextTable::num(rs.ideal_time_s, 3)});
+      rt.add_row({"effective time [s]",
+                  TextTable::num(rs.effective_time_s, 3)});
+      rt.add_row({"overhead", TextTable::num(rs.overhead_fraction(), 3)});
+      rt.add_row({"crashes", TextTable::num(rs.crashes, 0)});
+      rt.add_row({"checkpoints", TextTable::num(rs.checkpoints, 0)});
+      rt.add_row({"downtime [s]", TextTable::num(rs.downtime_s, 3)});
+      rt.add_row({"lost work [s]", TextTable::num(rs.lost_work_s, 3)});
+      rt.add_row({"checkpoint overhead [s]",
+                  TextTable::num(rs.checkpoint_overhead_s, 3)});
+      rt.add_row({"pull retries", TextTable::num(rs.pull_retries, 0)});
+      rt.add_row({"retry backoff [s]",
+                  TextTable::num(rs.retry_backoff_s, 3)});
+      rt.add_row({"straggler multiplier",
+                  TextTable::num(rs.straggler_multiplier, 3)});
+      rt.add_row({"link multiplier",
+                  TextTable::num(rs.link_multiplier, 3)});
+      rt.print(std::cout);
+    }
 
     if (opts.timeline && !r.timeline.empty()) {
       std::cout << "\nphase totals over the campaign:\n";

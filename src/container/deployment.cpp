@@ -1,11 +1,15 @@
 #include "container/deployment.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "container/transport.hpp"
+#include "fault/schedule.hpp"
 #include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "sim/rng.hpp"
@@ -20,6 +24,43 @@ DeploymentSimulator::DeploymentSimulator(hw::ClusterSpec cluster,
 
 void DeploymentSimulator::seed_node_cache(const Image& image) {
   for (const auto& l : image.layers()) node_cache_.insert(l.id);
+}
+
+void DeploymentSimulator::set_faults(fault::FaultSpec spec,
+                                     fault::RetryPolicy retry) {
+  spec.validate();
+  retry.validate();
+  faults_ = std::move(spec);
+  retry_ = retry;
+}
+
+double DeploymentSimulator::recovery_time(const ContainerRuntime& runtime,
+                                          const Image* image,
+                                          int ranks_per_node) const {
+  if (runtime.kind() == RuntimeKind::BareMetal || image == nullptr)
+    return 0.0;  // re-exec only; the scheduler requeue is charged elsewhere
+  if (ranks_per_node < 1)
+    throw std::invalid_argument("recovery_time: ranks_per_node < 1");
+
+  // The replacement node starts its runtime service from scratch.
+  double t = runtime.node_service_time(cluster_.node);
+  if (runtime.native_format() == ImageFormat::DockerLayered) {
+    // Cold local cache: the full image is re-pulled and re-extracted.
+    const double bw =
+        std::min(cluster_.fabric.bandwidth(), cluster_.registry_bw);
+    t += static_cast<double>(image->transfer_bytes()) / bw +
+         static_cast<double>(image->uncompressed_bytes()) /
+             cluster_.node.disk_write_bw;
+  } else {
+    // The image persists on the shared filesystem: metadata page-in only.
+    t += static_cast<double>(image->transfer_bytes()) * 0.002 /
+         cluster_.node.disk_read_bw;
+  }
+  const double inst = runtime.instantiate_time(*image, cluster_.node);
+  t += runtime.kind() == RuntimeKind::Docker
+           ? inst * static_cast<double>(ranks_per_node)
+           : inst;
+  return t;
 }
 
 DeploymentResult DeploymentSimulator::deploy_bare_metal(
@@ -58,6 +99,10 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
   const bool per_rank_containers = runtime.kind() == RuntimeKind::Docker;
   result.containers = per_rank_containers ? nodes * ranks_per_node : nodes;
 
+  const bool inject_faults =
+      faults_.enabled && faults_.registry_fault_rate > 0.0;
+  const fault::FaultInjector injector(faults_, seed_);
+
   // --- central phase: gateway conversion (Shifter) or shared-FS staging
   //     (Singularity); Docker has no central phase. -------------------------
   double central_done = 0.0;
@@ -72,6 +117,21 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
                    cluster_.registry_bw;
     result.bytes_transferred += image.transfer_bytes();
   }
+  if (inject_faults && central_done > 0.0) {
+    // The central pull/conversion hits the registry too: a transient
+    // error restarts it after backoff, losing a drawn fraction of work.
+    const int failures = injector.staging_failures(retry_.max_attempts);
+    if (failures >= retry_.max_attempts)
+      throw fault::FaultError(
+          "deploy: central image staging failed " +
+          std::to_string(failures) + " times (retry budget exhausted)");
+    const double base_staging = central_done;
+    for (int a = 0; a < failures; ++a)
+      central_done += base_staging * injector.wasted_fraction(-1, a);
+    central_done += retry_.total_backoff(failures);
+    result.pull_retries += failures;
+    result.retry_backoff_time += retry_.total_backoff(failures);
+  }
   result.gateway_time = central_done;
 
   // --- per-node phase -------------------------------------------------------
@@ -82,6 +142,8 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
   const double pull_bw = std::min(downlink, egress_share);
 
   std::vector<double> ready(static_cast<std::size_t>(nodes), 0.0);
+  // Retry chains must outlive their scheduled events (engine.run() below).
+  std::vector<std::shared_ptr<std::function<void(int)>>> chains;
   for (int n = 0; n < nodes; ++n) {
     auto node_rng = rng.child(static_cast<std::uint64_t>(n));
     const double jitter = node_rng.lognormal_median(1.0, 0.03);
@@ -128,13 +190,54 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
 
     const std::size_t idx = static_cast<std::size_t>(n);
     if (node_local_pull) {
+      // Transient registry errors for this node's pull, drawn up front
+      // from its named stream (independent of event execution order).
+      int failures = 0;
+      std::vector<double> wasted;
+      if (inject_faults) {
+        failures = injector.pull_failures(n, retry_.max_attempts);
+        if (failures >= retry_.max_attempts)
+          throw fault::FaultError(
+              "deploy: node " + std::to_string(n) +
+              " registry pull failed " + std::to_string(failures) +
+              " times (retry budget exhausted)");
+        wasted.reserve(static_cast<std::size_t>(failures));
+        for (int a = 0; a < failures; ++a) {
+          wasted.push_back(injector.wasted_fraction(n, a));
+          result.bytes_transferred += static_cast<std::uint64_t>(
+              static_cast<double>(wire_bytes) * wasted.back());
+        }
+      }
+
       // The pull contends for a registry stream; daemon start happens first
-      // on the node, then the pull queues at the registry.
-      engine.schedule(service, [&, idx, pull, inst]() {
-        registry_streams.request(pull, [&, idx, inst]() {
-          engine.schedule(inst, [&, idx]() { ready[idx] = engine.now(); });
-        });
-      });
+      // on the node, then the pull queues at the registry.  A failed
+      // attempt occupies its stream for the wasted fraction, backs off,
+      // and re-enters the queue behind whoever is waiting.
+      auto chain = std::make_shared<std::function<void(int)>>();
+      chains.push_back(chain);
+      *chain = [&engine, &registry_streams, &ready, &result, this, idx,
+                pull, inst, failures, wasted, chain](int attempt) {
+        const bool fails = attempt < failures;
+        const double slot_time =
+            fails ? pull * wasted[static_cast<std::size_t>(attempt)] : pull;
+        registry_streams.request(
+            slot_time,
+            [&engine, &ready, &result, this, idx, inst, attempt, fails,
+             chain]() {
+              if (fails) {
+                const double backoff = retry_.delay(attempt + 1);
+                ++result.pull_retries;
+                result.retry_backoff_time += backoff;
+                engine.schedule(backoff,
+                                [chain, attempt]() { (*chain)(attempt + 1); });
+              } else {
+                engine.schedule(inst, [&engine, &ready, idx]() {
+                  ready[idx] = engine.now();
+                });
+              }
+            });
+      };
+      engine.schedule(service, [chain]() { (*chain)(0); });
     } else {
       // Shared-FS path: wait for the central phase, then mount + exec.
       engine.schedule_at(central_done, [&, idx, service, pull, inst]() {

@@ -25,6 +25,8 @@
 #include "container/image.hpp"
 #include "container/registry.hpp"
 #include "container/runtime.hpp"
+#include "fault/resilience.hpp"
+#include "fault/spec.hpp"
 #include "hw/cluster.hpp"
 #include "sim/stats.hpp"
 
@@ -39,6 +41,8 @@ struct DeploymentResult {
   std::uint64_t bytes_transferred = 0;  ///< aggregate wire traffic
   int nodes = 0;
   int containers = 0;
+  int pull_retries = 0;  ///< transient registry/staging errors retried
+  double retry_backoff_time = 0.0;  ///< backoff waited across retries
   sim::Samples node_ready_times;  ///< distribution across nodes
 };
 
@@ -70,10 +74,26 @@ class DeploymentSimulator {
   void clear_node_cache() noexcept { node_cache_.clear(); }
   std::size_t cached_layers() const noexcept { return node_cache_.size(); }
 
+  /// Enables fault injection: registry pulls and shared-FS staging may
+  /// fail transiently per \p spec and are retried with \p retry backoff
+  /// (failed pulls re-enter the contended registry-stream pool).  A pull
+  /// exceeding the retry budget throws fault::FaultError from deploy().
+  void set_faults(fault::FaultSpec spec, fault::RetryPolicy retry);
+
+  /// Per-node recovery cost [s] after a crash during execution, excluding
+  /// the scheduler's requeue delay: Docker restarts the daemon on the
+  /// replacement node and re-pulls the full image; Singularity/Shifter
+  /// re-stage from the shared filesystem (metadata page-in); bare metal
+  /// only re-execs.  \p image may be null for bare metal.
+  double recovery_time(const ContainerRuntime& runtime, const Image* image,
+                       int ranks_per_node) const;
+
  private:
   hw::ClusterSpec cluster_;
   std::uint64_t seed_;
   std::set<std::string> node_cache_;
+  fault::FaultSpec faults_{};
+  fault::RetryPolicy retry_{};
 };
 
 }  // namespace hpcs::container

@@ -68,4 +68,50 @@ double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
   return total;
 }
 
+double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
+                                      int concurrent_pullers,
+                                      double node_downlink_bw,
+                                      const fault::FaultInjector& injector,
+                                      const fault::RetryPolicy& retry,
+                                      int* retries_out) const {
+  if (concurrent_pullers < 1)
+    throw std::invalid_argument("Registry: pullers must be >= 1");
+  if (node_downlink_bw <= 0)
+    throw std::invalid_argument("Registry: downlink must be > 0");
+  retry.validate();
+  if (retries_out) *retries_out = 0;
+  if (bytes_per_node == 0 || !injector.spec().enabled)
+    return concurrent_pull_time(bytes_per_node, concurrent_pullers,
+                                node_downlink_bw);
+
+  // Waves as in the fault-free form; within a wave each puller pays its
+  // base transfer plus wasted fractions and backoff for every transient
+  // error, and the wave completes with its slowest member.
+  double total = 0.0;
+  int puller = 0;
+  int remaining = concurrent_pullers;
+  while (remaining > 0) {
+    const int in_wave = std::min(remaining, max_streams_);
+    remaining -= in_wave;
+    const double per_node_bw =
+        std::min(node_downlink_bw, egress_bw_ / static_cast<double>(in_wave));
+    const double base = static_cast<double>(bytes_per_node) / per_node_bw;
+    double wave_time = 0.0;
+    for (int i = 0; i < in_wave; ++i, ++puller) {
+      const int failures = injector.pull_failures(puller, retry.max_attempts);
+      if (failures >= retry.max_attempts)
+        throw fault::FaultError("Registry: puller " + std::to_string(puller) +
+                                " exhausted its retry budget");
+      double t = base;
+      for (int a = 0; a < failures; ++a)
+        t += base * injector.wasted_fraction(puller, a);
+      t += retry.total_backoff(failures);
+      if (retries_out) *retries_out += failures;
+      wave_time = std::max(wave_time, t);
+    }
+    total += wave_time;
+  }
+  return total;
+}
+
 }  // namespace hpcs::container

@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "container/image.hpp"
+#include "fault/resilience.hpp"
+#include "fault/schedule.hpp"
 
 namespace hpcs::container {
 
@@ -45,6 +47,18 @@ class Registry {
   double concurrent_pull_time(std::uint64_t bytes_per_node,
                               int concurrent_pullers,
                               double node_downlink_bw) const;
+
+  /// Retry-aware variant: each puller may suffer transient errors drawn
+  /// from its named stream in \p injector; a failed attempt wastes a
+  /// drawn fraction of the transfer and backs off per \p retry before
+  /// re-entering its wave.  Reports the retry count via \p retries_out.
+  /// \throws fault::FaultError when a puller exhausts the retry budget.
+  double concurrent_pull_time(std::uint64_t bytes_per_node,
+                              int concurrent_pullers,
+                              double node_downlink_bw,
+                              const fault::FaultInjector& injector,
+                              const fault::RetryPolicy& retry,
+                              int* retries_out = nullptr) const;
 
   double egress_bandwidth() const noexcept { return egress_bw_; }
   int max_streams() const noexcept { return max_streams_; }

@@ -8,8 +8,10 @@
 #include <thread>
 #include <utility>
 
+#include "container/transport.hpp"
 #include "core/images.hpp"
 #include "core/thread_pool.hpp"
+#include "fault/resilience.hpp"
 #include "sim/csv.hpp"
 #include "sim/rng.hpp"
 #include "sim/table.hpp"
@@ -34,12 +36,20 @@ const std::vector<Geometry>& effective_geometries(const CampaignSpec& spec) {
   return spec.geometries.empty() ? kDefault : spec.geometries;
 }
 
-std::array<std::size_t, 6> effective_axes(const CampaignSpec& spec) {
+const std::vector<hpcs::fault::FaultSpec>& effective_faults(
+    const CampaignSpec& spec) {
+  static const std::vector<hpcs::fault::FaultSpec> kDefault{
+      hpcs::fault::FaultSpec{}};
+  return spec.faults.empty() ? kDefault : spec.faults;
+}
+
+std::array<std::size_t, 7> effective_axes(const CampaignSpec& spec) {
   return {spec.clusters.size(),
           spec.variants.size(),
           effective_apps(spec).size(),
           effective_nodes(spec).size(),
           effective_geometries(spec).size(),
+          effective_faults(spec).size(),
           static_cast<std::size_t>(spec.repetitions)};
 }
 
@@ -86,6 +96,36 @@ std::string json_escape(const std::string& s) {
 }
 
 }  // namespace
+
+const char* to_string(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::None:
+      return "none";
+    case FailureKind::Config:
+      return "config";
+    case FailureKind::ExecFormat:
+      return "exec-format";
+    case FailureKind::RuntimeUnavailable:
+      return "runtime-unavailable";
+    case FailureKind::Fault:
+      return "fault";
+    case FailureKind::Internal:
+      return "internal";
+  }
+  return "internal";
+}
+
+FailureKind classify_failure(const std::exception& e) noexcept {
+  if (dynamic_cast<const container::ExecFormatError*>(&e))
+    return FailureKind::ExecFormat;
+  if (dynamic_cast<const container::RuntimeUnavailableError*>(&e))
+    return FailureKind::RuntimeUnavailable;
+  if (dynamic_cast<const hpcs::fault::FaultError*>(&e))
+    return FailureKind::Fault;
+  if (dynamic_cast<const std::invalid_argument*>(&e))
+    return FailureKind::Config;
+  return FailureKind::Internal;
+}
 
 std::string RuntimeVariant::name() const {
   if (!display.empty()) return display;
@@ -145,6 +185,11 @@ CampaignSpec& CampaignSpec::seed(std::uint64_t s) {
   return *this;
 }
 
+CampaignSpec& CampaignSpec::fault(hpcs::fault::FaultSpec f) {
+  faults.push_back(std::move(f));
+  return *this;
+}
+
 std::size_t CampaignSpec::size() const noexcept {
   std::size_t n = 1;
   for (std::size_t axis : effective_axes(*this)) n *= axis;
@@ -165,6 +210,20 @@ void CampaignSpec::validate() const {
   for (const Geometry& g : geometries)
     if (g.ranks < 0 || g.threads < 1)
       throw std::invalid_argument("CampaignSpec: bad geometry");
+  std::size_t disabled = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    faults[i].validate();
+    if (!faults[i].enabled) ++disabled;
+    for (std::size_t j = i + 1; j < faults.size(); ++j)
+      if (faults[i].label == faults[j].label)
+        throw std::invalid_argument(
+            "CampaignSpec: duplicate fault label '" + faults[i].label + "'");
+  }
+  // Disabled specs contribute no key segment, so two of them would expand
+  // to colliding cell names (and seeds).
+  if (disabled > 1)
+    throw std::invalid_argument(
+        "CampaignSpec: more than one disabled fault spec");
 }
 
 std::vector<CampaignCell> CampaignSpec::expand() const {
@@ -172,6 +231,7 @@ std::vector<CampaignCell> CampaignSpec::expand() const {
   const auto& apps_ = effective_apps(*this);
   const auto& nodes_ = effective_nodes(*this);
   const auto& geoms_ = effective_geometries(*this);
+  const auto& faults_ = effective_faults(*this);
 
   std::vector<CampaignCell> cells;
   cells.reserve(size());
@@ -180,45 +240,53 @@ std::vector<CampaignCell> CampaignSpec::expand() const {
       for (std::size_t ai = 0; ai < apps_.size(); ++ai)
         for (std::size_t ni = 0; ni < nodes_.size(); ++ni)
           for (std::size_t gi = 0; gi < geoms_.size(); ++gi)
-            for (int rep = 0; rep < repetitions; ++rep) {
-              const auto& cluster = clusters[ci];
-              const RuntimeVariant& variant = variants[vi];
-              const Geometry& g = geoms_[gi];
-              const int n = nodes_[ni];
-              const int ranks =
-                  g.ranks > 0
-                      ? g.ranks
-                      : n * cluster.node.cpu.cores() / g.threads;
+            for (std::size_t fi = 0; fi < faults_.size(); ++fi)
+              for (int rep = 0; rep < repetitions; ++rep) {
+                const auto& cluster = clusters[ci];
+                const RuntimeVariant& variant = variants[vi];
+                const Geometry& g = geoms_[gi];
+                const int n = nodes_[ni];
+                const int ranks =
+                    g.ranks > 0
+                        ? g.ranks
+                        : n * cluster.node.cpu.cores() / g.threads;
 
-              std::string key = cluster.name;
-              key += "/";
-              key += variant.name();
-              key += "/";
-              key += to_string(apps_[ai]);
-              key += "/n" + std::to_string(n);
-              key += "/" + std::to_string(ranks) + "x" +
-                     std::to_string(g.threads);
-              key += "/r" + std::to_string(rep);
+                std::string key = cluster.name;
+                key += "/";
+                key += variant.name();
+                key += "/";
+                key += to_string(apps_[ai]);
+                key += "/n" + std::to_string(n);
+                key += "/" + std::to_string(ranks) + "x" +
+                       std::to_string(g.threads);
+                // A disabled fault spec contributes nothing, keeping
+                // fault-free keys (and seeds) identical to pre-fault
+                // campaigns.
+                if (faults_[fi].enabled) key += "/" + faults_[fi].label;
+                key += "/r" + std::to_string(rep);
 
-              Scenario scenario{.cluster = cluster,
-                                .runtime = variant.runtime,
-                                .app = apps_[ai],
-                                .nodes = n,
-                                .ranks = ranks,
-                                .threads = g.threads,
-                                .time_steps = time_steps,
-                                .seed = cell_seed(base_seed, key)};
-              cells.push_back(CampaignCell{.index = cells.size(),
-                                           .cluster_index = ci,
-                                           .variant_index = vi,
-                                           .app_index = ai,
-                                           .nodes_index = ni,
-                                           .geometry_index = gi,
-                                           .repetition = rep,
-                                           .key = std::move(key),
-                                           .variant = variant,
-                                           .scenario = std::move(scenario)});
-            }
+                Scenario scenario{.cluster = cluster,
+                                  .runtime = variant.runtime,
+                                  .app = apps_[ai],
+                                  .nodes = n,
+                                  .ranks = ranks,
+                                  .threads = g.threads,
+                                  .time_steps = time_steps,
+                                  .seed = cell_seed(base_seed, key)};
+                cells.push_back(
+                    CampaignCell{.index = cells.size(),
+                                 .cluster_index = ci,
+                                 .variant_index = vi,
+                                 .app_index = ai,
+                                 .nodes_index = ni,
+                                 .geometry_index = gi,
+                                 .fault_index = fi,
+                                 .repetition = rep,
+                                 .key = std::move(key),
+                                 .variant = variant,
+                                 .scenario = std::move(scenario),
+                                 .fault_spec = faults_[fi]});
+              }
   return cells;
 }
 
@@ -260,6 +328,8 @@ std::size_t ImageBuildCache::misses() const noexcept {
 
 void CampaignOptions::validate() const {
   if (jobs < 0) throw std::invalid_argument("CampaignOptions: jobs < 0");
+  if (cell_retries < 0)
+    throw std::invalid_argument("CampaignOptions: cell_retries < 0");
   runner.validate();
 }
 
@@ -279,22 +349,42 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
                  : std::max(1, static_cast<int>(
                                    std::thread::hardware_concurrency()));
 
-  const ExperimentRunner runner(options_.runner);
   ImageBuildCache cache;
   const auto t0 = std::chrono::steady_clock::now();
   {
     TaskPool pool(res.jobs);
     for (CampaignCell& cell : cells)
-      pool.submit([&cell, &runner, &cache] {
-        try {
-          if (cell.scenario.runtime != container::RuntimeKind::BareMetal)
-            cell.scenario.image =
-                cache.get(cell.scenario.cluster, cell.variant);
-          cell.result = runner.run(cell.scenario);
-          cell.ok = true;
-        } catch (const std::exception& e) {
-          cell.ok = false;
-          cell.error = e.what();
+      pool.submit([&cell, &cache, &spec, this] {
+        // Each cell carries its own fault spec, so the runner is built per
+        // cell; fault-category failures get bounded re-executions with a
+        // fresh key-derived seed (jobs-invariant, like everything else).
+        RunnerOptions ro = options_.runner;
+        ro.faults = cell.fault_spec;
+        for (int attempt = 0;; ++attempt) {
+          cell.attempts = attempt + 1;
+          try {
+            if (cell.scenario.runtime != container::RuntimeKind::BareMetal)
+              cell.scenario.image =
+                  cache.get(cell.scenario.cluster, cell.variant);
+            Scenario scenario = cell.scenario;
+            if (attempt > 0)
+              scenario.seed = cell_seed(
+                  spec.base_seed,
+                  cell.key + "#retry" + std::to_string(attempt));
+            const ExperimentRunner runner(ro);
+            cell.result = runner.run(scenario);
+            cell.ok = true;
+            cell.failure = FailureKind::None;
+            cell.error.clear();
+            break;
+          } catch (const std::exception& e) {
+            cell.ok = false;
+            cell.error = e.what();
+            cell.failure = classify_failure(e);
+            if (cell.failure != FailureKind::Fault ||
+                attempt >= options_.cell_retries)
+              break;
+          }
         }
       });
     pool.wait_idle();
@@ -315,12 +405,15 @@ const CampaignCell& CampaignResult::at(std::size_t cluster,
                                        std::size_t variant, std::size_t app,
                                        std::size_t nodes,
                                        std::size_t geometry,
+                                       std::size_t fault_level,
                                        int repetition) const {
   const std::size_t index =
-      ((((cluster * axes[1] + variant) * axes[2] + app) * axes[3] + nodes) *
-           axes[4] +
-       geometry) *
-          axes[5] +
+      (((((cluster * axes[1] + variant) * axes[2] + app) * axes[3] + nodes) *
+            axes[4] +
+        geometry) *
+           axes[5] +
+       fault_level) *
+          axes[6] +
       static_cast<std::size_t>(repetition);
   if (index >= cells.size())
     throw std::out_of_range("CampaignResult::at: index out of range");
@@ -329,7 +422,8 @@ const CampaignCell& CampaignResult::at(std::size_t cluster,
 
 Series CampaignResult::series(
     std::size_t cluster, std::size_t variant, std::size_t app,
-    const std::function<double(const RunResult&)>& metric) const {
+    const std::function<double(const RunResult&)>& metric,
+    std::size_t fault_level) const {
   Series s;
   const bool sweep_nodes = axes[3] > 1;
   const bool sweep_geometry = axes[4] > 1;
@@ -338,8 +432,9 @@ Series CampaignResult::series(
       double sum = 0.0;
       int n_ok = 0;
       const CampaignCell* any = nullptr;
-      for (int rep = 0; rep < static_cast<int>(axes[5]); ++rep) {
-        const CampaignCell& cell = at(cluster, variant, app, ni, gi, rep);
+      for (int rep = 0; rep < static_cast<int>(axes[6]); ++rep) {
+        const CampaignCell& cell =
+            at(cluster, variant, app, ni, gi, fault_level, rep);
         any = &cell;
         if (!cell.ok) continue;
         sum += metric(cell.result);
@@ -366,7 +461,9 @@ void CampaignResult::write_csv(std::ostream& out) const {
                            "total_time_s", "compute_s", "halo_s",
                            "reduction_s", "interface_s", "comm_fraction",
                            "energy_j", "avg_node_power_w", "deploy_s",
-                           "error"});
+                           "error", "error_category", "fault", "attempts",
+                           "crashes", "downtime_s", "lost_work_s",
+                           "pull_retries", "effective_s"});
   for (const CampaignCell& cell : cells) {
     const Scenario& sc = cell.scenario;
     std::vector<std::string> row{
@@ -397,9 +494,25 @@ void CampaignResult::write_csv(std::ostream& out) const {
       row.push_back(sim::CsvWriter::cell(r.avg_node_power_w));
       row.push_back(sim::CsvWriter::cell(r.deployment.total_time));
       row.push_back("");
+      row.push_back("");
+      row.push_back(cell.fault_spec.label);
+      row.push_back(sim::CsvWriter::cell(
+          static_cast<long long>(cell.attempts)));
+      row.push_back(sim::CsvWriter::cell(
+          static_cast<long long>(r.resilience.crashes)));
+      row.push_back(sim::CsvWriter::cell(r.resilience.downtime_s));
+      row.push_back(sim::CsvWriter::cell(r.resilience.lost_work_s));
+      row.push_back(sim::CsvWriter::cell(
+          static_cast<long long>(r.resilience.pull_retries)));
+      row.push_back(sim::CsvWriter::cell(r.resilience.effective_time_s));
     } else {
       for (int i = 0; i < 10; ++i) row.push_back("");
       row.push_back(cell.error);
+      row.push_back(to_string(cell.failure));
+      row.push_back(cell.fault_spec.label);
+      row.push_back(sim::CsvWriter::cell(
+          static_cast<long long>(cell.attempts)));
+      for (int i = 0; i < 5; ++i) row.push_back("");
     }
     csv.row(row);
   }
@@ -424,15 +537,32 @@ void CampaignResult::write_json(std::ostream& out) const {
   out << "  \"axes\": {\"clusters\": " << axes[0]
       << ", \"variants\": " << axes[1] << ", \"apps\": " << axes[2]
       << ", \"node_counts\": " << axes[3] << ", \"geometries\": " << axes[4]
-      << ", \"repetitions\": " << axes[5] << "},\n";
+      << ", \"faults\": " << axes[5] << ", \"repetitions\": " << axes[6]
+      << "},\n";
   out << "  \"wall_time_s\": " << wall_time_s << ",\n";
+  int crashes = 0, pull_retries = 0, retried_cells = 0;
+  double downtime = 0.0, lost_work = 0.0;
+  for (const CampaignCell& cell : cells) {
+    if (cell.attempts > 1) ++retried_cells;
+    if (!cell.ok) continue;
+    crashes += cell.result.resilience.crashes;
+    pull_retries += cell.result.resilience.pull_retries;
+    downtime += cell.result.resilience.downtime_s;
+    lost_work += cell.result.resilience.lost_work_s;
+  }
+  out << "  \"resilience\": {\"crashes\": " << crashes
+      << ", \"pull_retries\": " << pull_retries
+      << ", \"downtime_s\": " << downtime
+      << ", \"lost_work_s\": " << lost_work
+      << ", \"retried_cells\": " << retried_cells << "},\n";
   out << "  \"failed_cells\": [";
   bool first = true;
   for (const CampaignCell& cell : cells) {
     if (cell.ok) continue;
     if (!first) out << ", ";
     first = false;
-    out << "{\"key\": \"" << json_escape(cell.key) << "\", \"error\": \""
+    out << "{\"key\": \"" << json_escape(cell.key) << "\", \"category\": \""
+        << to_string(cell.failure) << "\", \"error\": \""
         << json_escape(cell.error) << "\"}";
   }
   out << "]\n}\n";
@@ -456,7 +586,10 @@ void CampaignResult::print(std::ostream& out) const {
                  sim::TextTable::num(cell.result.comm_fraction, 3),
                  sim::TextTable::num(cell.result.deployment.total_time, 3)});
     } else {
-      t.add_row({cell.key, "FAILED: " + cell.error, "-", "-", "-", "-"});
+      t.add_row({cell.key,
+                 "FAILED[" + std::string(to_string(cell.failure)) +
+                     "]: " + cell.error,
+                 "-", "-", "-", "-"});
     }
   }
   t.print(out);

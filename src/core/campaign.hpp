@@ -22,7 +22,10 @@
 ///    campaign always completes.
 ///
 /// Cell expansion order is fixed: clusters (outermost) > variants > apps >
-/// node counts > geometries > repetitions (innermost).
+/// node counts > geometries > fault specs > repetitions (innermost).  The
+/// fault axis defaults to a single *disabled* spec which contributes no
+/// key segment, so fault-free campaigns keep their pre-fault cell names —
+/// and therefore their seeds and results — bit-for-bit.
 
 #include <array>
 #include <cstdint>
@@ -37,8 +40,24 @@
 #include "core/report.hpp"
 #include "core/runner.hpp"
 #include "core/scenario.hpp"
+#include "fault/spec.hpp"
 
 namespace hpcs::study {
+
+/// Why a campaign cell failed, for the CSV/JSON failure taxonomy.
+enum class FailureKind {
+  None,                ///< cell succeeded
+  Config,              ///< invalid spec/scenario (std::invalid_argument)
+  ExecFormat,          ///< ISA mismatch (container::ExecFormatError)
+  RuntimeUnavailable,  ///< runtime absent on cluster
+  Fault,               ///< injected fault exhausted retries (retryable)
+  Internal,            ///< anything else
+};
+
+const char* to_string(FailureKind kind) noexcept;
+
+/// Maps an exception thrown by a cell to its failure category.
+FailureKind classify_failure(const std::exception& e) noexcept;
 
 /// One runtime-axis entry: the runtime plus the image build technique and,
 /// optionally, a foreign ISA (models running an image pulled from a
@@ -71,6 +90,9 @@ struct CampaignSpec {
   std::vector<AppCase> apps;        ///< empty: {ArteryCfd}
   std::vector<int> node_counts;     ///< empty: {4}
   std::vector<Geometry> geometries; ///< empty: {{0, 1}} (fill cores)
+  /// Fault-model axis; empty: one disabled spec (no key segment, so the
+  /// expansion is identical to a campaign without the axis).
+  std::vector<hpcs::fault::FaultSpec> faults;
   int time_steps = 10;
   int repetitions = 1;
   std::uint64_t base_seed = 42;
@@ -86,6 +108,7 @@ struct CampaignSpec {
   CampaignSpec& steps(int s);
   CampaignSpec& reps(int r);
   CampaignSpec& seed(std::uint64_t s);
+  CampaignSpec& fault(hpcs::fault::FaultSpec f);
 
   /// Number of cells the product expands to.
   std::size_t size() const noexcept;
@@ -110,13 +133,18 @@ struct CampaignCell {
   std::size_t app_index = 0;
   std::size_t nodes_index = 0;
   std::size_t geometry_index = 0;
+  std::size_t fault_index = 0;
   int repetition = 0;
   /// Stable cell name, e.g. "Lenox/singularity(system-specific)/
-  /// artery-cfd/n4/28x4/r0"; the seed is derived from it.
+  /// artery-cfd/n4/28x4/r0" (enabled fault specs insert their label
+  /// before the repetition segment); the seed is derived from it.
   std::string key;
   RuntimeVariant variant;
   Scenario scenario;
+  hpcs::fault::FaultSpec fault_spec;  ///< this cell's fault model
   bool ok = false;
+  FailureKind failure = FailureKind::None;
+  int attempts = 0;   ///< executions performed (> 1 after fault retries)
   std::string error;  ///< exception message for failed cells
   RunResult result;   ///< valid only when ok
 };
@@ -143,6 +171,11 @@ struct CampaignOptions {
   /// Worker threads; 0 picks std::thread::hardware_concurrency().
   int jobs = 1;
   RunnerOptions runner{};
+  /// Re-executions granted to cells that fail with FailureKind::Fault
+  /// (retry budget exhaustion); other categories never retry.  Each retry
+  /// derives a fresh seed from the cell key, keeping results
+  /// jobs-invariant.
+  int cell_retries = 1;
 
   void validate() const;
 };
@@ -150,9 +183,9 @@ struct CampaignOptions {
 struct CampaignResult {
   std::string name;
   std::vector<CampaignCell> cells;  ///< always in expansion order
-  /// Axis sizes (clusters, variants, apps, nodes, geometries, reps) after
-  /// defaulting; `at` indexes the cell grid with them.
-  std::array<std::size_t, 6> axes{};
+  /// Axis sizes (clusters, variants, apps, nodes, geometries, faults,
+  /// reps) after defaulting; `at` indexes the cell grid with them.
+  std::array<std::size_t, 7> axes{};
   std::size_t succeeded = 0;
   std::size_t failed = 0;
   std::size_t image_cache_hits = 0;
@@ -162,14 +195,16 @@ struct CampaignResult {
 
   const CampaignCell& at(std::size_t cluster, std::size_t variant,
                          std::size_t app, std::size_t nodes,
-                         std::size_t geometry, int repetition = 0) const;
+                         std::size_t geometry, std::size_t fault_level = 0,
+                         int repetition = 0) const;
 
-  /// One plotted series for a (cluster, variant, app) slice: one value per
-  /// swept point (the node axis when it has > 1 entries, else the geometry
-  /// axis), averaging \p metric over repetitions.  Failed cells are
-  /// skipped.  The series is named after the variant.
+  /// One plotted series for a (cluster, variant, app, fault) slice: one
+  /// value per swept point (the node axis when it has > 1 entries, else
+  /// the geometry axis), averaging \p metric over repetitions.  Failed
+  /// cells are skipped.  The series is named after the variant.
   Series series(std::size_t cluster, std::size_t variant, std::size_t app,
-                const std::function<double(const RunResult&)>& metric) const;
+                const std::function<double(const RunResult&)>& metric,
+                std::size_t fault_level = 0) const;
 
   /// Per-cell results, one CSV row per cell, byte-identical for any jobs
   /// count (no wall-clock or order-dependent columns).

@@ -28,6 +28,17 @@ std::uint64_t parse_u64(const std::string& flag, const std::string& value) {
   return out;
 }
 
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double out = std::stod(value, &pos);
+    if (pos != value.size()) throw std::invalid_argument(value);
+    return out;
+  } catch (const std::exception&) {
+    throw std::invalid_argument(flag + ": not a number: '" + value + "'");
+  }
+}
+
 std::vector<std::string> split_list(const std::string& value) {
   std::vector<std::string> out;
   std::size_t start = 0;
@@ -99,6 +110,22 @@ CliOptions parse_cli(std::span<const char* const> args) {
       o.csv_path = value();
     } else if (flag == "--json") {
       o.json_path = value();
+    } else if (flag == "--faults") {
+      o.faults_list = split_list(value());
+      if (o.faults_list.empty())
+        throw std::invalid_argument("--faults: empty list");
+    } else if (flag == "--mtbf") {
+      o.mtbf = parse_double(flag, value());
+      if (o.mtbf <= 0)
+        throw std::invalid_argument("--mtbf: must be > 0");
+    } else if (flag == "--checkpoint-interval") {
+      o.checkpoint_interval = parse_double(flag, value());
+      if (o.checkpoint_interval < 0)
+        throw std::invalid_argument("--checkpoint-interval: must be >= 0");
+    } else if (flag == "--cell-retries") {
+      o.cell_retries = parse_int(flag, value());
+      if (o.cell_retries < 0)
+        throw std::invalid_argument("--cell-retries: must be >= 0");
     } else {
       throw std::invalid_argument("unknown flag '" + flag + "'\n" +
                                   cli_usage());
@@ -133,6 +160,13 @@ container::BuildMode mode_from_string(const std::string& name) {
   if (name == "self-contained") return container::BuildMode::SelfContained;
   throw std::invalid_argument("unknown mode '" + name +
                               "' (system-specific | self-contained)");
+}
+
+hpcs::fault::FaultSpec fault_from_cli(const CliOptions& o,
+                                      const std::string& name) {
+  auto spec = hpcs::fault::FaultSpec::preset(name);
+  if (spec.enabled && o.mtbf > 0) spec.node_mtbf_s = o.mtbf;
+  return spec;
 }
 
 }  // namespace
@@ -185,8 +219,25 @@ CampaignSpec to_campaign_spec(const CliOptions& o) {
   spec.nodes(o.nodes_list);
   spec.geometry(o.ranks, o.threads);
   spec.steps(o.steps).reps(o.repetitions).seed(o.seed);
+  for (const auto& fault_name : o.faults_list)
+    spec.fault(fault_from_cli(o, fault_name));
   spec.validate();
   return spec;
+}
+
+RunnerOptions to_runner_options(const CliOptions& o) {
+  RunnerOptions ro;
+  ro.record_timeline = o.timeline;
+  if (o.checkpoint_interval >= 0)
+    ro.checkpoint.interval_s = o.checkpoint_interval;
+  if (!o.campaign && !o.faults_list.empty()) {
+    if (o.faults_list.size() > 1)
+      throw std::invalid_argument(
+          "--faults: a list of presets requires --campaign");
+    ro.faults = fault_from_cli(o, o.faults_list.front());
+  }
+  ro.validate();
+  return ro;
 }
 
 std::string cli_usage() {
@@ -202,6 +253,14 @@ std::string cli_usage() {
   --seed X         RNG seed (default 42)
   --timeline       record and print the phase timeline
   --help           this text
+
+fault injection (default: fault-free, bit-identical to no flags):
+  --faults LIST    none | light | moderate | heavy; a comma list adds a
+                   fault axis in campaign mode
+  --mtbf SECONDS   override the per-node MTBF of enabled presets
+  --checkpoint-interval SECONDS
+                   work between checkpoints (0 = restart from scratch)
+  --cell-retries N re-runs granted to fault-failed campaign cells
 
 campaign mode (sweeps the cartesian product of the lists):
   --campaign       run a campaign; --cluster/--runtime/--mode/--app/--nodes

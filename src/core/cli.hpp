@@ -17,6 +17,12 @@
 /// point: --cluster/--runtime/--mode/--app/--nodes accept comma-separated
 /// lists, --jobs N sets the worker threads, --reps R the repetitions, and
 /// --csv/--json the per-cell and summary output paths.
+///
+/// Fault injection: --faults takes preset names (none | light | moderate |
+/// heavy; a comma list adds a fault axis in campaign mode), --mtbf
+/// overrides the per-node MTBF of enabled presets, --checkpoint-interval
+/// sets the checkpoint cadence, and --cell-retries bounds re-executions of
+/// fault-failed campaign cells.
 
 #include <span>
 #include <string>
@@ -46,6 +52,11 @@ struct CliOptions {
   int repetitions = 1;
   std::string csv_path = "results/campaign.csv";
   std::string json_path = "results/campaign.json";
+  /// Fault presets (--faults, comma list); empty = fault-free.
+  std::vector<std::string> faults_list;
+  double mtbf = 0.0;  ///< 0: keep each preset's MTBF
+  double checkpoint_interval = -1.0;  ///< < 0: policy default
+  int cell_retries = 1;
 };
 
 /// Parses argv-style arguments (excluding argv[0]).
@@ -62,9 +73,16 @@ Scenario to_scenario(const CliOptions& options);
 
 /// Materializes the campaign grid from the (comma-separated) option lists.
 /// Bare-metal contributes one variant regardless of the mode list; every
-/// containerized runtime is crossed with every mode.
+/// containerized runtime is crossed with every mode, and every --faults
+/// preset (with --mtbf applied) becomes a fault-axis entry.
 /// \throws std::invalid_argument for unknown names or empty lists.
 CampaignSpec to_campaign_spec(const CliOptions& options);
+
+/// Runner options implied by the CLI flags (timeline, checkpoint policy,
+/// and — in single-scenario mode — the one --faults preset).
+/// \throws std::invalid_argument for unknown preset names, or a multi-entry
+///         --faults list without --campaign.
+RunnerOptions to_runner_options(const CliOptions& options);
 
 /// The usage/help text.
 std::string cli_usage();

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "container/io_model.hpp"
 #include "container/transport.hpp"
+#include "fault/schedule.hpp"
 #include "mpi/collectives.hpp"
 #include "mpi/cost_model.hpp"
 #include "sim/rng.hpp"
@@ -15,6 +17,9 @@ void RunnerOptions::validate() const {
   compute.validate();
   if (noise_sigma < 0 || noise_sigma > 0.5)
     throw std::invalid_argument("RunnerOptions: noise_sigma outside [0,0.5]");
+  faults.validate();
+  retry.validate();
+  checkpoint.validate();
 }
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
@@ -55,15 +60,29 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
   const double rt_factor = runtime->compute_overhead_factor();
   const int rpn = mapping.ranks_per_node();
 
+  // --- fault model: straggler & link-degradation draws ----------------------
+  // Bulk-synchronous execution runs at the pace of the slowest node, so a
+  // straggler's slowdown applies to every step's compute; a degraded link
+  // multiplies every communication time.  Disabled faults draw nothing.
+  double straggler_mult = 1.0;
+  double link_mult = 1.0;
+  if (options_.faults.enabled) {
+    const fault::FaultInjector finj(options_.faults, scenario.seed);
+    for (int nd = 0; nd < scenario.nodes; ++nd)
+      straggler_mult =
+          std::max(straggler_mult, finj.straggler_multiplier(nd));
+    link_mult = finj.link_multiplier();
+  }
+
   // --- per-rank kernel times (identical across ranks modulo jitter) -------
   const double t_assembly =
       hw::kernel_time(scenario.cluster.node, work.assembly, scenario.threads,
                       rpn, options_.compute) *
-      rt_factor;
+      rt_factor * straggler_mult;
   const double t_iteration =
       hw::kernel_time(scenario.cluster.node, work.per_iteration,
                       scenario.threads, rpn, options_.compute) *
-      rt_factor;
+      rt_factor * straggler_mult;
 
   // --- halo exchange time ---------------------------------------------------
   double t_halo = 0.0;
@@ -87,12 +106,13 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
       t_intra = cost.intranode_time(work.halo_bytes_per_neighbor);
     t_halo = std::max(t_inter, t_intra);
   }
+  t_halo *= link_mult;
 
   // --- reductions & FSI interface -------------------------------------------
-  const double t_allreduce = coll.allreduce(work.reduction_bytes);
+  const double t_allreduce = coll.allreduce(work.reduction_bytes) * link_mult;
   const double t_interface =
       work.coupling_iterations > 1.0 && work.interface_bytes > 0
-          ? 2.0 * cost.internode_time(work.interface_bytes, 1)
+          ? 2.0 * cost.internode_time(work.interface_bytes, 1) * link_mult
           : 0.0;
 
   // --- assemble per-step time with per-rank noise ---------------------------
@@ -179,11 +199,48 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
 
   // --- deployment -----------------------------------------------------------
   container::DeploymentSimulator dep(scenario.cluster, scenario.seed);
+  if (options_.faults.enabled)
+    dep.set_faults(options_.faults, options_.retry);
   if (scenario.runtime == container::RuntimeKind::BareMetal) {
     result.deployment = dep.deploy_bare_metal(scenario.nodes, rpn);
   } else {
     result.deployment =
         dep.deploy(*runtime, *scenario.image, scenario.nodes, rpn);
+  }
+
+  // --- resilience: checkpoint/restart replay under node crashes -------------
+  result.resilience.straggler_multiplier = straggler_mult;
+  result.resilience.link_multiplier = link_mult;
+  result.resilience.ideal_time_s = result.total_time;
+  result.resilience.effective_time_s = result.total_time;
+  if (options_.faults.enabled) {
+    result.resilience.pull_retries = result.deployment.pull_retries;
+    result.resilience.retry_backoff_s = result.deployment.retry_backoff_time;
+
+    const fault::FaultInjector finj(options_.faults, scenario.seed);
+    double ckpt_cost = 0.0;
+    if (options_.checkpoint.interval_s > 0.0) {
+      const container::IoSimulator io(container::PfsModel{}, scenario.cluster);
+      ckpt_cost = io.checkpoint_write(scenario.runtime, scenario.nodes, rpn,
+                                      options_.checkpoint.bytes_per_rank)
+                      .time;
+    }
+    // A crash costs the scheduler requeue plus the runtime-specific cost of
+    // re-provisioning the replacement node (Docker re-pulls cold; the
+    // shared-FS runtimes only page metadata back in; bare metal re-execs).
+    const double recovery =
+        options_.checkpoint.reschedule_delay_s +
+        dep.recovery_time(*runtime, image, rpn);
+    const fault::ResilienceReport rep = fault::replay_with_recovery(
+        result.total_time, options_.checkpoint, ckpt_cost, recovery,
+        finj.crash_process(scenario.nodes), options_.faults.max_crashes);
+    result.resilience.crashes = rep.crashes;
+    result.resilience.restarts = rep.restarts;
+    result.resilience.checkpoints = rep.checkpoints;
+    result.resilience.downtime_s = rep.downtime_s;
+    result.resilience.lost_work_s = rep.lost_work_s;
+    result.resilience.checkpoint_overhead_s = rep.checkpoint_overhead_s;
+    result.resilience.effective_time_s = rep.effective_time_s;
   }
   return result;
 }

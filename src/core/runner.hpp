@@ -23,6 +23,8 @@
 #include "alya/workload.hpp"
 #include "container/deployment.hpp"
 #include "core/scenario.hpp"
+#include "fault/resilience.hpp"
+#include "fault/spec.hpp"
 #include "hw/compute.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -35,6 +37,13 @@ struct RunnerOptions {
   double noise_sigma = 0.008;
   /// Record a per-step phase timeline (Paraver-lite) into the result.
   bool record_timeline = false;
+  /// Fault model; disabled by default (and then provably inert: no code
+  /// path draws from it, keeping fault-free results bit-identical).
+  fault::FaultSpec faults{};
+  /// Retry policy for transient deployment/registry errors.
+  fault::RetryPolicy retry{};
+  /// Checkpoint/restart policy applied when faults are enabled.
+  fault::CheckpointPolicy checkpoint{};
 
   void validate() const;
 };
@@ -58,6 +67,10 @@ struct RunResult {
   double energy_j = 0.0;
   double avg_node_power_w = 0.0;
   container::DeploymentResult deployment;
+  /// Downtime, lost work, retries, and effective-vs-ideal time under the
+  /// configured fault model.  With faults disabled: all zero except
+  /// ideal/effective, which both equal total_time.
+  fault::ResilienceReport resilience;
   /// Per-step phase timeline; empty unless RunnerOptions::record_timeline.
   sim::Timeline timeline;
 };

@@ -1,0 +1,78 @@
+#include "fault/spec.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::fault {
+
+void FaultSpec::validate() const {
+  if (!enabled) return;
+  if (node_mtbf_s < 0)
+    throw std::invalid_argument("FaultSpec: node_mtbf_s < 0");
+  if (registry_fault_rate < 0 || registry_fault_rate >= 1)
+    throw std::invalid_argument(
+        "FaultSpec: registry_fault_rate outside [0,1)");
+  if (straggler_prob < 0 || straggler_prob > 1)
+    throw std::invalid_argument("FaultSpec: straggler_prob outside [0,1]");
+  if (straggler_factor < 1)
+    throw std::invalid_argument("FaultSpec: straggler_factor < 1");
+  if (link_degrade_prob < 0 || link_degrade_prob > 1)
+    throw std::invalid_argument("FaultSpec: link_degrade_prob outside [0,1]");
+  if (link_degrade_factor < 1)
+    throw std::invalid_argument("FaultSpec: link_degrade_factor < 1");
+  if (max_crashes < 1)
+    throw std::invalid_argument("FaultSpec: max_crashes < 1");
+  if (label.empty())
+    throw std::invalid_argument("FaultSpec: enabled spec needs a label");
+}
+
+FaultSpec FaultSpec::none() { return FaultSpec{}; }
+
+FaultSpec FaultSpec::light() {
+  FaultSpec s;
+  s.enabled = true;
+  s.label = "light";
+  s.node_mtbf_s = 86'400.0;  // one crash per node-day
+  s.registry_fault_rate = 0.02;
+  s.straggler_prob = 0.05;
+  s.straggler_factor = 1.15;
+  s.link_degrade_prob = 0.05;
+  s.link_degrade_factor = 1.5;
+  return s;
+}
+
+FaultSpec FaultSpec::moderate() {
+  FaultSpec s;
+  s.enabled = true;
+  s.label = "moderate";
+  s.node_mtbf_s = 28'800.0;
+  s.registry_fault_rate = 0.10;
+  s.straggler_prob = 0.10;
+  s.straggler_factor = 1.35;
+  s.link_degrade_prob = 0.10;
+  s.link_degrade_factor = 2.0;
+  return s;
+}
+
+FaultSpec FaultSpec::heavy() {
+  FaultSpec s;
+  s.enabled = true;
+  s.label = "heavy";
+  s.node_mtbf_s = 7'200.0;
+  s.registry_fault_rate = 0.25;
+  s.straggler_prob = 0.20;
+  s.straggler_factor = 1.5;
+  s.link_degrade_prob = 0.20;
+  s.link_degrade_factor = 3.0;
+  return s;
+}
+
+FaultSpec FaultSpec::preset(const std::string& name) {
+  if (name == "none" || name == "fault-free") return none();
+  if (name == "light") return light();
+  if (name == "moderate") return moderate();
+  if (name == "heavy") return heavy();
+  throw std::invalid_argument("unknown fault preset '" + name +
+                              "' (none | light | moderate | heavy)");
+}
+
+}  // namespace hpcs::fault

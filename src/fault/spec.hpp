@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file spec.hpp
+/// \brief Fault-model configuration for the resilience study.
+///
+/// The paper measures containers in *production*, where clusters misbehave:
+/// nodes crash, registry pulls fail transiently, stragglers appear, links
+/// degrade.  A FaultSpec describes one such environment as rates and
+/// magnitudes; everything drawn from it goes through named RNG streams
+/// (sim::Rng::child) so a fault schedule is byte-reproducible for a given
+/// seed and invariant under host parallelism.
+///
+/// The default-constructed spec is *disabled*: no code path may consume a
+/// random draw or alter any result when `enabled` is false, which is what
+/// keeps fault-free outputs bit-identical to the pre-fault simulator.
+
+#include <string>
+
+namespace hpcs::fault {
+
+struct FaultSpec {
+  bool enabled = false;
+  /// Axis/display label ("fault-free" when disabled).
+  std::string label = "fault-free";
+
+  /// Per-node mean time between crashes [s]; 0 disables node crashes.
+  /// The job-wide crash process is the superposition of the per-node
+  /// exponentials, i.e. Poisson with rate nodes / mtbf.
+  double node_mtbf_s = 0.0;
+
+  /// Probability that one registry pull attempt fails transiently
+  /// (connection reset, 5xx, daemon hiccup) in [0, 1).
+  double registry_fault_rate = 0.0;
+
+  /// Probability that a node is a straggler, and the multiplicative
+  /// slowdown it applies to compute kernels (>= 1).
+  double straggler_prob = 0.0;
+  double straggler_factor = 1.0;
+
+  /// Probability that the job's inter-node path is degraded for the whole
+  /// run, and the multiplier on communication times (>= 1).
+  double link_degrade_prob = 0.0;
+  double link_degrade_factor = 1.0;
+
+  /// Safety cap on crashes replayed per run (keeps pathological MTBF
+  /// values from looping; further crashes are not injected once reached).
+  int max_crashes = 64;
+
+  /// \throws std::invalid_argument for rates outside [0,1), factors < 1,
+  ///         negative MTBF, or max_crashes < 1.
+  void validate() const;
+
+  /// The label (used in campaign cell keys for enabled specs).
+  const std::string& name() const noexcept { return label; }
+
+  /// Named presets: "none" (disabled), "light", "moderate", "heavy".
+  /// \throws std::invalid_argument for unknown names.
+  static FaultSpec preset(const std::string& name);
+
+  static FaultSpec none();
+  static FaultSpec light();
+  static FaultSpec moderate();
+  static FaultSpec heavy();
+};
+
+}  // namespace hpcs::fault

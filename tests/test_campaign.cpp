@@ -264,8 +264,8 @@ TEST(CampaignResult, SeriesSweepsTheNodeAxisAveragingReps) {
   ASSERT_EQ(s.x.size(), 2u);
   EXPECT_EQ(s.x[0], "2");
   EXPECT_EQ(s.x[1], "4");
-  const double expect0 = (res.at(0, 0, 0, 0, 0, 0).result.total_time +
-                          res.at(0, 0, 0, 0, 0, 1).result.total_time) /
+  const double expect0 = (res.at(0, 0, 0, 0, 0, 0, 0).result.total_time +
+                          res.at(0, 0, 0, 0, 0, 0, 1).result.total_time) /
                          2.0;
   EXPECT_DOUBLE_EQ(s.y[0], expect0);
 }

@@ -94,6 +94,72 @@ TEST(Registry, Validation) {
   EXPECT_THROW(reg.concurrent_pull_time(1, 1, 0), std::invalid_argument);
 }
 
+TEST(Registry, UnknownReferenceMessageNamesTheImage) {
+  hc::Registry reg(1e9, 8);
+  reg.push(layered());
+  try {
+    (void)reg.get("alya:v2");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("alya:v2"), std::string::npos);
+  }
+}
+
+TEST(Registry, MorePullersThanStreamsQuantizesIntoWaves) {
+  hc::Registry reg(1e9, 4);
+  // 5 pullers: a full wave of 4 (egress split 4 ways) plus a solo wave.
+  const double t5 = reg.concurrent_pull_time(100 << 20, 5, 1e9);
+  const double bytes = static_cast<double>(100 << 20);
+  EXPECT_NEAR(t5, bytes / (1e9 / 4.0) + bytes / 1e9, 1e-9);
+}
+
+TEST(RegistryFaults, DisabledInjectorMatchesFaultFreeForm) {
+  hc::Registry reg(1e9, 8);
+  const hpcs::fault::FaultInjector inert(hpcs::fault::FaultSpec{}, 1);
+  int retries = -1;
+  const double with = reg.concurrent_pull_time(100 << 20, 8, 1e9, inert,
+                                               hpcs::fault::RetryPolicy{},
+                                               &retries);
+  EXPECT_DOUBLE_EQ(with, reg.concurrent_pull_time(100 << 20, 8, 1e9));
+  EXPECT_EQ(retries, 0);
+}
+
+TEST(RegistryFaults, ZeroBytesStayFreeEvenWithFaults) {
+  hc::Registry reg(1e9, 8);
+  const hpcs::fault::FaultInjector inj(hpcs::fault::FaultSpec::heavy(), 1);
+  EXPECT_DOUBLE_EQ(reg.concurrent_pull_time(0, 64, 1e9, inj,
+                                            hpcs::fault::RetryPolicy{}),
+                   0.0);
+}
+
+TEST(RegistryFaults, TransientErrorsCostTimeDeterministically) {
+  hc::Registry reg(1e9, 4);
+  auto spec = hpcs::fault::FaultSpec::heavy();
+  spec.registry_fault_rate = 0.5;
+  const hpcs::fault::FaultInjector inj(spec, 3);
+  const hpcs::fault::RetryPolicy retry{.max_attempts = 32};
+  int retries1 = 0, retries2 = 0;
+  const double t1 =
+      reg.concurrent_pull_time(100 << 20, 9, 1e9, inj, retry, &retries1);
+  const double t2 =
+      reg.concurrent_pull_time(100 << 20, 9, 1e9, inj, retry, &retries2);
+  EXPECT_GT(retries1, 0);
+  EXPECT_GT(t1, reg.concurrent_pull_time(100 << 20, 9, 1e9));
+  EXPECT_EQ(retries1, retries2);
+  EXPECT_DOUBLE_EQ(t1, t2);
+}
+
+TEST(RegistryFaults, BudgetExhaustionThrows) {
+  hc::Registry reg(1e9, 8);
+  auto spec = hpcs::fault::FaultSpec::heavy();
+  spec.registry_fault_rate = 0.99;
+  const hpcs::fault::FaultInjector inj(spec, 1);
+  EXPECT_THROW((void)reg.concurrent_pull_time(
+                   100 << 20, 16, 1e9, inj,
+                   hpcs::fault::RetryPolicy{.max_attempts = 2}),
+               hpcs::fault::FaultError);
+}
+
 TEST(Registry, ClosedFormMatchesDeploymentDes) {
   // The closed-form concurrent_pull_time and the deployment DES pipeline
   // must agree on the pull phase when service/instantiate are excluded:

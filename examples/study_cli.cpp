@@ -20,12 +20,19 @@
 #include "core/campaign.hpp"
 #include "core/cli.hpp"
 #include "core/runner.hpp"
+#include "obs/export.hpp"
 #include "sim/table.hpp"
 
 namespace hs = hpcs::study;
 using hpcs::sim::TextTable;
 
 namespace {
+
+void ensure_parent_dir(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(
+      std::filesystem::path(path).parent_path(), ec);
+}
 
 int run_campaign(const hs::CliOptions& opts) {
   const auto spec = hs::to_campaign_spec(opts);
@@ -36,11 +43,8 @@ int run_campaign(const hs::CliOptions& opts) {
   const auto res = runner.run(spec);
   res.print(std::cout);
 
-  std::error_code ec;
-  std::filesystem::create_directories(
-      std::filesystem::path(opts.csv_path).parent_path(), ec);
-  std::filesystem::create_directories(
-      std::filesystem::path(opts.json_path).parent_path(), ec);
+  ensure_parent_dir(opts.csv_path);
+  ensure_parent_dir(opts.json_path);
   if (res.save_csv(opts.csv_path))
     std::cout << "[saved " << opts.csv_path << "]\n";
   else
@@ -49,6 +53,20 @@ int run_campaign(const hs::CliOptions& opts) {
     std::cout << "[saved " << opts.json_path << "]\n";
   else
     std::cerr << "warning: could not write " << opts.json_path << "\n";
+  if (!opts.trace_path.empty()) {
+    ensure_parent_dir(opts.trace_path);
+    if (res.save_chrome_trace(opts.trace_path))
+      std::cout << "[saved " << opts.trace_path << "]\n";
+    else
+      std::cerr << "warning: could not write " << opts.trace_path << "\n";
+  }
+  if (!opts.metrics_path.empty()) {
+    ensure_parent_dir(opts.metrics_path);
+    if (res.save_metrics_json(opts.metrics_path))
+      std::cout << "[saved " << opts.metrics_path << "]\n";
+    else
+      std::cerr << "warning: could not write " << opts.metrics_path << "\n";
+  }
 
   // Failed cells are part of a campaign's normal output; only a campaign
   // with no successful cell at all is a usage error.
@@ -118,6 +136,22 @@ int main(int argc, char** argv) {
       rt.add_row({"link multiplier",
                   TextTable::num(rs.link_multiplier, 3)});
       rt.print(std::cout);
+    }
+
+    if (!opts.trace_path.empty()) {
+      ensure_parent_dir(opts.trace_path);
+      if (hpcs::obs::save_chrome_trace(opts.trace_path, r.trace, r.label))
+        std::cout << "[saved " << opts.trace_path << "]\n";
+      else
+        std::cerr << "warning: could not write " << opts.trace_path << "\n";
+    }
+    if (!opts.metrics_path.empty()) {
+      ensure_parent_dir(opts.metrics_path);
+      if (r.metrics.save_json(opts.metrics_path))
+        std::cout << "[saved " << opts.metrics_path << "]\n";
+      else
+        std::cerr << "warning: could not write " << opts.metrics_path
+                  << "\n";
     }
 
     if (opts.timeline && !r.timeline.empty()) {

@@ -102,6 +102,7 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
   const bool inject_faults =
       faults_.enabled && faults_.registry_fault_rate > 0.0;
   const fault::FaultInjector injector(faults_, seed_);
+  obs::Collector* const obs = obs_ && obs_->enabled() ? obs_ : nullptr;
 
   // --- central phase: gateway conversion (Shifter) or shared-FS staging
   //     (Singularity); Docker has no central phase. -------------------------
@@ -126,13 +127,23 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
           "deploy: central image staging failed " +
           std::to_string(failures) + " times (retry budget exhausted)");
     const double base_staging = central_done;
-    for (int a = 0; a < failures; ++a)
+    for (int a = 0; a < failures; ++a) {
       central_done += base_staging * injector.wasted_fraction(-1, a);
+      if (obs)
+        obs->instant(0, "staging-retry", "registry", central_done,
+                     {{"attempt", std::to_string(a + 1)}});
+    }
     central_done += retry_.total_backoff(failures);
     result.pull_retries += failures;
     result.retry_backoff_time += retry_.total_backoff(failures);
   }
   result.gateway_time = central_done;
+  if (obs && central_done > 0.0)
+    obs->span(0,
+              runtime.kind() == RuntimeKind::Shifter ? "gateway-convert"
+                                                     : "stage",
+              "deployment", 0.0, central_done,
+              {{"image", image.reference()}});
 
   // --- per-node phase -------------------------------------------------------
   const double egress_share =
@@ -189,7 +200,9 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
     result.max_instantiate_time = std::max(result.max_instantiate_time, inst);
 
     const std::size_t idx = static_cast<std::size_t>(n);
+    const int track = 1 + n;  // node tracks; track 0 is the central phase
     if (node_local_pull) {
+      if (obs) obs->span(track, "service", "deployment", 0.0, service);
       // Transient registry errors for this node's pull, drawn up front
       // from its named stream (independent of event execution order).
       int failures = 0;
@@ -215,22 +228,33 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
       // and re-enters the queue behind whoever is waiting.
       auto chain = std::make_shared<std::function<void(int)>>();
       chains.push_back(chain);
-      *chain = [&engine, &registry_streams, &ready, &result, this, idx,
-                pull, inst, failures, wasted, chain](int attempt) {
+      *chain = [&engine, &registry_streams, &ready, &result, this, obs,
+                track, idx, pull, inst, failures, wasted,
+                chain](int attempt) {
         const bool fails = attempt < failures;
         const double slot_time =
             fails ? pull * wasted[static_cast<std::size_t>(attempt)] : pull;
         registry_streams.request(
             slot_time,
-            [&engine, &ready, &result, this, idx, inst, attempt, fails,
-             chain]() {
+            [&engine, &ready, &result, this, obs, track, idx, inst,
+             slot_time, attempt, fails, chain]() {
+              if (obs)
+                obs->span(track, fails ? "pull-retry" : "pull", "registry",
+                          engine.now() - slot_time, slot_time,
+                          {{"attempt", std::to_string(attempt)}});
               if (fails) {
                 const double backoff = retry_.delay(attempt + 1);
                 ++result.pull_retries;
                 result.retry_backoff_time += backoff;
+                if (obs)
+                  obs->instant(track, "pull-retry", "registry", engine.now(),
+                               {{"attempt", std::to_string(attempt + 1)}});
                 engine.schedule(backoff,
                                 [chain, attempt]() { (*chain)(attempt + 1); });
               } else {
+                if (obs)
+                  obs->span(track, "instantiate", "deployment", engine.now(),
+                            inst);
                 engine.schedule(inst, [&engine, &ready, idx]() {
                   ready[idx] = engine.now();
                 });
@@ -240,6 +264,13 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
       engine.schedule(service, [chain]() { (*chain)(0); });
     } else {
       // Shared-FS path: wait for the central phase, then mount + exec.
+      // The schedule is static, so spans are recorded up front.
+      if (obs) {
+        obs->span(track, "service", "deployment", central_done, service);
+        obs->span(track, "mount", "registry", central_done + service, pull);
+        obs->span(track, "instantiate", "deployment",
+                  central_done + service + pull, inst);
+      }
       engine.schedule_at(central_done, [&, idx, service, pull, inst]() {
         engine.schedule(service + pull + inst,
                         [&, idx]() { ready[idx] = engine.now(); });

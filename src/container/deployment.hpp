@@ -28,6 +28,7 @@
 #include "fault/resilience.hpp"
 #include "fault/spec.hpp"
 #include "hw/cluster.hpp"
+#include "obs/collector.hpp"
 #include "sim/stats.hpp"
 
 namespace hpcs::container {
@@ -74,6 +75,15 @@ class DeploymentSimulator {
   void clear_node_cache() noexcept { node_cache_.clear(); }
   std::size_t cached_layers() const noexcept { return node_cache_.size(); }
 
+  /// Attaches an observability collector (not owned; may be null or
+  /// disabled).  deploy() then records the central gateway/staging phase
+  /// on track 0 and each node's service / pull / instantiate phases on
+  /// track 1+n, with pull retries as instant markers.  All times are the
+  /// DES's simulated seconds, so traces stay deterministic per seed.
+  void set_collector(obs::Collector* collector) noexcept {
+    obs_ = collector;
+  }
+
   /// Enables fault injection: registry pulls and shared-FS staging may
   /// fail transiently per \p spec and are retried with \p retry backoff
   /// (failed pulls re-enter the contended registry-stream pool).  A pull
@@ -94,6 +104,7 @@ class DeploymentSimulator {
   std::set<std::string> node_cache_;
   fault::FaultSpec faults_{};
   fault::RetryPolicy retry_{};
+  obs::Collector* obs_ = nullptr;  ///< not owned; null = no tracing
 };
 
 }  // namespace hpcs::container

@@ -44,7 +44,9 @@ std::uint64_t Registry::bytes_to_transfer(
 
 double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
                                       int concurrent_pullers,
-                                      double node_downlink_bw) const {
+                                      double node_downlink_bw,
+                                      obs::Collector* collector,
+                                      int track) const {
   if (concurrent_pullers < 1)
     throw std::invalid_argument("Registry: pullers must be >= 1");
   if (node_downlink_bw <= 0)
@@ -63,7 +65,15 @@ double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
     remaining -= in_wave;
     const double per_node_bw =
         std::min(node_downlink_bw, egress_bw_ / static_cast<double>(in_wave));
-    total += static_cast<double>(bytes_per_node) / per_node_bw;
+    const double wave_time =
+        static_cast<double>(bytes_per_node) / per_node_bw;
+    if (collector && collector->enabled()) {
+      collector->span(track, "pull-wave", "registry", total, wave_time,
+                      {{"wave", std::to_string(w)},
+                       {"pullers", std::to_string(in_wave)}});
+      collector->observe("registry/wave_s", wave_time);
+    }
+    total += wave_time;
   }
   return total;
 }
@@ -73,7 +83,9 @@ double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
                                       double node_downlink_bw,
                                       const fault::FaultInjector& injector,
                                       const fault::RetryPolicy& retry,
-                                      int* retries_out) const {
+                                      int* retries_out,
+                                      obs::Collector* collector,
+                                      int track) const {
   if (concurrent_pullers < 1)
     throw std::invalid_argument("Registry: pullers must be >= 1");
   if (node_downlink_bw <= 0)
@@ -82,7 +94,7 @@ double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
   if (retries_out) *retries_out = 0;
   if (bytes_per_node == 0 || !injector.spec().enabled)
     return concurrent_pull_time(bytes_per_node, concurrent_pullers,
-                                node_downlink_bw);
+                                node_downlink_bw, collector, track);
 
   // Waves as in the fault-free form; within a wave each puller pays its
   // base transfer plus wasted fractions and backoff for every transient
@@ -96,6 +108,7 @@ double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
     const double per_node_bw =
         std::min(node_downlink_bw, egress_bw_ / static_cast<double>(in_wave));
     const double base = static_cast<double>(bytes_per_node) / per_node_bw;
+    const bool record = collector && collector->enabled();
     double wave_time = 0.0;
     for (int i = 0; i < in_wave; ++i, ++puller) {
       const int failures = injector.pull_failures(puller, retry.max_attempts);
@@ -107,7 +120,19 @@ double Registry::concurrent_pull_time(std::uint64_t bytes_per_node,
         t += base * injector.wasted_fraction(puller, a);
       t += retry.total_backoff(failures);
       if (retries_out) *retries_out += failures;
+      if (record && failures > 0) {
+        collector->instant(track, "pull-retry", "registry", total,
+                           {{"puller", std::to_string(puller)},
+                            {"failures", std::to_string(failures)}});
+        collector->count("registry/pull_retries",
+                         static_cast<double>(failures));
+      }
       wave_time = std::max(wave_time, t);
+    }
+    if (record) {
+      collector->span(track, "pull-wave", "registry", total, wave_time,
+                      {{"pullers", std::to_string(in_wave)}});
+      collector->observe("registry/wave_s", wave_time);
     }
     total += wave_time;
   }

@@ -19,6 +19,7 @@
 #include "container/image.hpp"
 #include "fault/resilience.hpp"
 #include "fault/schedule.hpp"
+#include "obs/collector.hpp"
 
 namespace hpcs::container {
 
@@ -44,21 +45,28 @@ class Registry {
   /// to pull simultaneously given stream and bandwidth limits, assuming the
   /// per-node downlink is \p node_downlink_bw.  (Closed-form equivalent of
   /// the DES pipeline; the deployment module cross-checks the two.)
+  /// When \p collector is enabled, each wave is recorded as a
+  /// "registry"-category span on \p track.
   double concurrent_pull_time(std::uint64_t bytes_per_node,
                               int concurrent_pullers,
-                              double node_downlink_bw) const;
+                              double node_downlink_bw,
+                              obs::Collector* collector = nullptr,
+                              int track = 0) const;
 
   /// Retry-aware variant: each puller may suffer transient errors drawn
   /// from its named stream in \p injector; a failed attempt wastes a
   /// drawn fraction of the transfer and backs off per \p retry before
-  /// re-entering its wave.  Reports the retry count via \p retries_out.
+  /// re-entering its wave.  Reports the retry count via \p retries_out;
+  /// retried pulls additionally become "pull-retry" instant markers.
   /// \throws fault::FaultError when a puller exhausts the retry budget.
   double concurrent_pull_time(std::uint64_t bytes_per_node,
                               int concurrent_pullers,
                               double node_downlink_bw,
                               const fault::FaultInjector& injector,
                               const fault::RetryPolicy& retry,
-                              int* retries_out = nullptr) const;
+                              int* retries_out = nullptr,
+                              obs::Collector* collector = nullptr,
+                              int track = 0) const;
 
   double egress_bandwidth() const noexcept { return egress_bw_; }
   int max_streams() const noexcept { return max_streams_; }

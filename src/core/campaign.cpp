@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -12,6 +13,7 @@
 #include "core/images.hpp"
 #include "core/thread_pool.hpp"
 #include "fault/resilience.hpp"
+#include "obs/export.hpp"
 #include "sim/csv.hpp"
 #include "sim/rng.hpp"
 #include "sim/table.hpp"
@@ -360,6 +362,7 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
         // fresh key-derived seed (jobs-invariant, like everything else).
         RunnerOptions ro = options_.runner;
         ro.faults = cell.fault_spec;
+        cell.worker = TaskPool::current_worker();
         for (int attempt = 0;; ++attempt) {
           cell.attempts = attempt + 1;
           try {
@@ -565,13 +568,92 @@ void CampaignResult::write_json(std::ostream& out) const {
         << to_string(cell.failure) << "\", \"error\": \""
         << json_escape(cell.error) << "\"}";
   }
-  out << "]\n}\n";
+  out << "]";
+  // Aggregate metrics appear only when cells recorded any (the runner ran
+  // with observe), so pre-observability reports keep their exact bytes.
+  bool have_metrics = false;
+  for (const CampaignCell& cell : cells)
+    if (cell.ok && !cell.result.metrics.empty()) {
+      have_metrics = true;
+      break;
+    }
+  if (have_metrics) {
+    std::ostringstream metrics_json;
+    aggregate_metrics().write_json(metrics_json);
+    std::string body = metrics_json.str();
+    while (!body.empty() && body.back() == '\n') body.pop_back();
+    out << ",\n  \"metrics\": " << body;
+  }
+  out << "\n}\n";
 }
 
 bool CampaignResult::save_json(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
   write_json(out);
+  return out.good();
+}
+
+obs::Metrics CampaignResult::aggregate_metrics() const {
+  obs::Metrics m;
+  // Strict cell-index order: counter sums and histogram combines are
+  // evaluated in the same sequence regardless of which worker ran what.
+  for (const CampaignCell& cell : cells)
+    if (cell.ok) m.merge(cell.result.metrics);
+  m.count("campaign/cells", static_cast<double>(cells.size()));
+  m.count("campaign/cells_ok", static_cast<double>(succeeded));
+  m.count("campaign/cells_failed", static_cast<double>(failed));
+  m.count("campaign/image_builds", static_cast<double>(image_cache_misses));
+  m.count("campaign/image_cache_hits",
+          static_cast<double>(image_cache_hits));
+  return m;
+}
+
+bool CampaignResult::save_metrics_json(const std::string& path) const {
+  return aggregate_metrics().save_json(path);
+}
+
+void CampaignResult::write_chrome_trace(std::ostream& out) const {
+  obs::ChromeTraceWriter w(out);
+  for (const CampaignCell& cell : cells) {
+    const int pid = static_cast<int>(cell.index);
+    w.process_name(pid, cell.key);
+    obs::TraceData campaign_events;
+    if (cell.ok) {
+      obs::SpanEvent top;
+      top.name = "cell";
+      top.category = "campaign";
+      top.track = 0;
+      top.start = 0.0;
+      top.duration =
+          cell.result.deployment.total_time + cell.result.total_time;
+      top.args = {{"key", cell.key},
+                  {"runtime", cell.variant.name()},
+                  {"app", std::string(to_string(cell.scenario.app))},
+                  {"nodes", std::to_string(cell.scenario.nodes)},
+                  {"attempts", std::to_string(cell.attempts)}};
+      campaign_events.spans.push_back(std::move(top));
+    } else {
+      obs::InstantEvent failed_mark;
+      failed_mark.name = "cell-failed";
+      failed_mark.category = "campaign";
+      failed_mark.track = 0;
+      failed_mark.time = 0.0;
+      failed_mark.args = {{"category", to_string(cell.failure)},
+                          {"error", cell.error}};
+      campaign_events.instants.push_back(std::move(failed_mark));
+    }
+    w.add(campaign_events, pid);
+    if (cell.ok && !cell.result.trace.empty())
+      w.add(cell.result.trace, pid);
+  }
+  w.finish();
+}
+
+bool CampaignResult::save_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
   return out.good();
 }
 
@@ -593,11 +675,15 @@ void CampaignResult::print(std::ostream& out) const {
     }
   }
   t.print(out);
+  std::set<int> workers;
+  for (const CampaignCell& cell : cells)
+    if (cell.worker >= 0) workers.insert(cell.worker);
   out << "\ncampaign '" << name << "': " << cells.size() << " cells, "
       << succeeded << " ok, " << failed << " failed | image builds: "
       << image_cache_misses << " built, " << image_cache_hits
-      << " cache hits | " << jobs << " jobs, wall "
-      << sim::TextTable::num(wall_time_s, 3) << " s\n";
+      << " cache hits | " << jobs << " jobs";
+  if (!workers.empty()) out << " (" << workers.size() << " workers used)";
+  out << ", wall " << sim::TextTable::num(wall_time_s, 3) << " s\n";
 }
 
 }  // namespace hpcs::study

@@ -145,6 +145,10 @@ struct CampaignCell {
   bool ok = false;
   FailureKind failure = FailureKind::None;
   int attempts = 0;   ///< executions performed (> 1 after fault retries)
+  /// Pool worker that executed the cell (-1 before execution).  Purely
+  /// diagnostic: worker assignment depends on scheduling, so this never
+  /// reaches a serialized artifact (CSV/JSON/trace stay jobs-invariant).
+  int worker = -1;
   std::string error;  ///< exception message for failed cells
   RunResult result;   ///< valid only when ok
 };
@@ -212,9 +216,24 @@ struct CampaignResult {
   bool save_csv(const std::string& path) const;
 
   /// Machine-readable campaign summary (counts, cache stats, failed
-  /// cells, wall time).
+  /// cells, wall time, and — when cells carry metrics — the aggregate
+  /// metrics registry).
   void write_json(std::ostream& out) const;
   bool save_json(const std::string& path) const;
+
+  /// Merges every successful cell's metrics in cell-index order (counters
+  /// add, gauges keep the max, histograms combine exactly) and adds
+  /// campaign-level counters.  Deterministic and jobs-invariant.
+  obs::Metrics aggregate_metrics() const;
+  bool save_metrics_json(const std::string& path) const;
+
+  /// Chrome trace-event JSON for the whole campaign: one trace process
+  /// per cell (pid = cell index, named by the cell key) holding a
+  /// campaign-level "cell" span over the cell's own run trace; failed
+  /// cells appear as a "cell-failed" instant.  Byte-identical for any
+  /// jobs count.  Open in chrome://tracing or https://ui.perfetto.dev.
+  void write_chrome_trace(std::ostream& out) const;
+  bool save_chrome_trace(const std::string& path) const;
 
   /// Per-cell table plus a summary footer.
   void print(std::ostream& out) const;

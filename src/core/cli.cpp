@@ -122,6 +122,10 @@ CliOptions parse_cli(std::span<const char* const> args) {
       o.checkpoint_interval = parse_double(flag, value());
       if (o.checkpoint_interval < 0)
         throw std::invalid_argument("--checkpoint-interval: must be >= 0");
+    } else if (flag == "--trace-out") {
+      o.trace_path = value();
+    } else if (flag == "--metrics-out") {
+      o.metrics_path = value();
     } else if (flag == "--cell-retries") {
       o.cell_retries = parse_int(flag, value());
       if (o.cell_retries < 0)
@@ -228,6 +232,7 @@ CampaignSpec to_campaign_spec(const CliOptions& o) {
 RunnerOptions to_runner_options(const CliOptions& o) {
   RunnerOptions ro;
   ro.record_timeline = o.timeline;
+  ro.observe = !o.trace_path.empty() || !o.metrics_path.empty();
   if (o.checkpoint_interval >= 0)
     ro.checkpoint.interval_s = o.checkpoint_interval;
   if (!o.campaign && !o.faults_list.empty()) {
@@ -253,6 +258,12 @@ std::string cli_usage() {
   --seed X         RNG seed (default 42)
   --timeline       record and print the phase timeline
   --help           this text
+
+observability (simulated-time spans + metrics; off = zero cost):
+  --trace-out PATH   write a Chrome trace-event JSON (chrome://tracing /
+                     Perfetto); in campaign mode one process per cell
+  --metrics-out PATH write the metrics registry as JSON (campaign mode
+                     aggregates all cells)
 
 fault injection (default: fault-free, bit-identical to no flags):
   --faults LIST    none | light | moderate | heavy; a comma list adds a

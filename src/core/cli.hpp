@@ -12,6 +12,8 @@
 ///   --app      artery-cfd | artery-fsi
 ///   --nodes N  --ranks R (0 = one per core)  --threads T
 ///   --steps S  --seed X  --timeline  --help
+///   --trace-out FILE (Chrome trace JSON)  --metrics-out FILE (metrics
+///   JSON); either flag enables the observability collector
 ///
 /// Campaign mode (--campaign) sweeps the cartesian product instead of one
 /// point: --cluster/--runtime/--mode/--app/--nodes accept comma-separated
@@ -57,6 +59,10 @@ struct CliOptions {
   double mtbf = 0.0;  ///< 0: keep each preset's MTBF
   double checkpoint_interval = -1.0;  ///< < 0: policy default
   int cell_retries = 1;
+  /// Observability outputs (--trace-out / --metrics-out); a non-empty
+  /// path turns RunnerOptions::observe on.
+  std::string trace_path;
+  std::string metrics_path;
 };
 
 /// Parses argv-style arguments (excluding argv[0]).

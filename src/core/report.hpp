@@ -31,6 +31,10 @@ struct Figure {
   /// by per-series ASCII bars.
   void print(std::ostream& out) const;
 
+  /// Writes "x,series1,series2,..." CSV rows to \p out.  The byte-exact
+  /// format the golden-figure regression suite locks down.
+  void write_csv(std::ostream& out) const;
+
   /// Writes "x,series1,series2,..." CSV to \p path (directories must
   /// exist).  Returns false (and prints nothing) on I/O failure.
   bool save_csv(const std::string& path) const;

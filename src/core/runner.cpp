@@ -4,11 +4,15 @@
 #include <cmath>
 #include <stdexcept>
 
+#include <memory>
+
 #include "container/io_model.hpp"
 #include "container/transport.hpp"
 #include "fault/schedule.hpp"
 #include "mpi/collectives.hpp"
 #include "mpi/cost_model.hpp"
+#include "obs/export.hpp"
+#include "sim/csv.hpp"
 #include "sim/rng.hpp"
 
 namespace hpcs::study {
@@ -124,6 +128,36 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
   result.nodes = scenario.nodes;
   result.step_times.reserve(static_cast<std::size_t>(scenario.time_steps));
 
+  // Observability: one collector per run, feeding a private in-memory
+  // sink.  Every recorded time is simulated, so the trace is a pure
+  // function of the scenario and seed.  Also drives the legacy timeline.
+  const bool collect = options_.observe || options_.record_timeline;
+  const auto obs_sink = collect ? std::make_shared<obs::MemorySink>()
+                                : std::shared_ptr<obs::MemorySink>{};
+  obs::Collector col(obs_sink);
+  obs::SpanScope run_scope(col, 0, "run", "runner", 0.0);
+
+  // --- deployment (before execution: the job's containers must be up) ------
+  container::DeploymentSimulator dep(scenario.cluster, scenario.seed);
+  if (options_.faults.enabled)
+    dep.set_faults(options_.faults, options_.retry);
+  dep.set_collector(&col);
+  {
+    obs::SpanScope deploy_scope(col, 0, "deploy", "deployment", 0.0);
+    if (scenario.runtime == container::RuntimeKind::BareMetal) {
+      result.deployment = dep.deploy_bare_metal(scenario.nodes, rpn);
+    } else {
+      result.deployment =
+          dep.deploy(*runtime, *scenario.image, scenario.nodes, rpn);
+    }
+    deploy_scope.close(result.deployment.total_time);
+  }
+  // Execution spans start where deployment ended, putting the whole run on
+  // one timebase.
+  const double dep_offset = result.deployment.total_time;
+
+  obs::SpanScope exec_scope(col, 0, "execute", "runner", dep_offset);
+
   const double iters = static_cast<double>(work.solver_iterations);
   const double halo_per_iter =
       static_cast<double>(work.halo_exchanges_per_iteration) * t_halo;
@@ -150,22 +184,31 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
     const double reductions = iters * red_per_iter;
     const double step = work.coupling_iterations *
                         (compute + halo + reductions + t_interface);
-    if (options_.record_timeline) {
+    if (col.enabled()) {
       // Phase order within a step: compute, halo, reductions, interface;
-      // steps are laid out back-to-back on the job timeline.
-      double t0 = 0.0;
+      // steps are laid out back-to-back after the deployment offset.
+      double t0 = dep_offset;
       for (double prev : result.step_times.values()) t0 += prev;
       const double cpl = work.coupling_iterations;
-      result.timeline.record(0, sim::Phase::Compute, t0, compute * cpl);
+      obs::SpanScope step_scope(col, 0, "step", "runner", t0);
+      col.span(0, "compute", "phase", t0, compute * cpl);
       t0 += compute * cpl;
-      result.timeline.record(0, sim::Phase::HaloExchange, t0, halo * cpl);
+      col.span(0, "halo", "phase", t0, halo * cpl);
       t0 += halo * cpl;
-      result.timeline.record(0, sim::Phase::Reduction, t0,
-                             reductions * cpl);
+      col.span(0, "reduction", "phase", t0, reductions * cpl);
       t0 += reductions * cpl;
+      if (t_interface > 0.0) {
+        col.span(0, "interface", "phase", t0, t_interface * cpl);
+        t0 += t_interface * cpl;
+      }
+      step_scope.close(t0);
+      col.count("runner/steps");
+      col.observe("runner/step_time_s", step);
+      col.observe("runner/phase/compute_s", compute * cpl);
+      col.observe("runner/phase/halo_s", halo * cpl);
+      col.observe("runner/phase/reduction_s", reductions * cpl);
       if (t_interface > 0.0)
-        result.timeline.record(0, sim::Phase::Interface, t0,
-                               t_interface * cpl);
+        col.observe("runner/phase/interface_s", t_interface * cpl);
     }
     result.step_times.add(step);
     result.compute_time += work.coupling_iterations * compute;
@@ -197,16 +240,7 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
         result.energy_j /
         (result.total_time * static_cast<double>(scenario.nodes));
 
-  // --- deployment -----------------------------------------------------------
-  container::DeploymentSimulator dep(scenario.cluster, scenario.seed);
-  if (options_.faults.enabled)
-    dep.set_faults(options_.faults, options_.retry);
-  if (scenario.runtime == container::RuntimeKind::BareMetal) {
-    result.deployment = dep.deploy_bare_metal(scenario.nodes, rpn);
-  } else {
-    result.deployment =
-        dep.deploy(*runtime, *scenario.image, scenario.nodes, rpn);
-  }
+  exec_scope.close(dep_offset + result.total_time);
 
   // --- resilience: checkpoint/restart replay under node crashes -------------
   result.resilience.straggler_multiplier = straggler_mult;
@@ -231,9 +265,20 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
     const double recovery =
         options_.checkpoint.reschedule_delay_s +
         dep.recovery_time(*runtime, image, rpn);
+    // Injected events become instant markers on the job track.  The
+    // replay's wall clock stretches past the ideal execution window, so
+    // the markers extend the trace beyond the last step — by design.
+    fault::ReplayEventFn on_event;
+    if (col.enabled())
+      on_event = [&col, dep_offset](const char* kind, double wall_time_s,
+                                    double detail_s) {
+        col.instant(0, kind, "fault", dep_offset + wall_time_s,
+                    {{"detail_s", sim::CsvWriter::cell(detail_s)}});
+      };
     const fault::ResilienceReport rep = fault::replay_with_recovery(
         result.total_time, options_.checkpoint, ckpt_cost, recovery,
-        finj.crash_process(scenario.nodes), options_.faults.max_crashes);
+        finj.crash_process(scenario.nodes), options_.faults.max_crashes,
+        on_event);
     result.resilience.crashes = rep.crashes;
     result.resilience.restarts = rep.restarts;
     result.resilience.checkpoints = rep.checkpoints;
@@ -241,6 +286,42 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
     result.resilience.lost_work_s = rep.lost_work_s;
     result.resilience.checkpoint_overhead_s = rep.checkpoint_overhead_s;
     result.resilience.effective_time_s = rep.effective_time_s;
+  }
+
+  if (col.enabled()) {
+    // Run-level metrics.  Gauges merge by max across campaign cells, so
+    // only record values where "worst cell" is the meaningful aggregate.
+    col.gauge("runner/total_time_s", result.total_time);
+    col.gauge("runner/avg_step_time_s", result.avg_step_time);
+    col.gauge("runner/comm_fraction", result.comm_fraction);
+    col.gauge("runner/energy_j", result.energy_j);
+    col.gauge("runner/avg_node_power_w", result.avg_node_power_w);
+    col.gauge("deploy/total_s", result.deployment.total_time);
+    col.count("deploy/bytes_transferred",
+              static_cast<double>(result.deployment.bytes_transferred));
+    col.count("deploy/pull_retries",
+              static_cast<double>(result.deployment.pull_retries));
+    for (double t : result.deployment.node_ready_times.values())
+      col.observe("deploy/node_ready_s", t);
+    if (options_.faults.enabled) {
+      col.count("fault/crashes",
+                static_cast<double>(result.resilience.crashes));
+      col.count("fault/checkpoints",
+                static_cast<double>(result.resilience.checkpoints));
+      col.gauge("fault/straggler_multiplier", straggler_mult);
+      col.gauge("fault/link_multiplier", link_mult);
+      col.gauge("fault/downtime_s", result.resilience.downtime_s);
+    }
+
+    run_scope.close(col.cursor(0));
+    result.trace = obs_sink->take();
+    if (options_.record_timeline)
+      result.timeline = obs::to_timeline(result.trace, dep_offset);
+    if (options_.observe) {
+      result.metrics = col.metrics();
+    } else {
+      result.trace = obs::TraceData{};  // timeline-only request
+    }
   }
   return result;
 }

@@ -26,6 +26,7 @@
 #include "fault/resilience.hpp"
 #include "fault/spec.hpp"
 #include "hw/compute.hpp"
+#include "obs/collector.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
@@ -37,6 +38,12 @@ struct RunnerOptions {
   double noise_sigma = 0.008;
   /// Record a per-step phase timeline (Paraver-lite) into the result.
   bool record_timeline = false;
+  /// Collect spans and metrics into RunResult::trace / ::metrics.  The
+  /// trace covers deployment (tracks 1+n per node), the per-step phase
+  /// breakdown, and injected fault events, all in simulated time on one
+  /// timebase: deployment [0, D], execution [D, D + total].  Off (the
+  /// default) costs nothing: no allocation, no lock, no RNG draw.
+  bool observe = false;
   /// Fault model; disabled by default (and then provably inert: no code
   /// path draws from it, keeping fault-free results bit-identical).
   fault::FaultSpec faults{};
@@ -73,6 +80,11 @@ struct RunResult {
   fault::ResilienceReport resilience;
   /// Per-step phase timeline; empty unless RunnerOptions::record_timeline.
   sim::Timeline timeline;
+  /// Full span/instant trace; empty unless RunnerOptions::observe.
+  obs::TraceData trace;
+  /// Metrics registry (counters/gauges/histograms); empty unless
+  /// RunnerOptions::observe.
+  obs::Metrics metrics;
 };
 
 class ExperimentRunner {

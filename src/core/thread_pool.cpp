@@ -127,4 +127,8 @@ std::size_t TaskPool::steal_count() const noexcept {
   return impl_->steals;
 }
 
+int TaskPool::current_worker() noexcept {
+  return tls_pool ? static_cast<int>(tls_worker) : -1;
+}
+
 }  // namespace hpcs::study

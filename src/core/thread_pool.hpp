@@ -47,6 +47,12 @@ class TaskPool {
   /// Successful steals since construction (scheduling diagnostic).
   std::size_t steal_count() const noexcept;
 
+  /// Index of the pool worker executing the calling thread, or -1 when
+  /// called from outside any pool.  Diagnostic only (worker assignment is
+  /// scheduling-dependent); observability keeps it out of serialized
+  /// artifacts so traces stay jobs-invariant.
+  static int current_worker() noexcept;
+
  private:
   Impl* impl_;  // pimpl keeps <thread>/<deque> out of the header
   int threads_;

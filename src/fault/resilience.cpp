@@ -48,7 +48,8 @@ double ResilienceReport::overhead_fraction() const noexcept {
 ResilienceReport replay_with_recovery(
     double ideal_work_s, const CheckpointPolicy& checkpoint,
     double checkpoint_cost_s, double recovery_cost_s,
-    const std::function<double(int)>& next_crash_time, int max_crashes) {
+    const std::function<double(int)>& next_crash_time, int max_crashes,
+    const ReplayEventFn& on_event) {
   checkpoint.validate();
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
@@ -86,10 +87,13 @@ ResilienceReport replay_with_recovery(
     if (next_crash < wall + segment) {
       // Crash mid-segment: roll back to the checkpoint and recover.
       const double progressed = next_crash - wall;
-      report.lost_work_s += (done + progressed) - saved;
+      const double lost = (done + progressed) - saved;
+      report.lost_work_s += lost;
       done = saved;
+      if (on_event) on_event("crash", next_crash, lost);
       wall = next_crash + recovery_cost_s;
       report.downtime_s += recovery_cost_s;
+      if (on_event) on_event("restart", wall, recovery_cost_s);
       ++report.crashes;
       ++report.restarts;
       ++crash_i;
@@ -106,6 +110,7 @@ ResilienceReport replay_with_recovery(
     report.checkpoint_overhead_s += checkpoint_cost_s;
     ++report.checkpoints;
     saved = done;
+    if (on_event) on_event("checkpoint", wall, checkpoint_cost_s);
     if (next_crash < wall) advance_crash();
   }
 
@@ -113,16 +118,15 @@ ResilienceReport replay_with_recovery(
   return report;
 }
 
-ResilienceReport replay_with_recovery(double ideal_work_s,
-                                      const CheckpointPolicy& checkpoint,
-                                      double checkpoint_cost_s,
-                                      double recovery_cost_s,
-                                      CrashProcess process,
-                                      int max_crashes) {
+ResilienceReport replay_with_recovery(
+    double ideal_work_s, const CheckpointPolicy& checkpoint,
+    double checkpoint_cost_s, double recovery_cost_s, CrashProcess process,
+    int max_crashes, const ReplayEventFn& on_event) {
   if (!process.active())
     return replay_with_recovery(
         ideal_work_s, checkpoint, checkpoint_cost_s, recovery_cost_s,
-        [](int) { return std::numeric_limits<double>::infinity(); }, 0);
+        [](int) { return std::numeric_limits<double>::infinity(); }, 0,
+        on_event);
 
   // The process is stateful; memoize so the ordinal-indexed view is pure.
   auto proc = std::make_shared<CrashProcess>(process);
@@ -133,7 +137,7 @@ ResilienceReport replay_with_recovery(double ideal_work_s,
     return (*times)[static_cast<std::size_t>(i)];
   };
   return replay_with_recovery(ideal_work_s, checkpoint, checkpoint_cost_s,
-                              recovery_cost_s, at, max_crashes);
+                              recovery_cost_s, at, max_crashes, on_event);
 }
 
 }  // namespace hpcs::fault

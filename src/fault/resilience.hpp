@@ -78,6 +78,14 @@ struct ResilienceReport {
   double overhead_fraction() const noexcept;
 };
 
+/// Optional observer for replay events, called as (kind, wall_time_s,
+/// detail_s) with kind one of "crash" (detail = work lost to the
+/// rollback), "restart" (detail = recovery cost paid) or "checkpoint"
+/// (detail = write cost).  Lets the observability layer turn injected
+/// faults into instant trace markers without this module depending on it.
+using ReplayEventFn =
+    std::function<void(const char* kind, double wall_time_s, double detail_s)>;
+
 /// Replays \p ideal_work_s seconds of work through the crash process.
 /// \p next_crash_time is called with the crash ordinal (0, 1, ...) and
 /// must return non-decreasing absolute wall times; crashes that land
@@ -86,13 +94,13 @@ struct ResilienceReport {
 ResilienceReport replay_with_recovery(
     double ideal_work_s, const CheckpointPolicy& checkpoint,
     double checkpoint_cost_s, double recovery_cost_s,
-    const std::function<double(int)>& next_crash_time, int max_crashes);
+    const std::function<double(int)>& next_crash_time, int max_crashes,
+    const ReplayEventFn& on_event = {});
 
 /// Convenience overload drawing crash times from a CrashProcess.
-ResilienceReport replay_with_recovery(double ideal_work_s,
-                                      const CheckpointPolicy& checkpoint,
-                                      double checkpoint_cost_s,
-                                      double recovery_cost_s,
-                                      CrashProcess process, int max_crashes);
+ResilienceReport replay_with_recovery(
+    double ideal_work_s, const CheckpointPolicy& checkpoint,
+    double checkpoint_cost_s, double recovery_cost_s, CrashProcess process,
+    int max_crashes, const ReplayEventFn& on_event = {});
 
 }  // namespace hpcs::fault

@@ -1,0 +1,171 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/csv.hpp"
+
+namespace hpcs::obs {
+
+namespace {
+
+/// Timestamps/durations in microseconds, fixed 3 fractional digits
+/// (nanosecond resolution) — byte-stable and ample for simulated phases.
+std::string usec(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3f", seconds * 1e6);
+  return buf;
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_args(std::ostream& out, const EventArgs& args) {
+  if (args.empty()) return;
+  out << ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << escape(args[i].first) << "\":\""
+        << escape(args[i].second) << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& out) : out_(out) {
+  out_ << "{\"traceEvents\":[\n";
+}
+
+void ChromeTraceWriter::comma() {
+  if (!first_) out_ << ",\n";
+  first_ = false;
+}
+
+void ChromeTraceWriter::process_name(int pid, const std::string& name) {
+  comma();
+  out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":\"" << escape(name) << "\"}}";
+}
+
+void ChromeTraceWriter::add(const TraceData& data, int pid,
+                            double time_offset_s) {
+  TraceData sorted = data;
+  sorted.canonicalize();
+  for (const auto& s : sorted.spans) {
+    comma();
+    out_ << "{\"name\":\"" << escape(s.name) << "\",\"cat\":\""
+         << escape(s.category) << "\",\"ph\":\"X\",\"pid\":" << pid
+         << ",\"tid\":" << s.track << ",\"ts\":"
+         << usec(s.start + time_offset_s) << ",\"dur\":" << usec(s.duration);
+    write_args(out_, s.args);
+    out_ << '}';
+  }
+  for (const auto& i : sorted.instants) {
+    comma();
+    out_ << "{\"name\":\"" << escape(i.name) << "\",\"cat\":\""
+         << escape(i.category) << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+         << pid << ",\"tid\":" << i.track
+         << ",\"ts\":" << usec(i.time + time_offset_s);
+    write_args(out_, i.args);
+    out_ << '}';
+  }
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_ << "\n],\"displayTimeUnit\":\"ms\",\"otherData\":"
+          "{\"generator\":\"hpcs::obs\",\"timebase\":\"simulated\"}}\n";
+}
+
+void write_chrome_trace(std::ostream& out, const TraceData& data,
+                        const std::string& process) {
+  ChromeTraceWriter w(out);
+  w.process_name(0, process);
+  w.add(data, 0);
+  w.finish();
+}
+
+bool save_chrome_trace(const std::string& path, const TraceData& data,
+                       const std::string& process) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out, data, process);
+  return out.good();
+}
+
+void write_phase_csv(std::ostream& out, const TraceData& data) {
+  TraceData sorted = data;
+  sorted.canonicalize();
+  sim::CsvWriter csv(out, {"track", "category", "name", "start", "duration"});
+  for (const auto& s : sorted.spans)
+    csv.row({sim::CsvWriter::cell(static_cast<long long>(s.track)),
+             s.category, s.name, sim::CsvWriter::cell(s.start),
+             sim::CsvWriter::cell(s.duration)});
+}
+
+bool save_phase_csv(const std::string& path, const TraceData& data) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_phase_csv(out, data);
+  return out.good();
+}
+
+sim::Timeline to_timeline(const TraceData& data, double origin) {
+  TraceData sorted = data;
+  sorted.canonicalize();
+  sim::Timeline t;
+  for (const auto& s : sorted.spans) {
+    if (s.category != "phase") continue;
+    sim::Phase phase;
+    if (s.name == "compute") {
+      phase = sim::Phase::Compute;
+    } else if (s.name == "halo") {
+      phase = sim::Phase::HaloExchange;
+    } else if (s.name == "reduction") {
+      phase = sim::Phase::Reduction;
+    } else if (s.name == "interface") {
+      phase = sim::Phase::Interface;
+    } else if (s.name == "deployment") {
+      phase = sim::Phase::Deployment;
+    } else {
+      continue;
+    }
+    t.record(s.track, phase, std::max(0.0, s.start - origin), s.duration);
+  }
+  return t;
+}
+
+}  // namespace hpcs::obs

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file export.hpp
+/// \brief Trace serializers: Chrome `chrome://tracing` JSON, Paraver-style
+///        phase CSV, and the legacy sim::Timeline adapter.
+///
+/// All writers emit events in canonical order (events.hpp) with fixed
+/// numeric formatting, so two structurally identical traces — e.g. the
+/// same campaign at `--jobs 1` and `--jobs 4` — serialize to identical
+/// bytes.  Open the JSON in chrome://tracing or https://ui.perfetto.dev.
+
+#include <ostream>
+#include <string>
+
+#include "obs/collector.hpp"
+#include "sim/trace.hpp"
+
+namespace hpcs::obs {
+
+/// Streams Chrome trace-event JSON ("X" complete spans and "i" instants).
+/// Usage: construct, add() each run's TraceData under its pid, finish().
+class ChromeTraceWriter {
+ public:
+  /// Writes the JSON preamble to \p out (kept by reference).
+  explicit ChromeTraceWriter(std::ostream& out);
+
+  /// Emits process/thread metadata naming \p pid (e.g. the campaign cell
+  /// key) in the trace viewer's process list.
+  void process_name(int pid, const std::string& name);
+
+  /// Emits \p data's events under \p pid.  \p time_offset_s shifts every
+  /// timestamp (used to lay independent timebases end-to-end).
+  void add(const TraceData& data, int pid, double time_offset_s = 0.0);
+
+  /// Closes the JSON document; further calls are invalid.  Idempotent.
+  void finish();
+
+ private:
+  void comma();
+
+  std::ostream& out_;
+  bool first_ = true;
+  bool finished_ = false;
+};
+
+/// Convenience: one run's trace as a complete JSON document.
+void write_chrome_trace(std::ostream& out, const TraceData& data,
+                        const std::string& process = "run");
+bool save_chrome_trace(const std::string& path, const TraceData& data,
+                       const std::string& process = "run");
+
+/// Paraver-style flat CSV ("track,category,name,start,duration") of the
+/// span set, in canonical order — supersedes sim::Timeline::save_csv as
+/// the runner's export path.
+void write_phase_csv(std::ostream& out, const TraceData& data);
+bool save_phase_csv(const std::string& path, const TraceData& data);
+
+/// Legacy adapter: rebuilds a sim::Timeline from the "phase"-category
+/// spans, shifting starts by -\p origin (the execution phase's offset in
+/// the trace).  Keeps the pre-obs Timeline API and tests working.
+sim::Timeline to_timeline(const TraceData& data, double origin = 0.0);
+
+}  // namespace hpcs::obs

@@ -1,0 +1,288 @@
+// The observability layer: span nesting invariants, phase accounting,
+// metrics merge algebra, the zero-cost disabled path, and campaign-level
+// jobs invariance of the serialized artifacts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/runner.hpp"
+#include "hw/presets.hpp"
+#include "obs/collector.hpp"
+#include "obs/export.hpp"
+
+namespace hs = hpcs::study;
+namespace hc = hpcs::container;
+namespace ho = hpcs::obs;
+namespace hw = hpcs::hw;
+
+namespace {
+
+hs::Scenario cfd_scenario(int steps = 4) {
+  return hs::Scenario{.cluster = hw::presets::lenox(),
+                      .runtime = hc::RuntimeKind::BareMetal,
+                      .nodes = 4,
+                      .ranks = 28,
+                      .threads = 4,
+                      .time_steps = steps};
+}
+
+hs::RunResult observed_run(const hs::Scenario& s) {
+  hs::RunnerOptions opts;
+  opts.observe = true;
+  return hs::ExperimentRunner(opts).run(s);
+}
+
+std::string metrics_json(const ho::Metrics& m) {
+  std::ostringstream out;
+  m.write_json(out);
+  return out.str();
+}
+
+ho::Metrics sample_metrics(double scale) {
+  ho::Metrics m;
+  m.count("a/counter", scale);
+  m.count("b/counter", 2.0 * scale);
+  m.gauge("a/gauge", 10.0 - scale);
+  m.observe("a/hist", scale);
+  m.observe("a/hist", 3.0 * scale);
+  return m;
+}
+
+/// ≥ 8-cell campaign used by the jobs-invariance tests.
+hs::CampaignResult observed_campaign(int jobs) {
+  hs::CampaignSpec spec;
+  spec.name = "obs-invariance";
+  spec.cluster(hw::presets::lenox())
+      .variant(hc::RuntimeKind::BareMetal)
+      .variant(hc::RuntimeKind::Singularity)
+      .variant(hc::RuntimeKind::Shifter)
+      .variant(hc::RuntimeKind::Docker)
+      .nodes({2, 4})
+      .steps(3);
+  hs::RunnerOptions ropts;
+  ropts.observe = true;
+  return hs::CampaignRunner(
+             hs::CampaignOptions{.jobs = jobs, .runner = ropts})
+      .run(spec);
+}
+
+std::string campaign_trace_json(const hs::CampaignResult& res) {
+  std::ostringstream out;
+  res.write_chrome_trace(out);
+  return out.str();
+}
+
+}  // namespace
+
+// --- Span-forest well-formedness -------------------------------------------
+
+TEST(ObsSpans, RunnerTraceIsAWellFormedForest) {
+  const auto r = observed_run(cfd_scenario());
+  ASSERT_FALSE(r.trace.spans.empty());
+
+  std::map<std::uint64_t, const ho::SpanEvent*> by_id;
+  for (const auto& s : r.trace.spans) {
+    EXPECT_NE(s.id, 0u);
+    EXPECT_TRUE(by_id.emplace(s.id, &s).second)
+        << "duplicate span id " << s.id;
+    EXPECT_GE(s.duration, 0.0) << s.name;
+    EXPECT_GE(s.start, 0.0) << s.name;
+  }
+  for (const auto& s : r.trace.spans) {
+    if (s.parent == 0) continue;
+    const auto it = by_id.find(s.parent);
+    ASSERT_NE(it, by_id.end())
+        << s.name << ": dangling parent id " << s.parent;
+    const auto& p = *it->second;
+    // A child lies inside its parent's interval and on its track.
+    EXPECT_EQ(s.track, p.track) << s.name << " in " << p.name;
+    EXPECT_GE(s.start, p.start - 1e-9) << s.name << " in " << p.name;
+    EXPECT_LE(s.end(), p.end() + 1e-9) << s.name << " in " << p.name;
+  }
+  // Instants also sit inside the run span.
+  double run_end = 0.0;
+  for (const auto& s : r.trace.spans)
+    if (s.name == "run") run_end = s.end();
+  for (const auto& i : r.trace.instants) {
+    EXPECT_GE(i.time, -1e-9);
+    EXPECT_LE(i.time, run_end + 1e-9);
+  }
+}
+
+TEST(ObsSpans, PhaseDurationsSumToStepAndRun) {
+  const auto r = observed_run(cfd_scenario());
+
+  std::map<std::uint64_t, double> child_sum;  // step id -> phase total
+  std::map<std::uint64_t, const ho::SpanEvent*> steps;
+  double step_total = 0.0;
+  for (const auto& s : r.trace.spans)
+    if (s.name == "step") {
+      steps.emplace(s.id, &s);
+      step_total += s.duration;
+    }
+  ASSERT_EQ(steps.size(), 4u);
+  for (const auto& s : r.trace.spans)
+    if (s.category == "phase") child_sum[s.parent] += s.duration;
+  ASSERT_EQ(child_sum.size(), steps.size());
+  for (const auto& [id, total] : child_sum) {
+    ASSERT_TRUE(steps.count(id));
+    const double d = steps.at(id)->duration;
+    EXPECT_NEAR(total, d, std::max(d, 1.0) * 1e-9)
+        << "phases of step " << id << " do not sum to the step";
+  }
+  // All steps together reconstruct the execution span and total_time.
+  EXPECT_NEAR(step_total, r.total_time, r.total_time * 1e-9);
+  for (const auto& s : r.trace.spans) {
+    if (s.name == "execute") {
+      EXPECT_NEAR(s.duration, r.total_time, r.total_time * 1e-9);
+    } else if (s.name == "deploy") {
+      EXPECT_NEAR(s.duration, r.deployment.total_time,
+                  std::max(r.deployment.total_time, 1.0) * 1e-9);
+    } else if (s.name == "run") {
+      EXPECT_NEAR(s.duration, r.deployment.total_time + r.total_time,
+                  (r.deployment.total_time + r.total_time) * 1e-9);
+    }
+  }
+}
+
+TEST(ObsSpans, ScopeClosesAtCursorWhenNotClosedExplicitly) {
+  auto sink = std::make_shared<ho::MemorySink>();
+  ho::Collector col(sink);
+  {
+    ho::SpanScope outer(col, 0, "outer", "test", 1.0);
+    col.span(0, "child", "test", 1.0, 2.5);
+    // No outer.close(): the destructor closes at the cursor (3.5).
+  }
+  auto data = sink->take();
+  ASSERT_EQ(data.spans.size(), 2u);
+  // Canonical order puts the (longer) parent first.
+  EXPECT_EQ(data.spans[0].name, "outer");
+  EXPECT_DOUBLE_EQ(data.spans[0].start, 1.0);
+  EXPECT_DOUBLE_EQ(data.spans[0].duration, 2.5);
+  EXPECT_EQ(data.spans[1].parent, data.spans[0].id);
+}
+
+// --- Metrics algebra --------------------------------------------------------
+
+TEST(ObsMetrics, MergeIsAssociative) {
+  const auto a = sample_metrics(1.0);
+  const auto b = sample_metrics(2.0);
+  const auto c = sample_metrics(5.0);
+
+  ho::Metrics left = a;   // (a + b) + c
+  left.merge(b);
+  left.merge(c);
+  ho::Metrics bc = b;     // a + (b + c)
+  bc.merge(c);
+  ho::Metrics right = a;
+  right.merge(bc);
+
+  EXPECT_EQ(metrics_json(left), metrics_json(right));
+  EXPECT_DOUBLE_EQ(left.counter_value("a/counter"), 8.0);
+  EXPECT_DOUBLE_EQ(left.gauge_value("a/gauge").value(), 9.0);  // max
+  EXPECT_EQ(left.histogram("a/hist")->count(), 6u);
+}
+
+TEST(ObsMetrics, CampaignAggregateIsJobsInvariant) {
+  const auto serial = observed_campaign(1);
+  const auto parallel = observed_campaign(4);
+  ASSERT_EQ(serial.failed, 0u);
+  ASSERT_EQ(parallel.failed, 0u);
+  EXPECT_EQ(metrics_json(serial.aggregate_metrics()),
+            metrics_json(parallel.aggregate_metrics()));
+  EXPECT_DOUBLE_EQ(
+      serial.aggregate_metrics().counter_value("campaign/cells"), 8.0);
+}
+
+// --- Disabled path ----------------------------------------------------------
+
+TEST(ObsDisabled, RecordsNothingAndCostsNoState) {
+  ho::Collector col;  // default-constructed: disabled
+  EXPECT_FALSE(col.enabled());
+  col.span(0, "x", "t", 0.0, 1.0);
+  col.instant(0, "y", "t", 0.5);
+  col.count("c");
+  col.gauge("g", 1.0);
+  col.observe("h", 2.0);
+  {
+    ho::SpanScope scope(col, 0, "scoped", "t", 0.0);
+    scope.close(1.0);
+  }
+  EXPECT_TRUE(col.metrics().empty());
+  EXPECT_DOUBLE_EQ(col.cursor(0), 0.0);
+  EXPECT_TRUE(col.host_stats().empty());
+
+  ho::Collector null_sink_col{std::shared_ptr<ho::Sink>{}};
+  EXPECT_FALSE(null_sink_col.enabled());
+}
+
+TEST(ObsDisabled, ObserveFlagDoesNotPerturbResults) {
+  // Observability must not draw from the simulation RNG or reorder any
+  // model arithmetic: every numeric result is bit-identical with the
+  // collector on and off.
+  const auto s = cfd_scenario(5);
+  const auto off = hs::ExperimentRunner().run(s);
+  const auto on = observed_run(s);
+
+  EXPECT_EQ(on.total_time, off.total_time);
+  EXPECT_EQ(on.avg_step_time, off.avg_step_time);
+  EXPECT_EQ(on.compute_time, off.compute_time);
+  EXPECT_EQ(on.halo_time, off.halo_time);
+  EXPECT_EQ(on.reduction_time, off.reduction_time);
+  EXPECT_EQ(on.comm_fraction, off.comm_fraction);
+  EXPECT_EQ(on.energy_j, off.energy_j);
+  EXPECT_EQ(on.deployment.total_time, off.deployment.total_time);
+  EXPECT_EQ(on.deployment.bytes_transferred, off.deployment.bytes_transferred);
+
+  // And the disabled run carries no trace or metrics at all.
+  EXPECT_TRUE(off.trace.empty());
+  EXPECT_TRUE(off.metrics.empty());
+  EXPECT_FALSE(on.trace.empty());
+  EXPECT_FALSE(on.metrics.empty());
+}
+
+// --- Jobs invariance of serialized artifacts --------------------------------
+
+TEST(ObsCampaign, TraceBytesAreJobsInvariant) {
+  const auto serial = observed_campaign(1);
+  const auto parallel = observed_campaign(4);
+  ASSERT_EQ(serial.cells.size(), 8u);
+  EXPECT_EQ(campaign_trace_json(serial), campaign_trace_json(parallel));
+}
+
+TEST(ObsCampaign, CellTracesCoverDeploymentAndPhases) {
+  const auto res = observed_campaign(2);
+  for (const auto& cell : res.cells) {
+    ASSERT_TRUE(cell.ok) << cell.key;
+    std::map<std::string, int> names;
+    for (const auto& s : cell.result.trace.spans) ++names[s.name];
+    EXPECT_GE(names["step"], 3) << cell.key;
+    EXPECT_GE(names["compute"], 3) << cell.key;
+    EXPECT_EQ(names["deploy"], 1) << cell.key;
+    EXPECT_EQ(names["run"], 1) << cell.key;
+    if (cell.variant.runtime != hc::RuntimeKind::BareMetal) {
+      EXPECT_GE(names["instantiate"], 1) << cell.key;
+    }
+    // Worker attribution exists but is diagnostic-only.
+    EXPECT_GE(cell.worker, 0) << cell.key;
+  }
+}
+
+TEST(ObsCampaign, PhaseCsvIsCanonicalAndStable) {
+  const auto r = observed_run(cfd_scenario(2));
+  std::ostringstream a, b;
+  ho::write_phase_csv(a, r.trace);
+  ho::write_phase_csv(b, observed_run(cfd_scenario(2)).trace);
+  EXPECT_EQ(a.str(), b.str());
+  std::istringstream lines(a.str());
+  std::string header;
+  std::getline(lines, header);
+  EXPECT_EQ(header, "track,category,name,start,duration");
+}

@@ -346,12 +346,18 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   CampaignResult res;
   res.name = spec.name;
   res.axes = effective_axes(spec);
+  // The --jobs default probes host parallelism; the resolved value is
+  // reported in the JSON summary as configuration, never in figure data.
+  // hpcs-lint: allow(DET-004) jobs default probes host parallelism only
+  const unsigned host_jobs = std::thread::hardware_concurrency();
   res.jobs = options_.jobs > 0
                  ? options_.jobs
-                 : std::max(1, static_cast<int>(
-                                   std::thread::hardware_concurrency()));
+                 : std::max(1, static_cast<int>(host_jobs));
 
   ImageBuildCache cache;
+  // Campaign wall time is an operator-facing diagnostic: it appears in
+  // the JSON summary but never in figure CSVs, traces, or metrics.
+  // hpcs-lint: allow(DET-001) wall_time_s is a host-side diagnostic
   const auto t0 = std::chrono::steady_clock::now();
   {
     TaskPool pool(res.jobs);
@@ -392,9 +398,9 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
       });
     pool.wait_idle();
   }
-  res.wall_time_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  // hpcs-lint: allow(DET-001) wall_time_s is a host-side diagnostic
+  const auto t1 = std::chrono::steady_clock::now();
+  res.wall_time_s = std::chrono::duration<double>(t1 - t0).count();
 
   for (const CampaignCell& cell : cells)
     (cell.ok ? res.succeeded : res.failed)++;

@@ -1,0 +1,9 @@
+// Fixture: DET-001 violations (wall-clock reads in library code).
+#include <chrono>
+#include <ctime>
+
+double wall_seconds() {
+  const auto now = std::chrono::steady_clock::now();
+  (void)now;
+  return static_cast<double>(std::time(nullptr));
+}

@@ -1,0 +1,14 @@
+// Fixture: no DET-001 findings — method names containing "time", plus
+// banned names inside comments/strings, must not fire.
+#include <string>
+
+struct Solver {
+  double time() const { return t_; }  // accessor named time(): fine
+  double message_time(int bytes) const { return 1e-9 * bytes; }
+  double t_ = 0.0;
+};
+
+// steady_clock mentioned in a comment is fine.
+std::string describe() { return "uses std::chrono::steady_clock"; }
+
+double run(const Solver& s) { return s.time() + s.message_time(8); }

@@ -1,0 +1,8 @@
+// Fixture: DET-002 violations (ad-hoc RNG construction).
+#include <random>
+
+int draw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen() % 6u) + rand() % 2;
+}

@@ -1,0 +1,14 @@
+// Fixture: no DET-002 findings — member access and word-boundary
+// lookalikes must not fire.
+struct Stream {
+  unsigned next() const { return 4u; }
+};
+
+unsigned draw(const Stream& strand) { return strand.next(); }
+
+template <typename T>
+unsigned poke(T& t) {
+  return t.rand();  // member access: some other type's rand, not libc's
+}
+
+int lookalike(int operand) { return operand; }

@@ -1,0 +1,8 @@
+// Fixture: DET-003 violation — unordered container in a CSV writer.
+#include <ostream>
+#include <unordered_map>
+
+void write_csv(std::ostream& out,
+               const std::unordered_map<int, double>& cells) {
+  for (const auto& [key, value] : cells) out << key << "," << value;
+}

@@ -1,0 +1,7 @@
+// Fixture: no DET-003 finding — ordered map in a CSV writer.
+#include <map>
+#include <ostream>
+
+void write_csv(std::ostream& out, const std::map<int, double>& cells) {
+  for (const auto& [key, value] : cells) out << key << "," << value;
+}

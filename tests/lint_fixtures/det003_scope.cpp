@@ -1,0 +1,7 @@
+// Fixture: unordered containers outside serialization code are fine —
+// DET-003 is scoped to writer/export paths (classification by path).
+#include <unordered_map>
+
+int count_distinct(const std::unordered_map<int, int>& m) {
+  return static_cast<int>(m.size());
+}

@@ -1,0 +1,8 @@
+// Fixture: DET-004 violations (thread identity near outputs).
+#include <thread>
+
+unsigned long worker_tag() {
+  const std::thread::id tid = std::this_thread::get_id();
+  (void)tid;
+  return std::thread::hardware_concurrency();
+}

@@ -1,0 +1,6 @@
+// Fixture: no DET-004 finding — ordinary .id members are fine.
+struct Span {
+  unsigned long id = 0;
+};
+
+unsigned long tag(const Span& span) { return span.id; }

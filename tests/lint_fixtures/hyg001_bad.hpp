@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: HYG-001 violation — namespace-wide using in a header.
+#include <vector>
+
+using namespace std;

@@ -1,0 +1,5 @@
+#pragma once
+// Fixture: no HYG-001 finding — named using-declarations are fine.
+#include <string>
+
+using std::string;

@@ -1,0 +1,7 @@
+// Fixture: HYG-002 violation — include guard instead of #pragma once.
+#ifndef HPCS_FIXTURE_HYG002_BAD_HPP
+#define HPCS_FIXTURE_HYG002_BAD_HPP
+
+int answer();
+
+#endif

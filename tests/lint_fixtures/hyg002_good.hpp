@@ -1,0 +1,4 @@
+#pragma once
+// Fixture: no HYG-002 finding.
+
+int answer();

@@ -1,0 +1,9 @@
+// Fixture: HYG-003 violations (console I/O in library code).
+#include <cstdio>
+#include <iostream>
+
+void report(int cells) {
+  std::cout << "cells: " << cells << "\n";
+  std::cerr << "warning\n";
+  printf("%d\n", cells);
+}

@@ -1,0 +1,4 @@
+// Fixture: no HYG-003 finding — library code writes to a caller stream.
+#include <ostream>
+
+void report(std::ostream& out, int cells) { out << cells << "\n"; }

@@ -1,0 +1,7 @@
+// Fixture: a reason-less suppression is LNT-901 and does not suppress.
+#include <chrono>
+
+double wall() {
+  auto a = std::chrono::steady_clock::now();  // hpcs-lint: allow(DET-001)
+  return std::chrono::duration<double>(a.time_since_epoch()).count();
+}

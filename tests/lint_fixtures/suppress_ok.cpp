@@ -1,0 +1,9 @@
+// Fixture: reasoned suppressions silence findings in both forms.
+#include <chrono>
+
+double wall() {
+  auto a = std::chrono::steady_clock::now();  // hpcs-lint: allow(DET-001) ok
+  // hpcs-lint: allow(DET-001) fixture exercises the next-line form
+  auto b = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(b - a).count();
+}

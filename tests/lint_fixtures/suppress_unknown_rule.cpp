@@ -1,0 +1,8 @@
+// Fixture: suppressing an unknown rule is LNT-902; finding resurfaces.
+#include <chrono>
+
+double wall() {
+  // hpcs-lint: allow(DET-999) no such rule
+  auto a = std::chrono::steady_clock::now();
+  return a.time_since_epoch().count();
+}

@@ -1,0 +1,181 @@
+// hpcs-lint's own test suite: every rule has a known-bad and known-good
+// fixture under tests/lint_fixtures/ (asserted down to exact rule IDs and
+// line numbers), suppressions are honored only with a written reason, and
+// — the point of the tool — the real source tree lints clean.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using hpcs::lint::Finding;
+using hpcs::lint::lint_text;
+using hpcs::lint::Report;
+using hpcs::lint::ScannedFile;
+using hpcs::lint::scan_source;
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(HPCS_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct Expected {
+  int line;
+  const char* rule;
+};
+
+void expect_findings(const std::string& fake_path, const std::string& name,
+                     const std::vector<Expected>& expected) {
+  const std::vector<Finding> got = lint_text(fake_path, fixture(name));
+  ASSERT_EQ(got.size(), expected.size())
+      << "fixture " << name << " linted as " << fake_path;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i].line, expected[i].line) << name << " finding " << i;
+    EXPECT_EQ(got[i].rule, expected[i].rule) << name << " finding " << i;
+  }
+}
+
+TEST(LintRules, Det001FlagsWallClockReads) {
+  expect_findings("src/hw/fixture.cpp", "det001_bad.cpp",
+                  {{6, "DET-001"}, {8, "DET-001"}});
+}
+
+TEST(LintRules, Det001IgnoresMethodNamesCommentsAndStrings) {
+  expect_findings("src/hw/fixture.cpp", "det001_good.cpp", {});
+}
+
+TEST(LintRules, Det002FlagsAdHocRng) {
+  expect_findings("src/hw/fixture.cpp", "det002_bad.cpp",
+                  {{5, "DET-002"}, {6, "DET-002"}, {7, "DET-002"}});
+}
+
+TEST(LintRules, Det002IgnoresMemberAccessAndLookalikes) {
+  expect_findings("src/hw/fixture.cpp", "det002_good.cpp", {});
+}
+
+TEST(LintRules, Det003FlagsUnorderedContainersInWriters) {
+  expect_findings("src/core/extra_csv.cpp", "det003_bad_csv.cpp",
+                  {{3, "DET-003"}, {6, "DET-003"}});
+}
+
+TEST(LintRules, Det003AcceptsOrderedContainersInWriters) {
+  expect_findings("src/core/extra_csv.cpp", "det003_good_csv.cpp", {});
+}
+
+TEST(LintRules, Det003IsScopedToSerializationPaths) {
+  expect_findings("src/hw/lookup.cpp", "det003_scope.cpp", {});
+  // The same content in an export-named file is in scope.
+  expect_findings("src/hw/lookup_export.cpp", "det003_scope.cpp",
+                  {{3, "DET-003"}, {5, "DET-003"}});
+}
+
+TEST(LintRules, Det004FlagsThreadIdentity) {
+  expect_findings("src/core/fixture.cpp", "det004_bad.cpp",
+                  {{5, "DET-004"}, {5, "DET-004"}, {7, "DET-004"}});
+}
+
+TEST(LintRules, Det004IgnoresOrdinaryIdMembers) {
+  expect_findings("src/core/fixture.cpp", "det004_good.cpp", {});
+}
+
+TEST(LintRules, Hyg001FlagsUsingNamespaceInHeaders) {
+  expect_findings("src/hw/fixture.hpp", "hyg001_bad.hpp",
+                  {{5, "HYG-001"}});
+}
+
+TEST(LintRules, Hyg001AcceptsNamedUsingDeclarations) {
+  expect_findings("src/hw/fixture.hpp", "hyg001_good.hpp", {});
+}
+
+TEST(LintRules, Hyg001DoesNotApplyToSourceFiles) {
+  // The same using-directive content linted as a .cpp is fine.
+  const std::vector<Finding> got =
+      lint_text("src/hw/fixture.cpp", fixture("hyg001_bad.hpp"));
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(LintRules, Hyg002RequiresPragmaOnce) {
+  expect_findings("src/hw/fixture.hpp", "hyg002_bad.hpp",
+                  {{1, "HYG-002"}});
+  expect_findings("src/hw/fixture.hpp", "hyg002_good.hpp", {});
+}
+
+TEST(LintRules, Hyg003FlagsConsoleIoInLibraryCode) {
+  expect_findings("src/core/fixture.cpp", "hyg003_bad.cpp",
+                  {{6, "HYG-003"}, {7, "HYG-003"}, {8, "HYG-003"}});
+}
+
+TEST(LintRules, Hyg003ExemptsBenchExamplesTests) {
+  expect_findings("examples/fixture.cpp", "hyg003_bad.cpp", {});
+  expect_findings("bench/fixture.cpp", "hyg003_bad.cpp", {});
+  expect_findings("tests/fixture.cpp", "hyg003_bad.cpp", {});
+}
+
+TEST(LintRules, Hyg003AcceptsCallerStreams) {
+  expect_findings("src/core/fixture.cpp", "hyg003_good.cpp", {});
+}
+
+TEST(LintSuppressions, ReasonedSuppressionsSilenceBothForms) {
+  expect_findings("src/core/fixture.cpp", "suppress_ok.cpp", {});
+}
+
+TEST(LintSuppressions, MissingReasonIsAFindingAndDoesNotSuppress) {
+  expect_findings("src/core/fixture.cpp", "suppress_missing_reason.cpp",
+                  {{5, "DET-001"}, {5, "LNT-901"}});
+}
+
+TEST(LintSuppressions, UnknownRuleIsAFindingAndDoesNotSuppress) {
+  expect_findings("src/core/fixture.cpp", "suppress_unknown_rule.cpp",
+                  {{5, "LNT-902"}, {6, "DET-001"}});
+}
+
+TEST(LintScanner, BlanksLiteralsAndSplitsComments) {
+  const ScannedFile f = scan_source(
+      "src/x.cpp",
+      "int a = 1'000;  // steady_clock in a comment\n"
+      "const char* s = \"std::mt19937 \\\" quoted\";\n"
+      "/* block\n"
+      "   rand() */ int b = 2;\n");
+  ASSERT_EQ(f.lines.size(), 5u);  // trailing newline yields an empty line
+  EXPECT_EQ(f.lines[0].code, "int a = 1'000;  ");
+  EXPECT_EQ(f.lines[0].comment, " steady_clock in a comment");
+  EXPECT_EQ(f.lines[1].code, "const char* s = \"\";");
+  EXPECT_EQ(f.lines[3].code, " int b = 2;");
+  EXPECT_EQ(f.lines[3].comment, "   rand() ");
+}
+
+TEST(LintScanner, RawStringsAreBlanked) {
+  const ScannedFile f = scan_source(
+      "src/x.cpp", "auto j = R\"({\"clock\": \"steady_clock\"})\";\n");
+  // Everything between the raw-string quotes is blanked, so no rule can
+  // fire on the JSON payload.
+  EXPECT_EQ(f.lines[0].code.find("steady_clock"), std::string::npos);
+  EXPECT_NE(f.lines[0].code.find("auto j = R\""), std::string::npos);
+}
+
+TEST(LintTree, RealSourceTreeLintsClean) {
+  const Report report = hpcs::lint::lint_tree(HPCS_LINT_SOURCE_ROOT);
+  for (const Finding& finding : report.findings)
+    ADD_FAILURE() << finding.file << ":" << finding.line << ": ["
+                  << finding.rule << "] " << finding.message;
+  EXPECT_GT(report.files_scanned, 150u);
+}
+
+TEST(LintTree, ScanIsDeterministic) {
+  const Report a = hpcs::lint::lint_tree(HPCS_LINT_SOURCE_ROOT);
+  const Report b = hpcs::lint::lint_tree(HPCS_LINT_SOURCE_ROOT);
+  EXPECT_EQ(a.files_scanned, b.files_scanned);
+  ASSERT_EQ(a.findings.size(), b.findings.size());
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file lint.hpp
+/// \brief hpcs-lint: the project's determinism-and-hygiene static analyzer.
+///
+/// Every figure CSV, campaign report, and Chrome trace this repository
+/// produces must be byte-identical regardless of `--jobs`, worker
+/// scheduling, or host wall-clock.  The golden-figure suite enforces that
+/// *dynamically*; hpcs-lint enforces it *statically*, by banning the
+/// constructs that break the invariant (wall-clock reads, ad-hoc RNG,
+/// unordered-container iteration in serialization paths, thread identity
+/// in outputs) everywhere outside a small, explicitly-reasoned allowlist.
+///
+/// The analyzer is deliberately not a compiler front end: a literal-aware
+/// line scanner (comments split out, string/char literal contents blanked)
+/// feeds an identifier matcher with one-token qualifier context
+/// (`std::`, `foo.`, `bar->`).  That is precise enough to catch every
+/// banned construct with word-exact matching and no findings inside
+/// comments or string literals, while staying a single dependency-free
+/// C++17 tool that builds in under a second.
+///
+/// Findings are suppressible inline, one line at a time, and only with a
+/// written reason:
+///
+///     code();  // hpcs-lint: allow(DET-001) wall time is diagnostic only
+///
+/// A suppression comment on a line of its own applies to the next line.
+/// A suppression without a reason is itself a finding (LNT-901), as is
+/// one naming an unknown rule (LNT-902).  See docs/static-analysis.md for
+/// the full catalog and policy.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hpcs::lint {
+
+/// One rule violation (or malformed suppression) at a specific line.
+struct Finding {
+  std::string file;  ///< '/'-separated path, relative to the scan root
+  int line = 1;      ///< 1-based
+  std::string rule;  ///< e.g. "DET-001"
+  std::string message;
+};
+
+/// Canonical report order: (file, line, rule).
+bool finding_before(const Finding& a, const Finding& b) noexcept;
+
+/// Catalog entry describing one rule.
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// Every rule the analyzer knows, in report order.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// True iff \p id names a rule in the catalog.
+bool known_rule(const std::string& id);
+
+/// One built-in allowlist entry: \p rule is permitted in \p path because
+/// \p reason.  The allowlist is part of the tool (reviewed like code), so
+/// the exempt set can't silently grow in source files.
+struct AllowEntry {
+  const char* path;
+  const char* rule;
+  const char* reason;
+};
+
+/// The built-in allowlist (printed by `hpcs-lint --list-rules`).
+const std::vector<AllowEntry>& builtin_allowlist();
+
+/// One physical source line after lexing: \p code holds the source text
+/// with comments removed and literal contents blanked; \p comment holds
+/// the comment text that appeared on the line.
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// A lexed translation unit.
+struct ScannedFile {
+  std::string path;  ///< '/'-separated, relative to the scan root
+  std::vector<ScannedLine> lines;
+};
+
+/// Lexes \p content.  Handles //, /* */ (multi-line), string and char
+/// literals with escapes, raw strings, and digit separators; rule
+/// matching therefore never fires inside comments or literals.
+ScannedFile scan_source(std::string path, const std::string& content);
+
+/// Runs every rule applicable to \p file (by path classification) and
+/// returns the surviving findings, sorted.
+std::vector<Finding> lint_file(const ScannedFile& file);
+
+/// scan_source + lint_file.
+std::vector<Finding> lint_text(std::string path, const std::string& content);
+
+/// Result of a tree or path-list scan.
+struct Report {
+  std::vector<Finding> findings;  ///< sorted by (file, line, rule)
+  std::size_t files_scanned = 0;
+};
+
+/// Lints the project tree under \p root: src/, bench/, examples/,
+/// tools/, and tests/ (minus tests/lint_fixtures/, whose files are
+/// intentionally bad).  File order — and therefore output — is sorted
+/// and deterministic.
+Report lint_tree(const std::string& root);
+
+/// Lints explicit files and/or directories.  Paths are relativized
+/// against \p root for rule classification.
+Report lint_paths(const std::string& root,
+                  const std::vector<std::string>& paths);
+
+}  // namespace hpcs::lint

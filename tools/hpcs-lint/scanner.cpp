@@ -1,0 +1,134 @@
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "lint.hpp"
+
+namespace hpcs::lint {
+
+namespace {
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool hex_digit(char c) noexcept {
+  return std::isxdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+ScannedFile scan_source(std::string path, const std::string& content) {
+  ScannedFile out;
+  out.path = std::move(path);
+
+  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  State state = State::Code;
+  std::string raw_end;  // ")delim\"" terminator of the active raw string
+  ScannedLine line;
+  const std::size_t n = content.size();
+  std::size_t i = 0;
+
+  auto flush = [&] {
+    out.lines.push_back(std::move(line));
+    line = ScannedLine{};
+  };
+
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      // Unterminated ordinary literals reset at end of line, like the
+      // compiler's error recovery; raw strings and block comments span.
+      if (state == State::LineComment || state == State::String ||
+          state == State::Char)
+        state = State::Code;
+      flush();
+      ++i;
+      continue;
+    }
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          i += 2;
+        } else if (c == '"') {
+          // R"delim( opens a raw string when the R is not the tail of a
+          // longer identifier.
+          const bool raw =
+              !line.code.empty() && line.code.back() == 'R' &&
+              (line.code.size() < 2 ||
+               !ident_char(line.code[line.code.size() - 2]));
+          line.code += '"';
+          ++i;
+          if (raw) {
+            std::string delim;
+            while (i < n && content[i] != '(' && content[i] != '\n')
+              delim += content[i++];
+            if (i < n && content[i] == '(') ++i;
+            raw_end = ")" + delim + "\"";
+            state = State::Raw;
+          } else {
+            state = State::String;
+          }
+        } else if (c == '\'') {
+          // A quote between alphanumerics is a digit separator (1'000),
+          // not a char literal.
+          const bool separator = !line.code.empty() &&
+                                 hex_digit(line.code.back()) &&
+                                 hex_digit(next);
+          line.code += '\'';
+          ++i;
+          if (!separator) state = State::Char;
+        } else {
+          line.code += c;
+          ++i;
+        }
+        break;
+      case State::LineComment:
+        line.comment += c;
+        ++i;
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          i += 2;
+        } else {
+          line.comment += c;
+          ++i;
+        }
+        break;
+      case State::String:
+      case State::Char: {
+        const char close = state == State::String ? '"' : '\'';
+        if (c == '\\') {
+          i += 2;  // skip the escaped character, whatever it is
+        } else if (c == close) {
+          line.code += close;
+          state = State::Code;
+          ++i;
+        } else {
+          ++i;  // literal contents are blanked
+        }
+        break;
+      }
+      case State::Raw:
+        if (content.compare(i, raw_end.size(), raw_end) == 0) {
+          line.code += '"';
+          i += raw_end.size();
+          state = State::Code;
+        } else {
+          ++i;  // raw contents (including embedded newlines' text) blanked
+        }
+        break;
+    }
+  }
+  flush();
+  return out;
+}
+
+}  // namespace hpcs::lint

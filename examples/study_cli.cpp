@@ -81,6 +81,9 @@ int main(int argc, char** argv) {
     opts = hs::parse_cli(
         std::span<const char* const>(argv + 1,
                                      static_cast<std::size_t>(argc - 1)));
+    // Fail fast on unwritable output destinations: a typo'd --trace-out
+    // should abort here, not after a full campaign run.
+    if (!opts.help) hs::validate_output_paths(opts);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 2;

@@ -63,39 +63,9 @@ std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key) {
   return sim::splitmix64(state);
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+// JSON string escaping is shared with the trace writers so every artifact
+// survives a json.tool round-trip identically.
+using obs::json_escape;
 
 }  // namespace
 
@@ -359,16 +329,22 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
   // the JSON summary but never in figure CSVs, traces, or metrics.
   // hpcs-lint: allow(DET-001) wall_time_s is a host-side diagnostic
   const auto t0 = std::chrono::steady_clock::now();
+  // Per-cell host seconds land in host_metrics (never in figure
+  // artifacts), indexed by cell so the histogram folds in cell order.
+  std::vector<double> cell_host_s(cells.size(), 0.0);
+  TaskPool::Stats pool_stats;
   {
     TaskPool pool(res.jobs);
     for (CampaignCell& cell : cells)
-      pool.submit([&cell, &cache, &spec, this] {
+      pool.submit([&cell, &cache, &spec, &cell_host_s, this] {
         // Each cell carries its own fault spec, so the runner is built per
         // cell; fault-category failures get bounded re-executions with a
         // fresh key-derived seed (jobs-invariant, like everything else).
         RunnerOptions ro = options_.runner;
         ro.faults = cell.fault_spec;
         cell.worker = TaskPool::current_worker();
+        // hpcs-lint: allow(DET-001) per-cell host time is diagnostic-only
+        const auto cell_t0 = std::chrono::steady_clock::now();
         for (int attempt = 0;; ++attempt) {
           cell.attempts = attempt + 1;
           try {
@@ -395,8 +371,13 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
               break;
           }
         }
+        // hpcs-lint: allow(DET-001) per-cell host time is diagnostic-only
+        const auto cell_t1 = std::chrono::steady_clock::now();
+        cell_host_s[cell.index] =
+            std::chrono::duration<double>(cell_t1 - cell_t0).count();
       });
     pool.wait_idle();
+    pool_stats = pool.stats();
   }
   // hpcs-lint: allow(DET-001) wall_time_s is a host-side diagnostic
   const auto t1 = std::chrono::steady_clock::now();
@@ -406,6 +387,32 @@ CampaignResult CampaignRunner::run(const CampaignSpec& spec) const {
     (cell.ok ? res.succeeded : res.failed)++;
   res.image_cache_hits = cache.hits();
   res.image_cache_misses = cache.misses();
+
+  // Harness-health registry.  Everything here is host-side and
+  // scheduling-dependent, so it lives apart from aggregate_metrics() and
+  // is never serialized into jobs-invariant artifacts.
+  std::size_t workers_used = 0;
+  for (const std::size_t n : pool_stats.per_worker) {
+    if (n > 0) ++workers_used;
+    res.host_metrics.observe("pool/tasks_per_worker",
+                             static_cast<double>(n));
+  }
+  res.host_metrics.gauge("pool/workers", static_cast<double>(res.jobs));
+  res.host_metrics.gauge("pool/steals",
+                         static_cast<double>(pool_stats.steals));
+  res.host_metrics.gauge("pool/max_queue_depth",
+                         static_cast<double>(pool_stats.max_queue_depth));
+  res.host_metrics.gauge(
+      "pool/utilization",
+      res.jobs > 0 ? static_cast<double>(workers_used) /
+                         static_cast<double>(res.jobs)
+                   : 0.0);
+  res.host_metrics.count("pool/tasks_executed",
+                         static_cast<double>(pool_stats.tasks_executed));
+  for (const double seconds : cell_host_s)
+    res.host_metrics.observe("campaign/cell_host_s", seconds);
+  res.host_metrics.gauge("campaign/wall_time_s", res.wall_time_s);
+
   res.cells = std::move(cells);
   return res;
 }

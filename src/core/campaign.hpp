@@ -196,6 +196,12 @@ struct CampaignResult {
   std::size_t image_cache_misses = 0;
   int jobs = 1;
   double wall_time_s = 0.0;  ///< host wall clock (not simulated time)
+  /// Harness-health registry: TaskPool queue-depth/steal/utilization
+  /// gauges and per-cell host-time histograms.  Host-side and
+  /// scheduling-dependent by nature, so it is kept apart from
+  /// aggregate_metrics() and never serialized into the jobs-invariant
+  /// figure artifacts (CSV/JSON/trace/metrics files).
+  obs::Metrics host_metrics;
 
   const CampaignCell& at(std::size_t cluster, std::size_t variant,
                          std::size_t app, std::size_t nodes,

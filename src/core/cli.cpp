@@ -1,7 +1,10 @@
 #include "core/cli.hpp"
 
 #include <charconv>
+#include <filesystem>
+#include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "core/images.hpp"
 #include "hw/presets.hpp"
@@ -227,6 +230,33 @@ CampaignSpec to_campaign_spec(const CliOptions& o) {
     spec.fault(fault_from_cli(o, fault_name));
   spec.validate();
   return spec;
+}
+
+void probe_output_path(const std::string& flag, const std::string& path) {
+  if (path.empty()) return;
+  namespace fs = std::filesystem;
+  std::error_code ec;  // directory problems surface via the open below
+  const fs::path target(path);
+  if (const fs::path parent = target.parent_path(); !parent.empty())
+    fs::create_directories(parent, ec);
+  const bool existed = fs::exists(target, ec);
+  {
+    // Append mode: proves writability without truncating existing data.
+    std::ofstream probe(path, std::ios::app);
+    if (!probe)
+      throw std::invalid_argument(flag + ": cannot open '" + path +
+                                  "' for writing");
+  }
+  if (!existed) fs::remove(target, ec);
+}
+
+void validate_output_paths(const CliOptions& o) {
+  probe_output_path("--trace-out", o.trace_path);
+  probe_output_path("--metrics-out", o.metrics_path);
+  if (o.campaign) {
+    probe_output_path("--csv", o.csv_path);
+    probe_output_path("--json", o.json_path);
+  }
 }
 
 RunnerOptions to_runner_options(const CliOptions& o) {

@@ -90,6 +90,20 @@ CampaignSpec to_campaign_spec(const CliOptions& options);
 ///         --faults list without --campaign.
 RunnerOptions to_runner_options(const CliOptions& options);
 
+/// Probe-opens \p path for writing (creating parent directories first),
+/// so a bad output destination fails at parse time instead of after a
+/// full campaign run.  A file newly created by the probe is removed
+/// again; an existing file is left untouched (the probe opens in append
+/// mode and writes nothing).
+/// \throws std::invalid_argument naming \p flag when unwritable.
+void probe_output_path(const std::string& flag, const std::string& path);
+
+/// Probes every output path the run will write: --trace-out and
+/// --metrics-out always, --csv/--json in campaign mode (single runs
+/// don't write them).  Empty paths are skipped.
+/// \throws std::invalid_argument naming the offending flag.
+void validate_output_paths(const CliOptions& options);
+
 /// The usage/help text.
 std::string cli_usage();
 

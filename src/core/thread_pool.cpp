@@ -1,5 +1,6 @@
 #include "core/thread_pool.hpp"
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <exception>
@@ -24,6 +25,8 @@ struct TaskPool::Impl {
   std::size_t pending = 0;  // submitted but not yet finished
   std::size_t next = 0;     // round-robin submit cursor
   std::size_t steals = 0;
+  std::size_t max_depth = 0;  // deepest any deque got (queue pressure)
+  std::vector<std::size_t> executed;  // completions per worker
   std::exception_ptr first_error;
   bool stop = false;
 };
@@ -74,6 +77,7 @@ void worker_loop(TaskPool::Impl* impl, std::size_t id) {
       lock.unlock();
     }
     lock.lock();
+    ++impl->executed[id];
     if (--impl->pending == 0) impl->idle_cv.notify_all();
   }
 }
@@ -85,6 +89,7 @@ TaskPool::TaskPool(int threads) : impl_(new Impl), threads_(threads) {
     throw std::invalid_argument("TaskPool: threads < 1");
   }
   impl_->queues.resize(static_cast<std::size_t>(threads));
+  impl_->executed.assign(static_cast<std::size_t>(threads), 0);
   impl_->threads.reserve(static_cast<std::size_t>(threads));
   for (std::size_t id = 0; id < static_cast<std::size_t>(threads); ++id)
     impl_->threads.emplace_back(worker_loop, impl_, id);
@@ -107,6 +112,8 @@ void TaskPool::submit(std::function<void()> task) {
                                    ? tls_worker
                                    : impl_->next++ % impl_->queues.size();
     impl_->queues[target].push_back(std::move(task));
+    impl_->max_depth =
+        std::max(impl_->max_depth, impl_->queues[target].size());
     ++impl_->pending;
   }
   impl_->work_cv.notify_all();
@@ -125,6 +132,16 @@ void TaskPool::wait_idle() {
 std::size_t TaskPool::steal_count() const noexcept {
   std::lock_guard lock(impl_->mutex);
   return impl_->steals;
+}
+
+TaskPool::Stats TaskPool::stats() const {
+  std::lock_guard lock(impl_->mutex);
+  Stats s;
+  s.steals = impl_->steals;
+  s.max_queue_depth = impl_->max_depth;
+  s.per_worker = impl_->executed;
+  for (const std::size_t n : s.per_worker) s.tasks_executed += n;
+  return s;
 }
 
 int TaskPool::current_worker() noexcept {

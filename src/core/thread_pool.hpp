@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <vector>
 
 namespace hpcs::study {
 
@@ -46,6 +47,19 @@ class TaskPool {
 
   /// Successful steals since construction (scheduling diagnostic).
   std::size_t steal_count() const noexcept;
+
+  /// Scheduling-health snapshot.  Host-side diagnostics only: every field
+  /// depends on worker count and timing, so callers must keep these out
+  /// of jobs-invariant artifacts (the campaign surfaces them in a
+  /// separate host-metrics registry that is never serialized alongside
+  /// figure data).
+  struct Stats {
+    std::size_t steals = 0;           ///< successful steals
+    std::size_t max_queue_depth = 0;  ///< deepest any worker deque got
+    std::size_t tasks_executed = 0;   ///< tasks completed
+    std::vector<std::size_t> per_worker;  ///< completions per worker
+  };
+  Stats stats() const;
 
   /// Index of the pool worker executing the calling thread, or -1 when
   /// called from outside any pool.  Diagnostic only (worker assignment is

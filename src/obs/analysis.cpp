@@ -1,0 +1,449 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace hpcs::obs {
+
+namespace {
+
+bool is_comm_phase(std::string_view name) noexcept {
+  return name == "halo" || name == "reduction" || name == "interface";
+}
+
+bool is_container_category(std::string_view category) noexcept {
+  return category == "deployment" || category == "registry";
+}
+
+double arg_seconds(const EventArgs& args, std::string_view key) noexcept {
+  for (const auto& [k, v] : args)
+    if (k == key) return std::strtod(v.c_str(), nullptr);
+  return 0.0;
+}
+
+/// Containment tolerance: relative to the parent's extent, so microsecond
+/// rounding from a JSON round-trip never breaks nesting.
+double contain_eps(double extent) noexcept {
+  return 1e-9 * std::max(1.0, extent);
+}
+
+}  // namespace
+
+const char* to_string(CostBucket bucket) noexcept {
+  switch (bucket) {
+    case CostBucket::ContainerOverhead:
+      return "container_overhead";
+    case CostBucket::Comm:
+      return "comm";
+    case CostBucket::Compute:
+      return "compute";
+    case CostBucket::FaultRecovery:
+      return "fault_recovery";
+    case CostBucket::Other:
+      return "other";
+  }
+  return "other";
+}
+
+CostBucket bucket_of(std::string_view category,
+                     std::string_view name) noexcept {
+  if (is_container_category(category)) return CostBucket::ContainerOverhead;
+  if (category == "fault") return CostBucket::FaultRecovery;
+  if (category == "phase") {
+    if (name == "compute") return CostBucket::Compute;
+    if (is_comm_phase(name)) return CostBucket::Comm;
+    if (name == "deployment") return CostBucket::ContainerOverhead;
+  }
+  return CostBucket::Other;
+}
+
+double Attribution::total_s() const noexcept {
+  return container_overhead_s + comm_s + compute_s + fault_recovery_s +
+         other_s;
+}
+
+double Attribution::seconds(CostBucket bucket) const noexcept {
+  switch (bucket) {
+    case CostBucket::ContainerOverhead:
+      return container_overhead_s;
+    case CostBucket::Comm:
+      return comm_s;
+    case CostBucket::Compute:
+      return compute_s;
+    case CostBucket::FaultRecovery:
+      return fault_recovery_s;
+    case CostBucket::Other:
+      return other_s;
+  }
+  return 0.0;
+}
+
+double Attribution::fraction(CostBucket bucket) const noexcept {
+  const double total = total_s();
+  return total > 0.0 ? seconds(bucket) / total : 0.0;
+}
+
+Attribution& Attribution::operator+=(const Attribution& rhs) noexcept {
+  container_overhead_s += rhs.container_overhead_s;
+  comm_s += rhs.comm_s;
+  compute_s += rhs.compute_s;
+  fault_recovery_s += rhs.fault_recovery_s;
+  other_s += rhs.other_s;
+  return *this;
+}
+
+Attribution attribute(const TraceData& data) {
+  Attribution attr;
+  double execute_s = 0.0;
+  double deploy_span_s = 0.0;
+  bool have_deploy_span = false;
+  double container_min = 0.0;
+  double container_max = 0.0;
+  bool have_container = false;
+
+  for (const SpanEvent& s : data.spans) {
+    if (s.category == "phase") {
+      if (s.name == "compute")
+        attr.compute_s += s.duration;
+      else if (is_comm_phase(s.name))
+        attr.comm_s += s.duration;
+    } else if (s.name == "execute") {
+      execute_s += s.duration;
+    } else if (s.name == "deploy") {
+      deploy_span_s += s.duration;
+      have_deploy_span = true;
+    }
+    if (is_container_category(s.category)) {
+      if (!have_container) {
+        container_min = s.start;
+        container_max = s.end();
+        have_container = true;
+      } else {
+        container_min = std::min(container_min, s.start);
+        container_max = std::max(container_max, s.end());
+      }
+    }
+  }
+  // The "deploy" span is the job-track deployment makespan; concurrent
+  // per-node pulls inside it must not be double-counted.  Standalone
+  // deployment traces (no runner) fall back to the family's extent.
+  if (have_deploy_span)
+    attr.container_overhead_s = deploy_span_s;
+  else if (have_container)
+    attr.container_overhead_s = container_max - container_min;
+
+  for (const InstantEvent& i : data.instants)
+    if (i.category == "fault")
+      attr.fault_recovery_s += arg_seconds(i.args, "detail_s");
+
+  attr.other_s = std::max(0.0, execute_s - attr.compute_s - attr.comm_s);
+  return attr;
+}
+
+namespace {
+
+/// Sort key for path reconstruction: canonical span order (track, start,
+/// longest-first, id) plus a name tie-break, so traces whose ids were
+/// dropped by a JSON round-trip still order deterministically.
+bool path_order(const SpanEvent& a, const SpanEvent& b) noexcept {
+  if (a.track != b.track) return a.track < b.track;
+  if (a.start != b.start) return a.start < b.start;
+  if (a.duration != b.duration) return a.duration > b.duration;
+  if (a.id != b.id) return a.id < b.id;
+  return a.name < b.name;
+}
+
+bool contains_span(const SpanEvent& outer, const SpanEvent& inner) noexcept {
+  const double eps = contain_eps(outer.end());
+  return inner.start >= outer.start - eps && inner.end() <= outer.end() + eps;
+}
+
+struct PathForest {
+  std::vector<SpanEvent> spans;           // in path_order
+  std::vector<int> parent;                // index, -1 = track root
+  std::vector<std::vector<int>> children; // same-track containment
+  std::vector<int> roots;                 // parent == -1, all tracks
+};
+
+PathForest build_forest(const TraceData& data) {
+  PathForest f;
+  f.spans = data.spans;
+  std::sort(f.spans.begin(), f.spans.end(), path_order);
+  const std::size_t n = f.spans.size();
+  f.parent.assign(n, -1);
+  f.children.assign(n, {});
+
+  std::vector<int> stack;  // open-span indices on the current track
+  int track = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const SpanEvent& s = f.spans[i];
+    if (i == 0 || s.track != track) {
+      stack.clear();
+      track = s.track;
+    }
+    while (!stack.empty() &&
+           !contains_span(f.spans[static_cast<std::size_t>(stack.back())],
+                          s))
+      stack.pop_back();
+    if (!stack.empty()) {
+      f.parent[i] = stack.back();
+      f.children[static_cast<std::size_t>(stack.back())].push_back(
+          static_cast<int>(i));
+    } else {
+      f.roots.push_back(static_cast<int>(i));
+    }
+    stack.push_back(static_cast<int>(i));
+  }
+  return f;
+}
+
+/// Latest-end-first: the ordering that picks the span that finishes a
+/// parent's interval (ties: longer, lower track, name).  Ends closer
+/// than \p eps count as a tie: exported traces quantize timestamps, so
+/// an inner span's rounded end may drift past the end of the span that
+/// encloses it, and preferring the earlier start keeps the enclosing
+/// span ("deploy" over its last per-node "instantiate") on the path.
+bool ends_later(const SpanEvent& a, const SpanEvent& b,
+                double eps) noexcept {
+  if (std::abs(a.end() - b.end()) > eps) return a.end() > b.end();
+  if (a.start != b.start) return a.start < b.start;
+  if (a.track != b.track) return a.track < b.track;
+  return a.name < b.name;
+}
+
+class PathWalker {
+ public:
+  explicit PathWalker(const PathForest& forest) : f_(forest) {}
+
+  CriticalPath walk() {
+    CriticalPath path;
+    if (f_.spans.empty()) return path;
+    visited_.assign(f_.spans.size(), 0);
+    // Root: the longest root span (ties: lowest track, earliest start,
+    // name) — the "run" span of a runner trace, "cell" of a campaign
+    // process.
+    int root = f_.roots.front();
+    for (const int r : f_.roots) {
+      const SpanEvent& a = f_.spans[static_cast<std::size_t>(r)];
+      const SpanEvent& b = f_.spans[static_cast<std::size_t>(root)];
+      const bool better =
+          a.duration != b.duration ? a.duration > b.duration
+          : a.track != b.track     ? a.track < b.track
+          : a.start != b.start     ? a.start < b.start
+                                   : a.name < b.name;
+      if (better) root = r;
+    }
+    const SpanEvent& root_span = f_.spans[static_cast<std::size_t>(root)];
+    path.total_s = root_span.duration;
+    visited_[static_cast<std::size_t>(root)] = 1;
+    emit(path, root, 0.0, 0);
+    expand(path, root, 1);
+    return path;
+  }
+
+ private:
+  /// Candidates under \p index: same-track containment children plus
+  /// roots of *other* tracks lying inside the interval (how "deploy"
+  /// descends into the per-node deployment tracks).  Spans already on the
+  /// path are excluded — per-node spans with identical simulated
+  /// intervals contain each other, so without the visited set the walk
+  /// would re-adopt them along every branch (factorial blowup, or a
+  /// cycle between equal-interval roots).
+  std::vector<int> candidates(int index) const {
+    const SpanEvent& span = f_.spans[static_cast<std::size_t>(index)];
+    std::vector<int> out;
+    for (const int c : f_.children[static_cast<std::size_t>(index)])
+      if (!visited_[static_cast<std::size_t>(c)]) out.push_back(c);
+    for (const int r : f_.roots) {
+      const SpanEvent& other = f_.spans[static_cast<std::size_t>(r)];
+      if (visited_[static_cast<std::size_t>(r)]) continue;
+      if (other.track != span.track && contains_span(span, other))
+        out.push_back(r);
+    }
+    return out;
+  }
+
+  /// The serial chain that finishes \p index: the latest-ending candidate,
+  /// then repeatedly the latest-ending candidate that completes before the
+  /// chain's current head starts.  In a bulk-synchronous trace this walks
+  /// deploy → execute, or step 0 → ... → step N, back to front.
+  std::vector<int> chain_of(int index) const {
+    const std::vector<int> cand = candidates(index);
+    if (cand.empty()) return {};
+    // Each candidate joins the chain at most once; without this, a
+    // zero-duration span ending exactly at the head's start would be
+    // re-picked forever.
+    std::vector<char> used(cand.size(), 0);
+    std::vector<int> chain;
+    const double eps =
+        contain_eps(f_.spans[static_cast<std::size_t>(index)].end());
+    std::size_t head = 0;
+    for (std::size_t c = 1; c < cand.size(); ++c)
+      if (ends_later(f_.spans[static_cast<std::size_t>(cand[c])],
+                     f_.spans[static_cast<std::size_t>(cand[head])], eps))
+        head = c;
+    chain.push_back(cand[head]);
+    used[head] = 1;
+    for (;;) {
+      const double head_start =
+          f_.spans[static_cast<std::size_t>(chain.front())].start;
+      int prev = -1;
+      for (std::size_t c = 0; c < cand.size(); ++c) {
+        if (used[c]) continue;
+        const SpanEvent& s = f_.spans[static_cast<std::size_t>(cand[c])];
+        if (s.end() > head_start + eps) continue;
+        if (prev < 0 ||
+            ends_later(s,
+                       f_.spans[static_cast<std::size_t>(
+                           cand[static_cast<std::size_t>(prev)])],
+                       eps))
+          prev = static_cast<int>(c);
+      }
+      if (prev < 0) break;
+      chain.insert(chain.begin(), cand[static_cast<std::size_t>(prev)]);
+      used[static_cast<std::size_t>(prev)] = 1;
+    }
+    return chain;
+  }
+
+  void emit(CriticalPath& path, int index, double slack, int depth) const {
+    const SpanEvent& s = f_.spans[static_cast<std::size_t>(index)];
+    path.steps.push_back(CriticalStep{.name = s.name,
+                                      .category = s.category,
+                                      .track = s.track,
+                                      .start_s = s.start,
+                                      .duration_s = s.duration,
+                                      .slack_s = std::max(0.0, slack),
+                                      .depth = depth});
+  }
+
+  void expand(CriticalPath& path, int index, int depth) {
+    if (depth > 64) return;  // structural traces never nest this deep
+    const std::vector<int> chain = chain_of(index);
+    // Claim the whole chain before descending, so a deeper branch cannot
+    // adopt a span this level is about to emit.
+    for (const int c : chain) visited_[static_cast<std::size_t>(c)] = 1;
+    const double parent_end =
+        f_.spans[static_cast<std::size_t>(index)].end();
+    const double eps = contain_eps(parent_end);
+    for (std::size_t j = 0; j < chain.size(); ++j) {
+      const SpanEvent& s =
+          f_.spans[static_cast<std::size_t>(chain[j])];
+      const double successor_start =
+          j + 1 < chain.size()
+              ? f_.spans[static_cast<std::size_t>(chain[j + 1])].start
+              : parent_end;
+      // Sub-epsilon slack is quantization noise (e.g. the microsecond
+      // timestamps of a JSON round-trip), not real idle time.
+      double slack = successor_start - s.end();
+      if (slack < eps) slack = 0.0;
+      emit(path, chain[j], slack, depth);
+      expand(path, chain[j], depth + 1);
+    }
+  }
+
+  const PathForest& f_;
+  std::vector<char> visited_;  ///< span joins the path at most once
+};
+
+}  // namespace
+
+CriticalPath critical_path(const TraceData& data) {
+  const PathForest forest = build_forest(data);
+  return PathWalker(forest).walk();
+}
+
+namespace {
+
+std::string arg_to_string(const JsonValue& v) {
+  if (v.is_string()) return v.text;
+  if (v.is_number()) {
+    std::ostringstream out;
+    out << v.number;
+    return out.str();
+  }
+  if (v.is_bool()) return v.boolean ? "true" : "false";
+  return {};
+}
+
+EventArgs read_args(const JsonValue& event) {
+  EventArgs args;
+  if (const JsonValue* obj = event.find("args"); obj && obj->is_object())
+    for (const auto& [key, value] : obj->members)
+      args.emplace_back(key, arg_to_string(value));
+  return args;
+}
+
+}  // namespace
+
+std::vector<TraceProcess> read_chrome_trace(std::string_view json_text) {
+  const JsonValue doc = parse_json(json_text);
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array())
+    throw std::invalid_argument(
+        "not a Chrome trace: missing traceEvents array");
+
+  std::map<int, TraceProcess> procs;
+  for (const JsonValue& event : events->items) {
+    if (!event.is_object()) continue;
+    const std::string ph = event.at("ph").string_or("");
+    const int pid =
+        static_cast<int>(event.find("pid") ? event.at("pid").number_or(0)
+                                           : 0);
+    TraceProcess& proc = procs[pid];
+    proc.pid = pid;
+    const int tid =
+        static_cast<int>(event.find("tid") ? event.at("tid").number_or(0)
+                                           : 0);
+    if (ph == "M") {
+      if (event.at("name").string_or("") == "process_name")
+        if (const JsonValue* args = event.find("args"))
+          proc.name = args->at("name").string_or("");
+      continue;
+    }
+    if (ph == "X") {
+      SpanEvent s;
+      s.name = event.at("name").string_or("");
+      s.category =
+          event.find("cat") ? event.at("cat").string_or("") : "";
+      s.track = tid;
+      s.start = event.at("ts").number_or(0) / 1e6;
+      s.duration =
+          event.find("dur") ? event.at("dur").number_or(0) / 1e6 : 0.0;
+      s.args = read_args(event);
+      proc.data.spans.push_back(std::move(s));
+    } else if (ph == "i" || ph == "I") {
+      InstantEvent i;
+      i.name = event.at("name").string_or("");
+      i.category =
+          event.find("cat") ? event.at("cat").string_or("") : "";
+      i.track = tid;
+      i.time = event.at("ts").number_or(0) / 1e6;
+      i.args = read_args(event);
+      proc.data.instants.push_back(std::move(i));
+    }
+  }
+
+  std::vector<TraceProcess> out;
+  out.reserve(procs.size());
+  for (auto& [pid, proc] : procs) {
+    proc.data.canonicalize();
+    out.push_back(std::move(proc));
+  }
+  return out;
+}
+
+std::vector<TraceProcess> load_chrome_trace(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return read_chrome_trace(buf.str());
+}
+
+}  // namespace hpcs::obs

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file analysis.hpp
+/// \brief Trace analytics over the span forest: bottleneck attribution
+///        into the paper's cost taxonomy and critical-path extraction.
+///
+/// PR 3's collector records *what happened*; this layer computes *why it
+/// took that long*.  Two primitives:
+///
+///  * **Attribution** folds a run's spans into four canonical buckets —
+///    `container_overhead` (stage/service/pull/mount/instantiate, i.e. the
+///    deployment makespan), `comm` (halo/reduction/interface fabric
+///    phases), `compute`, and `fault_recovery` (lost work, recovery and
+///    checkpoint cost from fault instants) — the decomposition the paper
+///    uses to explain where each runtime's overhead lives.
+///  * **Critical path** walks the longest dependency chain through the
+///    forest (run → deploy → per-node deployment → execute → step →
+///    phase), reporting per-span slack so the dominant serial chain is
+///    explicit rather than eyeballed from a timeline.
+///
+/// Both run on in-memory TraceData or on traces re-read from disk via
+/// read_chrome_trace(), and both are deterministic: canonical event order
+/// in, stable output order out.
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/collector.hpp"
+
+namespace hpcs::obs {
+
+/// The attribution taxonomy (docs/trace-analytics.md).
+enum class CostBucket {
+  ContainerOverhead,  ///< deployment/registry spans (stage, pull, ...)
+  Comm,               ///< fabric phases: halo, reduction, interface
+  Compute,            ///< compute phases
+  FaultRecovery,      ///< fault instants' detail_s (lost work, recovery)
+  Other,              ///< execute-time residual (noise, barriers)
+};
+
+const char* to_string(CostBucket bucket) noexcept;
+
+/// Canonical bucket of one span by (category, name); spans that carry no
+/// cost of their own (structural "run"/"execute"/"step"/"cell") map to
+/// Other.
+CostBucket bucket_of(std::string_view category,
+                     std::string_view name) noexcept;
+
+/// One run's simulated seconds folded into the taxonomy.
+struct Attribution {
+  double container_overhead_s = 0.0;
+  double comm_s = 0.0;
+  double compute_s = 0.0;
+  double fault_recovery_s = 0.0;
+  double other_s = 0.0;
+
+  double total_s() const noexcept;
+  double seconds(CostBucket bucket) const noexcept;
+  /// Bucket share of total_s(); 0 when the total is 0.
+  double fraction(CostBucket bucket) const noexcept;
+
+  Attribution& operator+=(const Attribution& rhs) noexcept;
+};
+
+/// Folds \p data into the taxonomy.  Container overhead is the "deploy"
+/// span's duration (the deployment *makespan* on the job track, so
+/// concurrent per-node pulls are not double-counted); when a trace has no
+/// "deploy" span (a standalone deployment trace), it falls back to the
+/// extent of the deployment/registry spans.  The execute-time residual
+/// not covered by compute or comm phases lands in `other_s`.
+Attribution attribute(const TraceData& data);
+
+/// One hop of the critical path.
+struct CriticalStep {
+  std::string name;
+  std::string category;
+  int track = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  /// How much later this span ends than the chain's next-chosen child —
+  /// i.e. how much the *parent* extends past this span (0 on the chain's
+  /// deepest prefix; > 0 means the parent had other, shorter work after).
+  double slack_s = 0.0;
+  int depth = 0;  ///< 0 = root
+};
+
+struct CriticalPath {
+  std::vector<CriticalStep> steps;  ///< root first
+  double total_s = 0.0;             ///< the root span's duration
+};
+
+/// Extracts the longest chain: starting from the longest root span on the
+/// lowest track, repeatedly descend into the child whose *end* is latest
+/// (ties: earlier start, lower track, name).  Nesting is reconstructed
+/// from interval containment per track, so traces re-read from Chrome
+/// JSON (which drops span ids) analyze identically to in-memory ones; a
+/// span whose same-track children don't exist adopts cross-track spans
+/// contained in its interval (how "deploy" descends into per-node
+/// deployment tracks).
+CriticalPath critical_path(const TraceData& data);
+
+/// One trace process (campaign cell) of a Chrome trace-event document.
+struct TraceProcess {
+  int pid = 0;
+  std::string name;  ///< process_name metadata ("" when absent)
+  TraceData data;
+};
+
+/// Parses a Chrome trace-event JSON document (the subset our writers
+/// emit: "X" complete spans, "i" instants, "M" process_name metadata)
+/// back into per-process TraceData, in ascending pid order.  Timestamps
+/// convert from microseconds back to seconds.
+/// \throws std::invalid_argument on malformed JSON or missing
+///         traceEvents.
+std::vector<TraceProcess> read_chrome_trace(std::string_view json_text);
+
+/// Reads the whole stream, then read_chrome_trace().
+std::vector<TraceProcess> load_chrome_trace(std::istream& in);
+
+}  // namespace hpcs::obs

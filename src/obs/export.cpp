@@ -17,7 +17,20 @@ std::string usec(double seconds) {
   return buf;
 }
 
-std::string escape(const std::string& s) {
+void write_args(std::ostream& out, const EventArgs& args) {
+  if (args.empty()) return;
+  out << ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i) out << ',';
+    out << '"' << json_escape(args[i].first) << "\":\""
+        << json_escape(args[i].second) << '"';
+  }
+  out << '}';
+}
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
@@ -51,19 +64,6 @@ std::string escape(const std::string& s) {
   return out;
 }
 
-void write_args(std::ostream& out, const EventArgs& args) {
-  if (args.empty()) return;
-  out << ",\"args\":{";
-  for (std::size_t i = 0; i < args.size(); ++i) {
-    if (i) out << ',';
-    out << '"' << escape(args[i].first) << "\":\""
-        << escape(args[i].second) << '"';
-  }
-  out << '}';
-}
-
-}  // namespace
-
 ChromeTraceWriter::ChromeTraceWriter(std::ostream& out) : out_(out) {
   out_ << "{\"traceEvents\":[\n";
 }
@@ -76,7 +76,7 @@ void ChromeTraceWriter::comma() {
 void ChromeTraceWriter::process_name(int pid, const std::string& name) {
   comma();
   out_ << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
-       << ",\"tid\":0,\"args\":{\"name\":\"" << escape(name) << "\"}}";
+       << ",\"tid\":0,\"args\":{\"name\":\"" << json_escape(name) << "\"}}";
 }
 
 void ChromeTraceWriter::add(const TraceData& data, int pid,
@@ -85,8 +85,8 @@ void ChromeTraceWriter::add(const TraceData& data, int pid,
   sorted.canonicalize();
   for (const auto& s : sorted.spans) {
     comma();
-    out_ << "{\"name\":\"" << escape(s.name) << "\",\"cat\":\""
-         << escape(s.category) << "\",\"ph\":\"X\",\"pid\":" << pid
+    out_ << "{\"name\":\"" << json_escape(s.name) << "\",\"cat\":\""
+         << json_escape(s.category) << "\",\"ph\":\"X\",\"pid\":" << pid
          << ",\"tid\":" << s.track << ",\"ts\":"
          << usec(s.start + time_offset_s) << ",\"dur\":" << usec(s.duration);
     write_args(out_, s.args);
@@ -94,8 +94,8 @@ void ChromeTraceWriter::add(const TraceData& data, int pid,
   }
   for (const auto& i : sorted.instants) {
     comma();
-    out_ << "{\"name\":\"" << escape(i.name) << "\",\"cat\":\""
-         << escape(i.category) << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
+    out_ << "{\"name\":\"" << json_escape(i.name) << "\",\"cat\":\""
+         << json_escape(i.category) << "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":"
          << pid << ",\"tid\":" << i.track
          << ",\"ts\":" << usec(i.time + time_offset_s);
     write_args(out_, i.args);

@@ -17,6 +17,12 @@
 
 namespace hpcs::obs {
 
+/// Escapes \p s for embedding inside a JSON string literal: quotes,
+/// backslashes, and every control character below 0x20 (so span/process
+/// names survive `python3 -m json.tool` round-trips).  Shared by every
+/// writer that emits names — trace, metrics, campaign, and report JSON.
+std::string json_escape(const std::string& s);
+
 /// Streams Chrome trace-event JSON ("X" complete spans and "i" instants).
 /// Usage: construct, add() each run's TraceData under its pid, finish().
 class ChromeTraceWriter {

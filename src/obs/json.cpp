@@ -1,0 +1,292 @@
+#include "obs/json.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hpcs::obs {
+
+namespace {
+
+/// Recursive-descent parser over a string_view; tracks the byte offset so
+/// errors point at the offending character.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : in_(input) {}
+
+  JsonValue parse_document() {
+    skip_ws();
+    JsonValue v = parse_value(0);
+    skip_ws();
+    if (pos_ != in_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  // Traces nest shallowly (document > array > event > args); 64 levels is
+  // far beyond anything the exporters produce while still bounding stack
+  // depth on adversarial input.
+  static constexpr std::size_t kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  bool eof() const noexcept { return pos_ >= in_.size(); }
+  char peek() const noexcept { return in_[pos_]; }
+
+  void skip_ws() noexcept {
+    while (!eof()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    if (eof() || peek() != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_keyword(std::string_view word) {
+    if (in_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  JsonValue parse_value(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::String;
+        v.text = parse_string();
+        return v;
+      }
+      case 't':
+        if (consume_keyword("true")) {
+          JsonValue v;
+          v.kind = JsonValue::Kind::Bool;
+          v.boolean = true;
+          return v;
+        }
+        fail("invalid literal");
+      case 'f':
+        if (consume_keyword("false")) {
+          JsonValue v;
+          v.kind = JsonValue::Kind::Bool;
+          return v;
+        }
+        fail("invalid literal");
+      case 'n':
+        if (consume_keyword("null")) return JsonValue{};
+        fail("invalid literal");
+      default:
+        return parse_number();
+    }
+  }
+
+  JsonValue parse_object(std::size_t depth) {
+    expect('{');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      v.members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array(std::size_t depth) {
+    expect('[');
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      v.items.push_back(parse_value(depth + 1));
+      skip_ws();
+      if (eof()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (eof()) fail("unterminated \\u escape");
+      const char c = in_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9')
+        value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape digit");
+    }
+    return value;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (eof()) fail("unterminated string");
+      const char c = in_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) fail("unterminated escape");
+      const char e = in_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out += e;
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          // Combine a surrogate pair into one code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF &&
+              in_.substr(pos_, 2) == "\\u") {
+            const std::size_t save = pos_;
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo >= 0xDC00 && lo <= 0xDFFF)
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            else
+              pos_ = save;  // lone high surrogate; emit as-is
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t begin = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' ||
+                      peek() == 'e' || peek() == 'E' || peek() == '+' ||
+                      peek() == '-'))
+      ++pos_;
+    if (pos_ == begin) fail("expected a value");
+    // std::strtod needs NUL termination; the slice is tiny.
+    const std::string slice(in_.substr(begin, pos_ - begin));
+    char* end = nullptr;
+    const double value = std::strtod(slice.c_str(), &end);
+    if (end != slice.c_str() + slice.size()) {
+      pos_ = begin;
+      fail("malformed number '" + slice + "'");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = value;
+    return v;
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [name, value] : members)
+    if (name == key) return &value;
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr)
+    throw std::out_of_range("JsonValue: no member '" + std::string(key) +
+                            "'");
+  return *v;
+}
+
+double JsonValue::number_or(double fallback) const noexcept {
+  return kind == Kind::Number ? number : fallback;
+}
+
+std::string JsonValue::string_or(std::string fallback) const {
+  return kind == Kind::String ? text : fallback;
+}
+
+JsonValue parse_json(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+}  // namespace hpcs::obs

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file json.hpp
+/// \brief A minimal, dependency-free JSON reader for the project's own
+///        artifacts (Chrome traces, metrics registries, BENCH_*.json).
+///
+/// The analysis layer consumes what the export layer wrote, so this
+/// parser is deliberately small: the full JSON value grammar, objects as
+/// insertion-ordered key/value vectors (no hash containers — parsed
+/// values flow into serialization paths and must iterate decidedly), and
+/// numbers as doubles.  It accepts any valid JSON document, not just our
+/// own output, so round-trip tests can feed it third-party traces too.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hpcs::obs {
+
+/// One parsed JSON value; a tagged tree.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;  ///< Kind::Array elements
+  /// Kind::Object members in source order (duplicate keys preserved;
+  /// find() returns the first, matching common JSON semantics).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_null() const noexcept { return kind == Kind::Null; }
+  bool is_bool() const noexcept { return kind == Kind::Bool; }
+  bool is_number() const noexcept { return kind == Kind::Number; }
+  bool is_string() const noexcept { return kind == Kind::String; }
+  bool is_array() const noexcept { return kind == Kind::Array; }
+  bool is_object() const noexcept { return kind == Kind::Object; }
+
+  /// First member named \p key, or nullptr (also for non-objects).
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  /// Like find(), but \throws std::out_of_range for missing keys.
+  const JsonValue& at(std::string_view key) const;
+
+  /// The numeric value, or \p fallback when this is not a number.
+  double number_or(double fallback) const noexcept;
+
+  /// The string value, or \p fallback when this is not a string.
+  std::string string_or(std::string fallback) const;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed).
+/// \throws std::invalid_argument with a byte offset on malformed input.
+JsonValue parse_json(std::string_view input);
+
+}  // namespace hpcs::obs

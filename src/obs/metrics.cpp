@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "obs/export.hpp"
+
 namespace hpcs::obs {
 
 namespace {
@@ -14,13 +16,7 @@ std::string num(double v) {
 }
 
 std::string json_key(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  out += '"';
-  return out;
+  return '"' + json_escape(s) + '"';
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
-// CLI parsing and scenario materialization.
+// CLI parsing, scenario materialization, and output-path probing.
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "core/cli.hpp"
@@ -117,4 +121,64 @@ TEST(Cli, CampaignFlagErrors) {
 TEST(Cli, NodesListRequiresCampaign) {
   auto o = parse({"--nodes", "2,4"});
   EXPECT_THROW(hs::to_scenario(o), std::invalid_argument);
+}
+
+// --- Output-path probing (fail fast, before hours of simulation) -----------
+
+TEST(CliProbe, EmptyPathIsSkipped) {
+  EXPECT_NO_THROW(hs::probe_output_path("--trace-out", ""));
+}
+
+TEST(CliProbe, UnwritablePathThrowsWithFlagName) {
+  // /dev/null is a file, so any path beneath it can never be created.
+  try {
+    hs::probe_output_path("--trace-out", "/dev/null/x/trace.json");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("--trace-out"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("/dev/null/x/trace.json"),
+              std::string::npos);
+  }
+}
+
+TEST(CliProbe, RemovesProbeFileButKeepsExistingData) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "hpcs_cli_probe_test";
+  fs::remove_all(dir);
+
+  // A fresh path (in a directory the probe itself creates) leaves no
+  // residue behind...
+  const fs::path fresh = dir / "sub" / "new.csv";
+  EXPECT_NO_THROW(hs::probe_output_path("--csv", fresh.string()));
+  EXPECT_FALSE(fs::exists(fresh));
+
+  // ...and an existing file keeps its bytes (append-mode probe).
+  const fs::path existing = dir / "old.csv";
+  {
+    std::ofstream out(existing);
+    out << "precious\n";
+  }
+  EXPECT_NO_THROW(hs::probe_output_path("--csv", existing.string()));
+  ASSERT_TRUE(fs::exists(existing));
+  std::ifstream in(existing);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "precious\n");
+  in.close();
+  fs::remove_all(dir);
+}
+
+TEST(CliProbe, ValidateGatesCampaignOutputsOnCampaignMode) {
+  auto o = parse({"--csv", "/dev/null/x/c.csv"});
+  // Single-scenario mode never writes --csv, so a bad path is tolerated...
+  EXPECT_NO_THROW(hs::validate_output_paths(o));
+  // ...but campaign mode probes it.
+  o.campaign = true;
+  EXPECT_THROW(hs::validate_output_paths(o), std::invalid_argument);
+  // Trace/metrics paths are probed in either mode.
+  auto t = parse({"--trace-out", "/dev/null/x/t.json"});
+  EXPECT_THROW(hs::validate_output_paths(t), std::invalid_argument);
+  auto m = parse({"--campaign", "--metrics-out", "/dev/null/x/m.json"});
+  EXPECT_THROW(hs::validate_output_paths(m), std::invalid_argument);
 }

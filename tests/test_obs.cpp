@@ -16,6 +16,7 @@
 #include "hw/presets.hpp"
 #include "obs/collector.hpp"
 #include "obs/export.hpp"
+#include "obs/json.hpp"
 
 namespace hs = hpcs::study;
 namespace hc = hpcs::container;
@@ -190,6 +191,109 @@ TEST(ObsMetrics, MergeIsAssociative) {
   EXPECT_EQ(left.histogram("a/hist")->count(), 6u);
 }
 
+TEST(ObsMetrics, MergingAnEmptyRegistryPreservesExactBytes) {
+  const auto full = sample_metrics(1.0);
+  const std::string reference = metrics_json(full);
+
+  ho::Metrics into_full = full;  // full += empty
+  into_full.merge(ho::Metrics{});
+  EXPECT_EQ(metrics_json(into_full), reference);
+
+  ho::Metrics from_empty;  // empty += full
+  from_empty.merge(full);
+  EXPECT_EQ(metrics_json(from_empty), reference);
+
+  ho::Metrics both;  // empty += empty stays empty (and stable)
+  both.merge(ho::Metrics{});
+  EXPECT_TRUE(both.empty());
+  EXPECT_EQ(metrics_json(both),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+TEST(ObsMetrics, SingleSampleHistogramHasExactJsonBytes) {
+  ho::Metrics m;
+  m.observe("h", 2.5);
+  // One sample: stddev is defined as 0 (n-1 denominator), min == max ==
+  // mean == sum.  The bytes are pinned because golden artifacts embed
+  // them.
+  EXPECT_EQ(metrics_json(m),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {\n"
+            "    \"h\": {\"count\": 1, \"mean\": 2.5, \"stddev\": 0, "
+            "\"min\": 2.5, \"max\": 2.5, \"sum\": 2.5}\n"
+            "  }\n}\n");
+}
+
+TEST(ObsMetrics, CounterSurvivesValuesNearUint64Max) {
+  // Counters are doubles, so they degrade gracefully (lose ulps, never
+  // wrap) where a uint64 would overflow.  2^63 is exactly representable;
+  // the sum prints as the %.17g literal golden files would embed.
+  const double half = 9223372036854775808.0;  // 2^63
+  ho::Metrics m;
+  m.count("big", half);
+  m.count("big", half);
+  EXPECT_DOUBLE_EQ(m.counter_value("big"), 2.0 * half);
+  EXPECT_NE(metrics_json(m).find("\"big\": 1.8446744073709552e+19"),
+            std::string::npos)
+      << metrics_json(m);
+
+  // Merge behaves identically to in-place accumulation at this scale.
+  ho::Metrics a, b;
+  a.count("big", half);
+  b.count("big", half);
+  a.merge(b);
+  EXPECT_EQ(metrics_json(a), metrics_json(m));
+}
+
+TEST(ObsMetrics, MergeEdgeCasesFoldDeterministically) {
+  // Zero-valued counters, negative gauges, and single-sample histograms:
+  // the campaign's left-fold (strict cell-index order) must reproduce
+  // identical bytes on every evaluation — that, not bit-exact
+  // associativity (Welford combines reassociate floating point), is the
+  // jobs-invariance guarantee.
+  const auto make = [](double seed) {
+    ho::Metrics m;
+    m.count("zero", 0.0);
+    m.gauge("neg", -seed);
+    m.observe("one", seed);
+    return m;
+  };
+  const auto fold = [&make] {
+    ho::Metrics total;
+    for (const double seed : {1.0, 2.0, 4.0}) total.merge(make(seed));
+    return total;
+  };
+  const auto left = fold();
+  EXPECT_EQ(metrics_json(left), metrics_json(fold()));
+  EXPECT_DOUBLE_EQ(left.counter_value("zero"), 0.0);
+  EXPECT_DOUBLE_EQ(left.gauge_value("neg").value(), -1.0);  // max
+  EXPECT_EQ(left.histogram("one")->count(), 3u);
+
+  // Reassociating is still *statistically* equivalent (same samples).
+  ho::Metrics bc = make(2.0);
+  bc.merge(make(4.0));
+  ho::Metrics right = make(1.0);
+  right.merge(bc);
+  const auto lh = left.histogram("one").value();
+  const auto rh = right.histogram("one").value();
+  EXPECT_EQ(lh.count(), rh.count());
+  EXPECT_NEAR(lh.mean(), rh.mean(), 1e-12);
+  EXPECT_NEAR(lh.stddev(), rh.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(lh.min(), rh.min());
+  EXPECT_DOUBLE_EQ(lh.max(), rh.max());
+}
+
+TEST(ObsMetrics, NamesWithSpecialCharactersEscapeAndReparse) {
+  ho::Metrics m;
+  m.count("quote\"slash\\new\nline", 1.0);
+  m.gauge("tab\tkey", 2.0);
+  const auto doc = hpcs::obs::parse_json(metrics_json(m));
+  EXPECT_DOUBLE_EQ(doc.at("counters").at("quote\"slash\\new\nline").number,
+                   1.0);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("tab\tkey").number, 2.0);
+}
+
 TEST(ObsMetrics, CampaignAggregateIsJobsInvariant) {
   const auto serial = observed_campaign(1);
   const auto parallel = observed_campaign(4);
@@ -273,6 +377,57 @@ TEST(ObsCampaign, CellTracesCoverDeploymentAndPhases) {
     // Worker attribution exists but is diagnostic-only.
     EXPECT_GE(cell.worker, 0) << cell.key;
   }
+}
+
+TEST(ObsCampaign, TraceJsonEscapesHostileNames) {
+  // Span, instant, and process names with quotes/backslashes/control
+  // characters must survive a JSON round-trip — the same guarantee CI's
+  // `python3 -m json.tool` smoke asserts on real traces.
+  auto sink = std::make_shared<ho::MemorySink>();
+  ho::Collector col(sink);
+  col.span(0, "na\"me\\with\njunk", "cat\tegory", 0.0, 1.0);
+  col.instant(0, "instant\r\"x\"", "t", 0.5);
+  std::ostringstream out;
+  ho::write_chrome_trace(out, sink->take(), "proc \"0\"\\cell");
+
+  const auto doc = ho::parse_json(out.str());
+  const auto& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  std::map<std::string, int> names;
+  for (const auto& e : events.items) {
+    if (const auto* name = e.find("name")) ++names[name->text];
+    if (const auto* args = e.find("args"))
+      if (const auto* pname = args->find("name")) ++names[pname->text];
+  }
+  EXPECT_EQ(names["na\"me\\with\njunk"], 1);
+  EXPECT_EQ(names["instant\r\"x\""], 1);
+  EXPECT_EQ(names["proc \"0\"\\cell"], 1);
+}
+
+TEST(ObsCampaign, HostMetricsCarryPoolDiagnostics) {
+  const auto res = observed_campaign(2);
+  ASSERT_EQ(res.failed, 0u);
+  // Host-side diagnostics live apart from the jobs-invariant aggregate.
+  EXPECT_FALSE(res.host_metrics.empty());
+  EXPECT_DOUBLE_EQ(res.host_metrics.counter_value("pool/tasks_executed"),
+                   8.0);
+  EXPECT_DOUBLE_EQ(res.host_metrics.gauge_value("pool/workers").value(),
+                   2.0);
+  EXPECT_GE(res.host_metrics.gauge_value("pool/max_queue_depth").value(),
+            1.0);
+  EXPECT_GE(res.host_metrics.gauge_value("pool/utilization").value(), 0.0);
+  EXPECT_LE(res.host_metrics.gauge_value("pool/utilization").value(), 1.0);
+  const auto cell_s = res.host_metrics.histogram("campaign/cell_host_s");
+  ASSERT_TRUE(cell_s.has_value());
+  EXPECT_EQ(cell_s->count(), 8u);
+  EXPECT_GE(cell_s->min(), 0.0);
+  EXPECT_GE(res.host_metrics.gauge_value("campaign/wall_time_s").value(),
+            0.0);
+  // ...and stay out of every serialized artifact: the aggregate registry
+  // carries no pool/* or campaign/*_host_* entries.
+  const auto aggregate = metrics_json(res.aggregate_metrics());
+  EXPECT_EQ(aggregate.find("pool/"), std::string::npos);
+  EXPECT_EQ(aggregate.find("host_s"), std::string::npos);
 }
 
 TEST(ObsCampaign, PhaseCsvIsCanonicalAndStable) {

@@ -1,0 +1,90 @@
+// bench_compare: CI gate over the self-benchmark trajectory.
+//
+//   bench_compare --tolerance 0.6 BENCH_baseline.json BENCH_current.json
+//
+// A benchmark regresses when its current median exceeds the baseline
+// median by more than the tolerance fraction, or when it disappeared
+// from the current run.  New benchmarks are reported but never gate.
+// Exit codes: 0 = within tolerance, 1 = regression, 2 = usage/IO error.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace ho = hpcs::obs;
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: bench_compare [--tolerance F] BASELINE.json CURRENT.json
+  --tolerance F  allowed fractional slowdown before failing (default 0.25;
+                 e.g. 0.25 tolerates current <= 1.25 x baseline median)
+  --help         this text
+)";
+
+ho::JsonValue load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ho::parse_json(buf.str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.25;
+  std::string baseline_path;
+  std::string current_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (flag == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --tolerance: missing value\n";
+        return 2;
+      }
+      tolerance = std::stod(argv[++i]);
+      if (tolerance < 0) {
+        std::cerr << "error: --tolerance: must be >= 0\n";
+        return 2;
+      }
+    } else if (!flag.empty() && flag[0] == '-') {
+      std::cerr << "error: unknown flag '" << flag << "'\n" << kUsage;
+      return 2;
+    } else if (baseline_path.empty()) {
+      baseline_path = flag;
+    } else if (current_path.empty()) {
+      current_path = flag;
+    } else {
+      std::cerr << "error: too many arguments\n" << kUsage;
+      return 2;
+    }
+  }
+  if (baseline_path.empty() || current_path.empty()) {
+    std::cerr << "error: need a baseline and a current file\n" << kUsage;
+    return 2;
+  }
+
+  try {
+    const ho::JsonValue baseline = load(baseline_path);
+    const ho::JsonValue current = load(current_path);
+    const ho::BenchComparison cmp =
+        ho::compare_benchmarks(baseline, current, tolerance);
+    ho::print_bench_comparison(std::cout, cmp);
+    return cmp.regressed ? 1 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -246,6 +246,13 @@ const std::vector<AllowEntry>& builtin_allowlist() {
        "the deterministic RNG facility every other module must use"},
       {"src/sim/rng.cpp", "DET-002",
        "the deterministic RNG facility every other module must use"},
+      {"bench/bench_self.cpp", "DET-001",
+       "self-benchmark: measuring host wall-clock of the harness's own "
+       "hot paths is this bench's entire purpose; results go to "
+       "BENCH_self.json, never into figure artifacts"},
+      {"bench/bench_self.cpp", "DET-004",
+       "self-benchmark sizes its TaskPool workload from "
+       "hardware_concurrency and records it as host metadata"},
   };
   return kList;
 }

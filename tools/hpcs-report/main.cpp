@@ -1,0 +1,221 @@
+// hpcs-report: trace analytics over the campaign/runner Chrome traces.
+//
+//   hpcs-report trace.json                  # attribution table + checks
+//   hpcs-report --csv attr.csv trace.json   # deterministic attribution CSV
+//   hpcs-report --json attr.json trace.json # ... and JSON (with checks)
+//   hpcs-report --critical-path cp.csv trace.json
+//   hpcs-report --check trace.json          # exit 1 on violated claims
+//
+// The attribution CSV/JSON are byte-identical across the campaign's
+// --jobs counts (the trace itself is), so both are golden-testable.
+// Exit codes: 0 ok, 1 = a --check assertion failed, 2 = usage/IO error.
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/report.hpp"
+#include "sim/table.hpp"
+
+namespace ho = hpcs::obs;
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: hpcs-report [options] TRACE.json
+  TRACE.json            Chrome trace from --trace-out ("-" = stdin)
+  --csv PATH            write the attribution table as CSV ("-" = stdout)
+  --json PATH           write attribution + checks as JSON ("-" = stdout)
+  --critical-path PATH  write the critical path as CSV ("-" = stdout)
+  --pid N               critical-path process (default: longest root span)
+  --check               evaluate paper-consistency checks; exit 1 on fail
+  --tolerance F         comm-parity tolerance (default 0.05)
+  --help                this text
+)";
+
+bool write_output(const std::string& path,
+                  const std::function<void(std::ostream&)>& writer) {
+  if (path == "-") {
+    writer(std::cout);
+    return true;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  writer(out);
+  return out.good();
+}
+
+std::string fmt(double v, int digits) {
+  return hpcs::sim::TextTable::num(v, digits);
+}
+
+void print_table(std::ostream& out,
+                 const std::vector<ho::CellReport>& cells) {
+  hpcs::sim::TextTable t({"cell", "runtime", "container [s]", "comm [s]",
+                          "compute [s]", "fault [s]", "other [s]",
+                          "total [s]", "comm frac"});
+  for (const ho::CellReport& cell : cells) {
+    if (cell.failed) {
+      t.add_row({cell.key, cell.runtime_class, "-", "-", "-", "-", "-",
+                 "-", "-"});
+      continue;
+    }
+    t.add_row({cell.key, cell.runtime_class,
+               fmt(cell.attr.container_overhead_s, 4),
+               fmt(cell.attr.comm_s, 4), fmt(cell.attr.compute_s, 4),
+               fmt(cell.attr.fault_recovery_s, 4),
+               fmt(cell.attr.other_s, 4), fmt(cell.attr.total_s(), 4),
+               fmt(ho::exec_comm_fraction(cell.attr), 3)});
+  }
+  const ho::Attribution sum = ho::aggregate(cells);
+  t.add_row({"(aggregate)", "", fmt(sum.container_overhead_s, 4),
+             fmt(sum.comm_s, 4), fmt(sum.compute_s, 4),
+             fmt(sum.fault_recovery_s, 4), fmt(sum.other_s, 4),
+             fmt(sum.total_s(), 4), fmt(ho::exec_comm_fraction(sum), 3)});
+  t.print(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string csv_path;
+  std::string json_path;
+  std::string critical_path_path;
+  int pid = -1;
+  bool check = false;
+  ho::CheckOptions check_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << ": missing value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      std::cout << kUsage;
+      return 0;
+    } else if (flag == "--csv") {
+      csv_path = value();
+    } else if (flag == "--json") {
+      json_path = value();
+    } else if (flag == "--critical-path") {
+      critical_path_path = value();
+    } else if (flag == "--pid") {
+      pid = std::stoi(value());
+    } else if (flag == "--check") {
+      check = true;
+    } else if (flag == "--tolerance") {
+      check_options.comm_parity_tolerance = std::stod(value());
+    } else if (!flag.empty() && flag[0] == '-' && flag != "-") {
+      std::cerr << "error: unknown flag '" << flag << "'\n" << kUsage;
+      return 2;
+    } else if (trace_path.empty()) {
+      trace_path = flag;
+    } else {
+      std::cerr << "error: more than one trace file given\n" << kUsage;
+      return 2;
+    }
+  }
+  if (trace_path.empty()) {
+    std::cerr << "error: no trace file given\n" << kUsage;
+    return 2;
+  }
+
+  std::vector<ho::TraceProcess> processes;
+  try {
+    if (trace_path == "-") {
+      processes = ho::load_chrome_trace(std::cin);
+    } else {
+      std::ifstream in(trace_path);
+      if (!in) {
+        std::cerr << "error: cannot read '" << trace_path << "'\n";
+        return 2;
+      }
+      processes = ho::load_chrome_trace(in);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << trace_path << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::vector<ho::CellReport> cells =
+      ho::analyze_processes(processes);
+  const std::vector<ho::CheckOutcome> checks =
+      ho::run_checks(cells, check_options);
+
+  bool io_error = false;
+  if (!csv_path.empty() &&
+      !write_output(csv_path, [&](std::ostream& out) {
+        ho::write_attribution_csv(out, cells);
+      })) {
+    std::cerr << "error: cannot write '" << csv_path << "'\n";
+    io_error = true;
+  }
+  if (!json_path.empty() &&
+      !write_output(json_path, [&](std::ostream& out) {
+        ho::write_attribution_json(out, cells, checks);
+      })) {
+    std::cerr << "error: cannot write '" << json_path << "'\n";
+    io_error = true;
+  }
+  if (!critical_path_path.empty()) {
+    // Default to the process whose root span is longest (in a campaign
+    // trace, the most expensive cell); --pid overrides.
+    const ho::TraceProcess* chosen = nullptr;
+    double best = -1.0;
+    for (const ho::TraceProcess& p : processes) {
+      if (pid >= 0) {
+        if (p.pid == pid) chosen = &p;
+        continue;
+      }
+      const double total = ho::critical_path(p.data).total_s;
+      if (total > best) {
+        best = total;
+        chosen = &p;
+      }
+    }
+    if (chosen == nullptr) {
+      std::cerr << "error: no process with pid " << pid
+                << " in the trace\n";
+      return 2;
+    }
+    const ho::CriticalPath path = ho::critical_path(chosen->data);
+    if (!write_output(critical_path_path, [&](std::ostream& out) {
+          ho::write_critical_path_csv(out, path);
+        })) {
+      std::cerr << "error: cannot write '" << critical_path_path << "'\n";
+      io_error = true;
+    }
+  }
+  if (io_error) return 2;
+
+  // Human-facing summary on stdout unless the user asked for machine
+  // output there.
+  const bool stdout_taken =
+      csv_path == "-" || json_path == "-" || critical_path_path == "-";
+  if (!stdout_taken) print_table(std::cout, cells);
+
+  if (check) {
+    bool all_passed = true;
+    std::ostream& out = stdout_taken ? std::cerr : std::cout;
+    for (const ho::CheckOutcome& outcome : checks) {
+      out << (outcome.passed ? "[ ok ] " : "[FAIL] ") << outcome.id
+          << ": " << outcome.detail << "\n";
+      all_passed = all_passed && outcome.passed;
+    }
+    if (!all_passed) {
+      out << "hpcs-report: paper-consistency checks FAILED\n";
+      return 1;
+    }
+    out << "hpcs-report: all paper-consistency checks passed\n";
+  }
+  return 0;
+}

@@ -28,6 +28,8 @@
 #include "core/campaign.hpp"
 #include "core/runner.hpp"
 #include "core/thread_pool.hpp"
+#include "gateway/cache.hpp"
+#include "gateway/singleflight.hpp"
 #include "hw/presets.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -139,6 +141,45 @@ void run_trace_export(const ho::TraceData& trace) {
   g_checksum = g_checksum + static_cast<double>(out.str().size());
 }
 
+void run_gateway_singleflight() {
+  // The gateway's dedup hot path: every miss joins (or creates) a group
+  // keyed by digest, every completion retires one.  64 hot digests, 32k
+  // joins — the pull-storm shape where dedup pays off.
+  hpcs::gateway::SingleFlight flight;
+  std::vector<std::string> digests;
+  digests.reserve(64);
+  for (int d = 0; d < 64; ++d)
+    digests.push_back("sha256:bench-digest-" + std::to_string(d));
+  std::uint64_t members = 0;
+  for (int i = 0; i < 32768; ++i) {
+    const std::string& digest =
+        digests[static_cast<std::size_t>(i * 31 % 64)];
+    const auto join = flight.join(digest);
+    members += static_cast<std::uint64_t>(join.members);
+    if (join.members == 8) flight.complete(digest);
+  }
+  g_checksum = g_checksum + static_cast<double>(members) +
+               static_cast<double>(flight.coalesced());
+}
+
+void run_gateway_cache_lookup() {
+  // The tiered-cache hot path: lookups with LRU recency updates, shared
+  // -> local promotion, and byte-capacity eviction under churn.
+  hpcs::gateway::TieredCache cache(64ull << 20, 512ull << 20);
+  for (int i = 0; i < 16384; ++i) {
+    const int image = i * 97 % 256;
+    const std::string digest = "sha256:bench-image-" + std::to_string(image);
+    const auto bytes =
+        static_cast<std::uint64_t>(1 + image % 16) << 20;
+    if (cache.lookup(digest, bytes) ==
+        hpcs::gateway::CacheTier::Upstream)
+      cache.install(digest, bytes);
+  }
+  const auto& stats = cache.stats();
+  g_checksum = g_checksum + static_cast<double>(stats.lookups()) +
+               static_cast<double>(stats.shared_evictions);
+}
+
 void run_task_pool(int workers) {
   hs::TaskPool pool(workers);
   std::vector<double> slots(2048, 0.0);
@@ -232,6 +273,10 @@ int main(int argc, char** argv) {
   results.push_back(run_bench("trace_export", reps, [&export_trace] {
     run_trace_export(export_trace);
   }));
+  results.push_back(run_bench("gateway_singleflight_map", reps,
+                              [] { run_gateway_singleflight(); }));
+  results.push_back(run_bench("gateway_cache_lookup", reps,
+                              [] { run_gateway_cache_lookup(); }));
   results.push_back(run_bench("task_pool_churn", reps, [pool_workers] {
     run_task_pool(pool_workers);
   }));

@@ -68,6 +68,23 @@ class Registry {
                               obs::Collector* collector = nullptr,
                               int track = 0) const;
 
+  /// Multi-tenant variant: one puller per entry of \p tenants, with each
+  /// tenant's transient errors drawn from its *named* fault stream
+  /// ("fault/pull/<tenant>") instead of a shared index-ordered backoff
+  /// schedule.  A tenant therefore sees the same retry draws no matter
+  /// how the tenant set is batched, ordered, or sharded across gateway
+  /// jobs — the jobs-invariance the index-based overload cannot give
+  /// once pullers are split over workers.
+  /// \throws fault::FaultError when a tenant exhausts the retry budget.
+  double concurrent_pull_time(std::uint64_t bytes_per_node,
+                              const std::vector<std::string>& tenants,
+                              double node_downlink_bw,
+                              const fault::FaultInjector& injector,
+                              const fault::RetryPolicy& retry,
+                              int* retries_out = nullptr,
+                              obs::Collector* collector = nullptr,
+                              int track = 0) const;
+
   double egress_bandwidth() const noexcept { return egress_bw_; }
   int max_streams() const noexcept { return max_streams_; }
 

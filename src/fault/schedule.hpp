@@ -92,12 +92,21 @@ class FaultInjector {
   /// the pull never succeeded within the retry budget).
   int pull_failures(int node, int max_failures) const;
 
+  /// Named-stream variant for multi-tenant callers: draws come from the
+  /// "fault/pull/<stream>" child, so a tenant's failure count depends
+  /// only on its own name — never on puller position, batch split, or
+  /// worker count.  The gateway routes per-tenant retries through this.
+  int pull_failures(std::string_view stream, int max_failures) const;
+
   /// Like pull_failures for the central shared-FS staging step.
   int staging_failures(int max_failures) const;
 
   /// Fraction of the transfer wasted by failed attempt \p attempt of node
   /// \p node (the connection died partway through), in [0, 1).
   double wasted_fraction(int node, int attempt) const;
+
+  /// Named-stream variant; pairs with pull_failures(stream, ...).
+  double wasted_fraction(std::string_view stream, int attempt) const;
 
   /// Compute slowdown for \p node: spec().straggler_factor when the node
   /// drew the straggler lottery, else 1.0.

@@ -1,0 +1,85 @@
+#include "gateway/cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::gateway {
+
+std::string_view to_string(CacheTier tier) noexcept {
+  switch (tier) {
+    case CacheTier::Local:
+      return "local";
+    case CacheTier::SharedFS:
+      return "shared-fs";
+    case CacheTier::Upstream:
+      return "upstream";
+  }
+  return "?";
+}
+
+LruTier::LruTier(std::uint64_t capacity_bytes) : capacity_(capacity_bytes) {
+  if (capacity_bytes == 0)
+    throw std::invalid_argument("LruTier: capacity must be > 0");
+}
+
+bool LruTier::contains(const std::string& digest) const {
+  return index_.count(digest) != 0;
+}
+
+bool LruTier::touch(const std::string& digest) {
+  const auto it = index_.find(digest);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+std::vector<std::string> LruTier::insert(const std::string& digest,
+                                         std::uint64_t bytes) {
+  std::vector<std::string> evicted;
+  if (touch(digest)) return evicted;
+  if (bytes > capacity_) return evicted;  // cannot ever fit; don't thrash
+  while (bytes_ + bytes > capacity_ && !lru_.empty()) {
+    Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    evicted.push_back(victim.digest);
+    index_.erase(victim.digest);
+    lru_.pop_back();
+  }
+  lru_.push_front(Entry{digest, bytes});
+  index_[digest] = lru_.begin();
+  bytes_ += bytes;
+  return evicted;
+}
+
+std::vector<std::string> LruTier::recency_order() const {
+  std::vector<std::string> out;
+  out.reserve(lru_.size());
+  for (const Entry& e : lru_) out.push_back(e.digest);
+  return out;
+}
+
+TieredCache::TieredCache(std::uint64_t local_capacity_bytes,
+                         std::uint64_t shared_capacity_bytes)
+    : local_(local_capacity_bytes), shared_(shared_capacity_bytes) {}
+
+CacheTier TieredCache::lookup(const std::string& digest,
+                              std::uint64_t bytes) {
+  if (local_.touch(digest)) {
+    ++stats_.local_hits;
+    return CacheTier::Local;
+  }
+  if (shared_.touch(digest)) {
+    ++stats_.shared_hits;
+    stats_.local_evictions += local_.insert(digest, bytes).size();
+    return CacheTier::SharedFS;
+  }
+  ++stats_.misses;
+  return CacheTier::Upstream;
+}
+
+void TieredCache::install(const std::string& digest, std::uint64_t bytes) {
+  stats_.shared_evictions += shared_.insert(digest, bytes).size();
+  stats_.local_evictions += local_.insert(digest, bytes).size();
+}
+
+}  // namespace hpcs::gateway

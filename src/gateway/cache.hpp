@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file cache.hpp
+/// \brief Tiered image cache (node-local -> shared-FS) with LRU eviction.
+///
+/// The gateway keeps converted images in two tiers the way a production
+/// facility does: a small node-local tier (NVMe on the gateway host) in
+/// front of a large shared-filesystem tier (the site-wide image
+/// repository).  Both tiers evict least-recently-used entries under
+/// capacity pressure; a shared-tier hit promotes the image into the local
+/// tier.  Everything is deterministic: recency is defined purely by the
+/// order of lookup/install calls, never by host time.
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcs::gateway {
+
+/// Where a lookup was served from; Upstream means "not cached anywhere"
+/// and the request must go through fetch + conversion.
+enum class CacheTier { Local, SharedFS, Upstream };
+
+std::string_view to_string(CacheTier tier) noexcept;
+
+/// One LRU-evicting tier with a byte capacity.
+class LruTier {
+ public:
+  /// \throws std::invalid_argument when capacity_bytes is 0.
+  explicit LruTier(std::uint64_t capacity_bytes);
+
+  bool contains(const std::string& digest) const;
+
+  /// Marks \p digest most-recently-used; false when absent.
+  bool touch(const std::string& digest);
+
+  /// Inserts (or refreshes) \p digest, evicting least-recently-used
+  /// entries until it fits.  Returns the evicted digests in eviction
+  /// order.  An image larger than the whole tier is not cached (no point
+  /// flushing everything for an entry that cannot stay).
+  std::vector<std::string> insert(const std::string& digest,
+                                  std::uint64_t bytes);
+
+  std::uint64_t capacity_bytes() const noexcept { return capacity_; }
+  std::uint64_t resident_bytes() const noexcept { return bytes_; }
+  std::size_t entry_count() const noexcept { return index_.size(); }
+
+  /// Digests from most- to least-recently-used (test/debug hook).
+  std::vector<std::string> recency_order() const;
+
+ private:
+  struct Entry {
+    std::string digest;
+    std::uint64_t bytes = 0;
+  };
+
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::map<std::string, std::list<Entry>::iterator> index_;
+  std::uint64_t capacity_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Hit/eviction counters one service run accumulates.
+struct CacheStats {
+  std::uint64_t local_hits = 0;
+  std::uint64_t shared_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t local_evictions = 0;
+  std::uint64_t shared_evictions = 0;
+
+  std::uint64_t lookups() const noexcept {
+    return local_hits + shared_hits + misses;
+  }
+};
+
+/// The two-tier cache the gateway serves from.  A shared-FS hit promotes
+/// the image to the local tier; an install (after fetch + conversion)
+/// lands in both.
+class TieredCache {
+ public:
+  TieredCache(std::uint64_t local_capacity_bytes,
+              std::uint64_t shared_capacity_bytes);
+
+  /// Finds \p digest, updates recency, promotes shared hits into the
+  /// local tier, and counts the outcome.
+  CacheTier lookup(const std::string& digest, std::uint64_t bytes);
+
+  /// Installs a freshly converted image into both tiers.
+  void install(const std::string& digest, std::uint64_t bytes);
+
+  const CacheStats& stats() const noexcept { return stats_; }
+  const LruTier& local() const noexcept { return local_; }
+  const LruTier& shared() const noexcept { return shared_; }
+
+ private:
+  LruTier local_;
+  LruTier shared_;
+  CacheStats stats_;
+};
+
+}  // namespace hpcs::gateway

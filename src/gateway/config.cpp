@@ -1,0 +1,47 @@
+#include "gateway/config.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::gateway {
+
+ConversionModel conversion_model(container::RuntimeKind kind) noexcept {
+  switch (kind) {
+    case container::RuntimeKind::Docker:
+      // No format change: untar the layer stack into the store.
+      return ConversionModel{2.0, 0.9e9};
+    case container::RuntimeKind::Singularity:
+      // Flatten + mksquashfs + SIF header: the slowest pipeline.
+      return ConversionModel{6.0, 0.35e9};
+    case container::RuntimeKind::Shifter:
+      // Flatten + mksquashfs, no SIF envelope.
+      return ConversionModel{4.0, 0.5e9};
+    case container::RuntimeKind::BareMetal:
+      break;
+  }
+  // Bare metal ships no image; a gateway request is a no-op passthrough.
+  return ConversionModel{0.0, 1.0};
+}
+
+void GatewayConfig::validate() const {
+  if (workers < 1)
+    throw std::invalid_argument("GatewayConfig: workers must be >= 1");
+  if (queue_capacity < 1)
+    throw std::invalid_argument("GatewayConfig: queue_capacity must be >= 1");
+  if (max_outstanding < 1)
+    throw std::invalid_argument(
+        "GatewayConfig: max_outstanding must be >= 1");
+  if (local_cache_bytes == 0 || shared_cache_bytes == 0)
+    throw std::invalid_argument(
+        "GatewayConfig: cache capacities must be > 0");
+  if (local_read_bw <= 0 || shared_read_bw <= 0 || upstream_bw <= 0)
+    throw std::invalid_argument("GatewayConfig: bandwidths must be > 0");
+  if (upstream_latency_s < 0)
+    throw std::invalid_argument(
+        "GatewayConfig: upstream latency must be >= 0");
+  if (worker_recovery_s < 0)
+    throw std::invalid_argument(
+        "GatewayConfig: worker recovery must be >= 0");
+  retry.validate();
+}
+
+}  // namespace hpcs::gateway

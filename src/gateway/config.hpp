@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file config.hpp
+/// \brief Gateway service sizing: worker pool, queues, cache tiers, link
+///        speeds, and per-runtime conversion cost models.
+///
+/// Defaults are sized after the NERSC image-gateway deployment the
+/// ROADMAP points at: a handful of conversion workers in front of a
+/// site-wide shared filesystem, a registry uplink that is fast but not
+/// free, and bounded queues everywhere so overload sheds load instead of
+/// building unbounded backlog.
+
+#include <cstdint>
+
+#include "container/runtime.hpp"
+#include "fault/resilience.hpp"
+
+namespace hpcs::gateway {
+
+/// Cost of turning pulled Docker layers into the runtime's native image
+/// format (squashfs for Shifter, SIF for Singularity, an unpacked layer
+/// store for Docker itself).
+struct ConversionModel {
+  double fixed_s = 0.0;      ///< per-image setup (manifest, metadata)
+  double bytes_per_s = 0.0;  ///< conversion throughput [bytes/s]
+
+  double seconds(std::uint64_t bytes) const noexcept {
+    return fixed_s + static_cast<double>(bytes) / bytes_per_s;
+  }
+};
+
+/// The conversion model for \p kind.  BareMetal has no image to convert
+/// and maps to a zero-cost passthrough.
+ConversionModel conversion_model(container::RuntimeKind kind) noexcept;
+
+struct GatewayConfig {
+  int workers = 8;          ///< bounded conversion-worker pool
+  int queue_capacity = 64;  ///< conversion jobs waiting for a worker
+  /// Admission control: outstanding (admitted, unfinished) miss requests
+  /// across all in-flight groups; beyond this, arrivals are shed.
+  int max_outstanding = 512;
+
+  std::uint64_t local_cache_bytes = 8ull << 30;    ///< node-local tier
+  std::uint64_t shared_cache_bytes = 64ull << 30;  ///< shared-FS tier
+
+  double local_read_bw = 2.0e9;    ///< serve from node-local tier [B/s]
+  double shared_read_bw = 0.8e9;   ///< serve from shared tier [B/s]
+  double upstream_bw = 0.25e9;     ///< upstream registry fetch [B/s]
+  double upstream_latency_s = 0.4; ///< per-fetch handshake + manifest RTT
+
+  /// Downtime before a crashed conversion worker restarts and redoes its
+  /// job from scratch.
+  double worker_recovery_s = 15.0;
+
+  /// Retry/backoff schedule for transient upstream errors; the failure
+  /// draws themselves come from per-tenant named fault streams.
+  fault::RetryPolicy retry;
+
+  /// \throws std::invalid_argument for non-positive sizes or rates.
+  void validate() const;
+};
+
+}  // namespace hpcs::gateway

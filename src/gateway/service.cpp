@@ -1,0 +1,268 @@
+#include "gateway/service.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::gateway {
+
+namespace {
+
+/// Per-tenant fault-stream name: retries stay keyed to the tenant that
+/// leads the fetch (and the digest it pulls), never to a global puller
+/// index, so draws are invariant under request sharding and `--jobs`.
+std::string tenant_stream(int tenant, const std::string& digest) {
+  return "tenant/" + std::to_string(tenant) + "/" + digest;
+}
+
+}  // namespace
+
+GatewayService::GatewayService(GatewayConfig config,
+                               container::RuntimeKind runtime,
+                               const ImageCatalog& catalog,
+                               fault::FaultInjector injector,
+                               double horizon_s, obs::Collector* collector)
+    : config_(std::move(config)),
+      conversion_(conversion_model(runtime)),
+      catalog_(catalog),
+      injector_(std::move(injector)),
+      horizon_s_(horizon_s),
+      collector_(collector),
+      cache_(config_.local_cache_bytes, config_.shared_cache_bytes) {
+  config_.validate();
+  if (horizon_s <= 0)
+    throw std::invalid_argument("GatewayService: horizon must be > 0");
+  for (int w = 0; w < config_.workers; ++w) idle_workers_.insert(w);
+  // Worker-crash schedule: drawn up-front from the injector's named
+  // streams (a crash is assigned to `event.node`, here a worker index).
+  // The window covers the arrival horizon plus drain slack; the spec's
+  // max_crashes cap bounds it regardless.
+  crash_times_.assign(static_cast<std::size_t>(config_.workers), {});
+  crash_cursor_.assign(static_cast<std::size_t>(config_.workers), 0);
+  const fault::FaultSchedule crashes =
+      injector_.crash_schedule(4.0 * horizon_s_, config_.workers);
+  for (const fault::FaultEvent& e : crashes.events)
+    if (e.node >= 0 && e.node < config_.workers)
+      crash_times_[static_cast<std::size_t>(e.node)].push_back(e.time);
+}
+
+void GatewayService::submit(const PullRequest& request) {
+  if (finished_)
+    throw std::logic_error("GatewayService: submit after finish()");
+  if (request.time < now_)
+    throw std::invalid_argument(
+        "GatewayService: arrivals must be time-ordered");
+  advance_to(request.time);
+  now_ = request.time;
+  ++stats_.arrivals;
+  const bool record = collector_ && collector_->enabled();
+  if (record) collector_->count("gateway/arrivals");
+
+  const std::string& digest = catalog_.digest(request.image);
+  const std::uint64_t bytes = catalog_.bytes(request.image);
+  const CacheTier tier = cache_.lookup(digest, bytes);
+  if (tier != CacheTier::Upstream) {
+    const double read_bw = tier == CacheTier::Local
+                               ? config_.local_read_bw
+                               : config_.shared_read_bw;
+    const double latency = static_cast<double>(bytes) / read_bw;
+    ++stats_.completed;
+    stats_.start_latency.add(latency);
+    if (record) {
+      collector_->span(0, "request", "gateway", request.time, latency,
+                       {{"tier", std::string(to_string(tier))}});
+      collector_->count(tier == CacheTier::Local ? "gateway/hits_local"
+                                                 : "gateway/hits_shared");
+      collector_->observe("gateway/start_latency_s", latency);
+    }
+    return;
+  }
+  if (record) collector_->count("gateway/misses");
+
+  // Miss: admission control first (sheds load before any queue grows),
+  // then single-flight coalescing, then the bounded conversion queue.
+  if (outstanding_ >= static_cast<std::uint64_t>(config_.max_outstanding)) {
+    ++stats_.rejected_admission;
+    if (record) {
+      collector_->instant(0, "reject-admission", "gateway", request.time);
+      collector_->count("gateway/rejected_admission");
+    }
+    return;
+  }
+  if (flight_.active(digest)) {
+    flight_.join(digest);
+    groups_.at(digest).waiters.push_back(
+        Waiter{request.tenant, request.time});
+    ++outstanding_;
+  } else {
+    if (queue_.size() >= static_cast<std::size_t>(config_.queue_capacity)) {
+      ++stats_.rejected_queue;
+      if (record) {
+        collector_->instant(0, "reject-queue", "gateway", request.time);
+        collector_->count("gateway/rejected_queue");
+      }
+      return;
+    }
+    flight_.join(digest);
+    Group group;
+    group.image = request.image;
+    group.leader_tenant = request.tenant;
+    group.enqueued_at = request.time;
+    group.waiters.push_back(Waiter{request.tenant, request.time});
+    groups_.emplace(digest, std::move(group));
+    queue_.push_back(digest);
+    stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+    ++outstanding_;
+    if (!idle_workers_.empty()) {
+      const int worker = *idle_workers_.begin();
+      idle_workers_.erase(idle_workers_.begin());
+      start_next_job(worker, request.time);
+    }
+  }
+  stats_.max_outstanding =
+      std::max(stats_.max_outstanding, static_cast<std::size_t>(outstanding_));
+}
+
+void GatewayService::advance_to(double t) {
+  while (!busy_.empty()) {
+    const auto it = busy_.begin();
+    const double end = std::get<0>(it->first);
+    if (end > t) break;
+    const int worker = std::get<2>(it->first);
+    const std::string digest = it->second;
+    busy_.erase(it);
+    complete_job(worker, digest, end);
+    if (!queue_.empty())
+      start_next_job(worker, end);
+    else
+      idle_workers_.insert(worker);
+  }
+}
+
+void GatewayService::start_next_job(int worker, double now) {
+  const std::string digest = queue_.front();
+  queue_.pop_front();
+  Group& group = groups_.at(digest);
+  const std::uint64_t bytes = catalog_.bytes(group.image);
+  const double wait = now - group.enqueued_at;
+  stats_.queue_wait.add(wait);
+  const bool record = collector_ && collector_->enabled();
+  if (record) collector_->observe("gateway/queue_wait_s", wait);
+
+  // Upstream fetch with per-tenant named retry streams: a failed attempt
+  // wastes a drawn fraction of the transfer and pays the policy backoff.
+  const std::string stream = tenant_stream(group.leader_tenant, digest);
+  const int failures =
+      injector_.pull_failures(stream, config_.retry.max_attempts);
+  const double base = config_.upstream_latency_s +
+                      static_cast<double>(bytes) / config_.upstream_bw;
+  double fetch = 0.0;
+  for (int a = 0; a < failures; ++a)
+    fetch += base * injector_.wasted_fraction(stream, a);
+  fetch += config_.retry.total_backoff(failures);
+  const bool exhausted = failures >= config_.retry.max_attempts;
+  if (!exhausted) fetch += base;
+  stats_.upstream_retries += static_cast<std::uint64_t>(failures);
+  group.failed = exhausted;
+
+  const double service =
+      exhausted ? fetch : fetch + conversion_.seconds(bytes);
+  const double end = apply_crashes(worker, now, service);
+  if (record) {
+    const int track = 1 + worker;
+    const double final_start = end - service;
+    collector_->span(track, "upstream-fetch", "registry", final_start, fetch,
+                     {{"digest", digest}});
+    if (failures > 0) {
+      collector_->instant(track, "pull-retry", "registry", final_start,
+                          {{"failures", std::to_string(failures)}});
+      collector_->count("gateway/upstream_retries",
+                        static_cast<double>(failures));
+    }
+    if (!exhausted)
+      collector_->span(track, "convert", "deployment", final_start + fetch,
+                       service - fetch,
+                       {{"digest", digest}});
+  }
+  busy_.emplace(std::make_tuple(end, seq_++, worker), digest);
+}
+
+double GatewayService::apply_crashes(int worker, double start,
+                                     double service_s) {
+  const std::vector<double>& times =
+      crash_times_[static_cast<std::size_t>(worker)];
+  std::size_t& cursor = crash_cursor_[static_cast<std::size_t>(worker)];
+  while (cursor < times.size() && times[cursor] <= start) ++cursor;
+  double t0 = start;
+  const bool record = collector_ && collector_->enabled();
+  while (cursor < times.size() && times[cursor] < t0 + service_s) {
+    const double crash = times[cursor++];
+    ++stats_.worker_crashes;
+    if (record) {
+      collector_->span(1 + worker, "worker-restart", "fault", crash,
+                       config_.worker_recovery_s);
+      collector_->count("gateway/worker_crashes");
+    }
+    // The job restarts from scratch once the worker recovers.
+    t0 = crash + config_.worker_recovery_s;
+  }
+  return t0 + service_s;
+}
+
+void GatewayService::complete_job(int worker, const std::string& digest,
+                                  double end) {
+  (void)worker;
+  Group group = std::move(groups_.at(digest));
+  groups_.erase(digest);
+  flight_.complete(digest);
+  const std::uint64_t bytes = catalog_.bytes(group.image);
+  outstanding_ -= group.waiters.size();
+  const bool record = collector_ && collector_->enabled();
+  if (group.failed) {
+    stats_.failed += group.waiters.size();
+    if (record) {
+      collector_->instant(0, "group-failed", "gateway", end,
+                          {{"digest", digest}});
+      collector_->count("gateway/failed",
+                        static_cast<double>(group.waiters.size()));
+    }
+    return;
+  }
+  ++stats_.upstream_fetches;
+  ++stats_.conversions;
+  cache_.install(digest, bytes);
+  // Waiters page the converted image in from the shared tier.
+  const double read =
+      static_cast<double>(bytes) / config_.shared_read_bw;
+  for (const Waiter& waiter : group.waiters) {
+    const double latency = end + read - waiter.arrival;
+    ++stats_.completed;
+    stats_.start_latency.add(latency);
+    if (record) {
+      collector_->span(0, "request", "gateway", waiter.arrival, latency,
+                       {{"tier", "upstream"}});
+      collector_->observe("gateway/start_latency_s", latency);
+    }
+  }
+  if (record) collector_->count("gateway/upstream_fetches");
+}
+
+const GatewayStats& GatewayService::finish() {
+  if (!finished_) {
+    advance_to(std::numeric_limits<double>::infinity());
+    finished_ = true;
+    stats_.coalesced = flight_.coalesced();
+    stats_.cache = cache_.stats();
+    if (collector_ && collector_->enabled()) {
+      collector_->gauge("gateway/max_queue_depth",
+                        static_cast<double>(stats_.max_queue_depth));
+      collector_->gauge("gateway/max_outstanding",
+                        static_cast<double>(stats_.max_outstanding));
+      collector_->count("gateway/coalesced",
+                        static_cast<double>(stats_.coalesced));
+    }
+  }
+  return stats_;
+}
+
+}  // namespace hpcs::gateway

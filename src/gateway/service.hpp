@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file service.hpp
+/// \brief The multi-tenant image-gateway daemon simulation.
+///
+/// GatewayService models a registry front-end the way NERSC operates one:
+/// tenants submit pull requests; hits are served straight from the tiered
+/// cache; misses join a single-flight group keyed by digest (one upstream
+/// fetch + conversion no matter how many tenants ask), and the fetch +
+/// conversion runs on a bounded worker pool behind a bounded FIFO queue.
+/// Overload degrades gracefully instead of collapsing: beyond
+/// `max_outstanding` admitted miss-requests arrivals are shed at the door
+/// (admission control), and a full conversion queue rejects new groups
+/// (backpressure).  Faults ride on the existing `hpcs_fault` layer —
+/// transient upstream errors retried per-tenant on named RNG streams, and
+/// worker crashes that restart the interrupted job after a recovery cost.
+///
+/// The simulation is a small deterministic discrete-event loop: arrivals
+/// must be fed in non-decreasing time order, worker completions are
+/// processed from an ordered set with sequence-number tie-breaks, and no
+/// draw or data structure depends on host time or thread identity — so a
+/// run is byte-reproducible from (config, catalog, injector seed).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "fault/schedule.hpp"
+#include "gateway/cache.hpp"
+#include "gateway/config.hpp"
+#include "gateway/singleflight.hpp"
+#include "gateway/workload.hpp"
+#include "obs/collector.hpp"
+#include "sim/stats.hpp"
+
+namespace hpcs::gateway {
+
+/// Everything one service run counted.  `completed + failed +
+/// rejected_queue + rejected_admission == arrivals` once finish() ran.
+struct GatewayStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;  ///< served, any tier
+  std::uint64_t failed = 0;     ///< upstream retry budget exhausted
+  std::uint64_t rejected_queue = 0;      ///< backpressure: queue full
+  std::uint64_t rejected_admission = 0;  ///< admission: too much in flight
+  std::uint64_t coalesced = 0;           ///< joins absorbed by single-flight
+  std::uint64_t upstream_fetches = 0;
+  std::uint64_t conversions = 0;
+  std::uint64_t upstream_retries = 0;
+  std::uint64_t worker_crashes = 0;
+  std::size_t max_queue_depth = 0;
+  std::size_t max_outstanding = 0;
+  CacheStats cache;
+
+  /// "Job can start" latency per served request (arrival -> image ready
+  /// on the requesting node), and per-job wait for a conversion worker.
+  sim::Samples start_latency;
+  sim::Samples queue_wait;
+};
+
+class GatewayService {
+ public:
+  /// \p catalog must outlive the service.  \p collector may be null or
+  /// disabled (the usual zero-cost-off contract).
+  GatewayService(GatewayConfig config, container::RuntimeKind runtime,
+                 const ImageCatalog& catalog, fault::FaultInjector injector,
+                 double horizon_s, obs::Collector* collector = nullptr);
+
+  /// Feeds one arrival; times must be non-decreasing.
+  void submit(const PullRequest& request);
+
+  /// Drains all in-flight work; further submits are invalid.
+  const GatewayStats& finish();
+
+  const GatewayStats& stats() const noexcept { return stats_; }
+  const TieredCache& cache() const noexcept { return cache_; }
+
+ private:
+  struct Waiter {
+    int tenant = 0;
+    double arrival = 0.0;
+  };
+
+  /// One single-flight group: the conversion job for a digest, plus the
+  /// tenants it will serve on completion.
+  struct Group {
+    int image = 0;
+    int leader_tenant = 0;
+    double enqueued_at = 0.0;
+    bool failed = false;  ///< leader exhausted the upstream retry budget
+    std::vector<Waiter> waiters;
+  };
+
+  void advance_to(double t);
+  void start_next_job(int worker, double now);
+  void complete_job(int worker, const std::string& digest, double end);
+  /// Walks the worker's crash schedule across a nominal service time and
+  /// returns the actual end; counts restarts and records fault spans.
+  double apply_crashes(int worker, double start, double service_s);
+
+  GatewayConfig config_;
+  ConversionModel conversion_;
+  const ImageCatalog& catalog_;
+  fault::FaultInjector injector_;
+  double horizon_s_;
+  obs::Collector* collector_;  ///< null or disabled = record nothing
+
+  TieredCache cache_;
+  SingleFlight flight_;
+  std::map<std::string, Group> groups_;
+  std::deque<std::string> queue_;  ///< digests waiting for a worker
+  std::set<int> idle_workers_;
+  /// Busy-worker completions: (end time, sequence, worker) -> digest.
+  std::map<std::tuple<double, std::uint64_t, int>, std::string> busy_;
+  std::vector<std::vector<double>> crash_times_;  ///< per worker, sorted
+  std::vector<std::size_t> crash_cursor_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t outstanding_ = 0;  ///< admitted, unfinished miss requests
+  double now_ = 0.0;
+  bool finished_ = false;
+
+  GatewayStats stats_;
+};
+
+}  // namespace hpcs::gateway

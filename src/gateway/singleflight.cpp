@@ -1,0 +1,29 @@
+#include "gateway/singleflight.hpp"
+
+namespace hpcs::gateway {
+
+SingleFlight::Join SingleFlight::join(const std::string& digest) {
+  auto [it, created] = groups_.try_emplace(digest, 0);
+  ++it->second;
+  if (!created) ++coalesced_;
+  return Join{created, it->second};
+}
+
+bool SingleFlight::active(const std::string& digest) const {
+  return groups_.count(digest) != 0;
+}
+
+int SingleFlight::members(const std::string& digest) const {
+  const auto it = groups_.find(digest);
+  return it == groups_.end() ? 0 : it->second;
+}
+
+int SingleFlight::complete(const std::string& digest) {
+  const auto it = groups_.find(digest);
+  if (it == groups_.end()) return 0;
+  const int members = it->second;
+  groups_.erase(it);
+  return members;
+}
+
+}  // namespace hpcs::gateway

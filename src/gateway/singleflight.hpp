@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file singleflight.hpp
+/// \brief In-flight work deduplication by layer digest.
+///
+/// When thousands of tenants pull the same image at once (the classic
+/// job-array pull storm), the gateway must fetch and convert it exactly
+/// once; every concurrent request for the same digest joins the in-flight
+/// group and is served by its completion.  This is the `singleflight`
+/// pattern from Go's groupcache, reduced to the bookkeeping the simulator
+/// needs: a digest -> join-count map whose first joiner becomes the
+/// leader that owns the upstream fetch.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hpcs::gateway {
+
+class SingleFlight {
+ public:
+  struct Join {
+    bool leader = false;  ///< true when this join created the group
+    int members = 0;      ///< group size including this join
+  };
+
+  /// Joins (or creates) the in-flight group for \p digest.
+  Join join(const std::string& digest);
+
+  /// True while a group for \p digest is in flight.
+  bool active(const std::string& digest) const;
+
+  /// Members of \p digest's group so far (0 when not in flight).
+  int members(const std::string& digest) const;
+
+  /// Completes the group, returning its member count (0 when no group
+  /// was in flight).  Later joins for the digest start a fresh group.
+  int complete(const std::string& digest);
+
+  /// In-flight group count.
+  std::size_t inflight() const noexcept { return groups_.size(); }
+
+  /// Total joins that were absorbed into an existing group (the fetches
+  /// the dedup saved).
+  std::uint64_t coalesced() const noexcept { return coalesced_; }
+
+ private:
+  std::map<std::string, int> groups_;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace hpcs::gateway

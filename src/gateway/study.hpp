@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file study.hpp
+/// \brief The gateway benchmark grid: offered load x cache churn x fault
+///        preset x runtime, fanned out over the campaign TaskPool.
+///
+/// Each cell simulates one GatewayService run under its own name-derived
+/// seed (the campaign convention: seed depends on the cell *key*, never
+/// on execution order), so the grid is embarrassingly parallel and its
+/// CSV/trace/metrics artifacts are byte-identical for any `--jobs` count.
+/// The headline artifact is the tail-latency table: p50/p95/p99 of the
+/// "job can start" latency per cell.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "container/runtime.hpp"
+#include "gateway/config.hpp"
+#include "gateway/service.hpp"
+#include "gateway/workload.hpp"
+#include "obs/collector.hpp"
+#include "obs/metrics.hpp"
+
+namespace hpcs::gateway {
+
+struct GatewayGridSpec {
+  std::string name = "gateway";
+  std::vector<double> loads = {0.5, 1.0, 2.0, 4.0};
+  /// Catalog pressure: total catalog bytes as a multiple of the shared
+  /// cache tier (0.5 = everything fits; 8 = heavy eviction churn).
+  std::vector<double> churns = {0.5, 2.0, 8.0};
+  std::vector<std::string> faults = {"none", "moderate"};
+  std::vector<container::RuntimeKind> runtimes = {
+      container::RuntimeKind::Docker, container::RuntimeKind::Singularity,
+      container::RuntimeKind::Shifter};
+  GatewayConfig config;
+  WorkloadSpec workload;  ///< base; load/catalog are overridden per cell
+  std::uint64_t seed = 42;
+
+  /// \throws std::invalid_argument when any axis is empty or a fault
+  ///         preset name is unknown.
+  void validate() const;
+};
+
+/// One grid point's parameters and outcome.
+struct GatewayCellResult {
+  std::string key;
+  double load = 1.0;
+  double churn = 1.0;
+  std::string faults = "none";
+  container::RuntimeKind runtime = container::RuntimeKind::Docker;
+  GatewayStats stats;
+  obs::TraceData trace;   ///< empty unless observed
+  obs::Metrics metrics;   ///< empty unless observed
+};
+
+struct GatewayGridResult {
+  std::string name;
+  int jobs = 1;
+  std::vector<GatewayCellResult> cells;
+
+  /// Deterministic tail-latency CSV, cells in grid order.
+  void write_csv(std::ostream& out) const;
+  bool save_csv(const std::string& path) const;
+
+  /// Chrome trace with one pid per cell, in grid order.
+  void write_chrome_trace(std::ostream& out) const;
+  bool save_chrome_trace(const std::string& path) const;
+
+  /// Per-cell metric registries folded in grid order.
+  obs::Metrics aggregate_metrics() const;
+  bool save_metrics_json(const std::string& path) const;
+};
+
+/// The cell key ("load-2/churn-8/moderate/Docker") — also the seed name.
+std::string gateway_cell_key(double load, double churn,
+                             const std::string& faults,
+                             container::RuntimeKind runtime);
+
+/// Catalog size that puts ~\p churn x shared-cache bytes in play, given
+/// the spec's image-size distribution.
+int churn_catalog_images(const GatewayGridSpec& spec, double churn);
+
+/// Runs one cell (exposed for tests; bench cells go through the grid).
+GatewayCellResult run_gateway_cell(const GatewayGridSpec& spec, double load,
+                                   double churn, const std::string& faults,
+                                   container::RuntimeKind runtime,
+                                   bool observe);
+
+/// Runs the whole grid on \p jobs TaskPool workers.
+GatewayGridResult run_gateway_grid(const GatewayGridSpec& spec, int jobs,
+                                   bool observe = false);
+
+}  // namespace hpcs::gateway

@@ -1,0 +1,347 @@
+// Gateway: single-flight dedup, tiered LRU cache, admission control and
+// backpressure, fault recovery, and the grid's --jobs bit-identity.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/spec.hpp"
+#include "gateway/cache.hpp"
+#include "gateway/config.hpp"
+#include "gateway/service.hpp"
+#include "gateway/singleflight.hpp"
+#include "gateway/study.hpp"
+#include "gateway/workload.hpp"
+#include "sim/rng.hpp"
+
+namespace hg = hpcs::gateway;
+namespace hc = hpcs::container;
+namespace hf = hpcs::fault;
+
+namespace {
+
+hg::WorkloadSpec tiny_workload(int images = 16) {
+  hg::WorkloadSpec spec;
+  spec.base_rate_hz = 1.0;
+  spec.tenants = 20;
+  spec.catalog_images = images;
+  spec.image_bytes_min = 64ull << 20;
+  spec.image_bytes_max = 512ull << 20;
+  spec.horizon_s = 200.0;
+  return spec;
+}
+
+hg::ImageCatalog tiny_catalog(int images = 16) {
+  return hg::ImageCatalog(tiny_workload(images), hpcs::sim::Rng{1});
+}
+
+hf::FaultInjector inert() { return hf::FaultInjector(hf::FaultSpec{}, 1); }
+
+}  // namespace
+
+TEST(SingleFlight, FirstJoinLeadsLaterJoinsCoalesce) {
+  hg::SingleFlight flight;
+  EXPECT_FALSE(flight.active("sha256:a"));
+  const auto first = flight.join("sha256:a");
+  EXPECT_TRUE(first.leader);
+  EXPECT_EQ(first.members, 1);
+  const auto second = flight.join("sha256:a");
+  EXPECT_FALSE(second.leader);
+  EXPECT_EQ(second.members, 2);
+  EXPECT_TRUE(flight.active("sha256:a"));
+  EXPECT_EQ(flight.members("sha256:a"), 2);
+  EXPECT_EQ(flight.coalesced(), 1u);
+  EXPECT_EQ(flight.complete("sha256:a"), 2);
+  EXPECT_FALSE(flight.active("sha256:a"));
+  // A fresh pull after completion starts a new group.
+  EXPECT_TRUE(flight.join("sha256:a").leader);
+}
+
+TEST(SingleFlight, DigestsAreIndependent) {
+  hg::SingleFlight flight;
+  flight.join("sha256:a");
+  flight.join("sha256:b");
+  EXPECT_EQ(flight.inflight(), 2u);
+  EXPECT_EQ(flight.members("sha256:a"), 1);
+  EXPECT_EQ(flight.complete("sha256:c"), 0);
+  EXPECT_EQ(flight.coalesced(), 0u);
+}
+
+TEST(LruTier, EvictsLeastRecentlyUsedInOrder) {
+  hg::LruTier tier(300);
+  EXPECT_TRUE(tier.insert("a", 100).empty());
+  EXPECT_TRUE(tier.insert("b", 100).empty());
+  EXPECT_TRUE(tier.insert("c", 100).empty());
+  // Touch "a": recency becomes a, c, b — so "b" then "c" go first.
+  EXPECT_TRUE(tier.touch("a"));
+  const auto evicted = tier.insert("d", 150);
+  EXPECT_EQ(evicted, (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(tier.recency_order(), (std::vector<std::string>{"d", "a"}));
+  EXPECT_EQ(tier.resident_bytes(), 250u);
+  EXPECT_FALSE(tier.touch("b"));
+}
+
+TEST(LruTier, OversizeImageIsNotCached) {
+  hg::LruTier tier(100);
+  tier.insert("small", 60);
+  EXPECT_TRUE(tier.insert("huge", 200).empty());
+  EXPECT_FALSE(tier.contains("huge"));
+  EXPECT_TRUE(tier.contains("small"));  // nothing was flushed for it
+  EXPECT_THROW(hg::LruTier(0), std::invalid_argument);
+}
+
+TEST(TieredCache, SharedHitPromotesIntoLocalTier) {
+  // Local holds one image, shared holds both: pushing "b" through evicts
+  // "a" locally but leaves it shared, so the next lookup of "a" is a
+  // shared hit that re-promotes it.
+  hg::TieredCache cache(100, 1000);
+  cache.install("a", 80);
+  cache.install("b", 80);
+  EXPECT_FALSE(cache.local().contains("a"));
+  EXPECT_TRUE(cache.shared().contains("a"));
+  EXPECT_EQ(cache.lookup("a", 80), hg::CacheTier::SharedFS);
+  EXPECT_TRUE(cache.local().contains("a"));
+  EXPECT_EQ(cache.lookup("a", 80), hg::CacheTier::Local);
+  EXPECT_EQ(cache.lookup("nope", 10), hg::CacheTier::Upstream);
+  EXPECT_EQ(cache.stats().local_hits, 1u);
+  EXPECT_EQ(cache.stats().shared_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().local_evictions, 2u);  // b pushed a, a pushed b
+  EXPECT_EQ(cache.stats().lookups(), 3u);
+}
+
+TEST(GatewayService, PullStormCoalescesToOneUpstreamFetch) {
+  const auto catalog = tiny_catalog();
+  hg::GatewayConfig config;
+  hg::GatewayService service(config, hc::RuntimeKind::Shifter, catalog,
+                             inert(), 200.0);
+  // 8 tenants slam the same digest before the first fetch completes.
+  for (int tenant = 0; tenant < 8; ++tenant)
+    service.submit(hg::PullRequest{0.0, tenant, 0});
+  const hg::GatewayStats& stats = service.finish();
+  EXPECT_EQ(stats.arrivals, 8u);
+  EXPECT_EQ(stats.upstream_fetches, 1u);
+  EXPECT_EQ(stats.conversions, 1u);
+  EXPECT_EQ(stats.coalesced, 7u);
+  EXPECT_EQ(stats.completed, 8u);
+  EXPECT_EQ(stats.cache.misses, 8u);  // all arrived before the install
+  // After the install, the same digest is a local hit.
+  EXPECT_TRUE(service.cache().local().contains(catalog.digest(0)));
+}
+
+TEST(GatewayService, CacheHitIsServedWithoutWorkers) {
+  const auto catalog = tiny_catalog();
+  hg::GatewayConfig config;
+  hg::GatewayService service(config, hc::RuntimeKind::Shifter, catalog,
+                             inert(), 5000.0);
+  service.submit(hg::PullRequest{0.0, 0, 3});
+  service.submit(hg::PullRequest{4000.0, 1, 3});  // long after completion
+  const hg::GatewayStats& stats = service.finish();
+  EXPECT_EQ(stats.cache.local_hits, 1u);
+  EXPECT_EQ(stats.upstream_fetches, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  // The hit pays only the local read, far below fetch + conversion.
+  EXPECT_LT(stats.start_latency.min(), 1.0);
+}
+
+TEST(GatewayService, AdmissionControlShedsBeyondOutstandingCap) {
+  const auto catalog = tiny_catalog();
+  hg::GatewayConfig config;
+  config.workers = 1;
+  config.max_outstanding = 4;
+  hg::GatewayService service(config, hc::RuntimeKind::Singularity, catalog,
+                             inert(), 200.0);
+  // Distinct images: no coalescing, so every admitted miss counts once.
+  for (int tenant = 0; tenant < 10; ++tenant)
+    service.submit(hg::PullRequest{0.0, tenant, tenant});
+  const hg::GatewayStats& stats = service.finish();
+  EXPECT_EQ(stats.rejected_admission, 6u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.max_outstanding, 4u);
+  EXPECT_EQ(stats.completed + stats.failed + stats.rejected_queue +
+                stats.rejected_admission,
+            stats.arrivals);
+}
+
+TEST(GatewayService, FullQueueRejectsNewGroupsUnderSaturation) {
+  const auto catalog = tiny_catalog();
+  hg::GatewayConfig config;
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.max_outstanding = 1000;
+  hg::GatewayService service(config, hc::RuntimeKind::Docker, catalog,
+                             inert(), 200.0);
+  for (int tenant = 0; tenant < 10; ++tenant)
+    service.submit(hg::PullRequest{0.0, tenant, tenant});
+  const hg::GatewayStats& stats = service.finish();
+  // One on the worker, two queued, seven shed by backpressure.
+  EXPECT_EQ(stats.rejected_queue, 7u);
+  EXPECT_EQ(stats.max_queue_depth, 2u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.completed + stats.failed + stats.rejected_queue +
+                stats.rejected_admission,
+            stats.arrivals);
+  // Joining an in-flight group bypasses the full queue.
+  EXPECT_GE(stats.coalesced, 0u);
+}
+
+TEST(GatewayService, SurvivesHeavyFaultsAndKeepsAccounting) {
+  const auto catalog = tiny_catalog();
+  hg::GatewayConfig config;
+  config.workers = 2;
+  auto spec = hf::FaultSpec::heavy();
+  spec.registry_fault_rate = 0.5;
+  spec.node_mtbf_s = 150.0;
+  hg::GatewayService service(config, hc::RuntimeKind::Singularity, catalog,
+                             hf::FaultInjector(spec, 11), 500.0);
+  int tenant = 0;
+  for (double t = 0.0; t < 500.0; t += 4.0, ++tenant)
+    service.submit(hg::PullRequest{t, tenant % 20, tenant % catalog.size()});
+  const hg::GatewayStats& stats = service.finish();
+  EXPECT_GT(stats.upstream_retries, 0u);
+  EXPECT_GT(stats.worker_crashes, 0u);
+  EXPECT_GT(stats.completed, 0u);
+  EXPECT_EQ(stats.completed + stats.failed + stats.rejected_queue +
+                stats.rejected_admission,
+            stats.arrivals);
+}
+
+TEST(GatewayService, RejectsTimeTravelAndSubmitAfterFinish) {
+  const auto catalog = tiny_catalog();
+  hg::GatewayService service(hg::GatewayConfig{}, hc::RuntimeKind::Docker,
+                             catalog, inert(), 200.0);
+  service.submit(hg::PullRequest{10.0, 0, 0});
+  EXPECT_THROW(service.submit(hg::PullRequest{5.0, 1, 1}),
+               std::invalid_argument);
+  service.finish();
+  EXPECT_THROW(service.submit(hg::PullRequest{20.0, 2, 2}),
+               std::logic_error);
+}
+
+TEST(Workload, CatalogIsDeterministicAndBounded) {
+  const auto spec = tiny_workload(24);
+  const hg::ImageCatalog a(spec, hpcs::sim::Rng{9});
+  const hg::ImageCatalog b(spec, hpcs::sim::Rng{9});
+  ASSERT_EQ(a.size(), 24);
+  std::set<std::string> digests;
+  for (int i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.digest(i), b.digest(i));
+    EXPECT_EQ(a.bytes(i), b.bytes(i));
+    EXPECT_GE(a.bytes(i), spec.image_bytes_min);
+    EXPECT_LE(a.bytes(i), spec.image_bytes_max);
+    digests.insert(a.digest(i));
+  }
+  EXPECT_EQ(digests.size(), 24u);  // no collisions
+  EXPECT_GT(a.total_bytes(), 0u);
+}
+
+TEST(Workload, ArrivalsAreReproducibleOrderedAndBounded) {
+  const auto spec = tiny_workload();
+  hg::ArrivalProcess a(spec, hpcs::sim::Rng{5});
+  hg::ArrivalProcess b(spec, hpcs::sim::Rng{5});
+  double last = 0.0;
+  int count = 0;
+  while (const auto request = a.next()) {
+    const auto mirror = b.next();
+    ASSERT_TRUE(mirror.has_value());
+    EXPECT_EQ(request->time, mirror->time);
+    EXPECT_EQ(request->tenant, mirror->tenant);
+    EXPECT_EQ(request->image, mirror->image);
+    EXPECT_GE(request->time, last);
+    EXPECT_LT(request->time, spec.horizon_s);
+    EXPECT_GE(request->tenant, 0);
+    EXPECT_LT(request->tenant, spec.tenants);
+    EXPECT_GE(request->image, 0);
+    EXPECT_LT(request->image, spec.catalog_images);
+    last = request->time;
+    ++count;
+  }
+  EXPECT_FALSE(b.next().has_value());
+  EXPECT_GT(count, 50);  // ~200 expected at 1 Hz over 200 s
+}
+
+TEST(Workload, DiurnalProfileScalesTheRate) {
+  auto spec = tiny_workload();
+  spec.diurnal = {1.0, 4.0};
+  spec.load = 2.0;
+  const hg::ArrivalProcess arrivals(spec, hpcs::sim::Rng{5});
+  EXPECT_DOUBLE_EQ(arrivals.rate_at(10.0), 2.0);   // first half: 1 x 1 x 2
+  EXPECT_DOUBLE_EQ(arrivals.rate_at(150.0), 8.0);  // second half: 1 x 4 x 2
+}
+
+TEST(GatewayConfig, ValidationRejectsDegenerateSizing) {
+  hg::GatewayConfig config;
+  config.workers = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.queue_capacity = 0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  config = {};
+  config.upstream_bw = 0.0;
+  EXPECT_THROW(config.validate(), std::invalid_argument);
+  hg::WorkloadSpec workload;
+  workload.image_bytes_min = workload.image_bytes_max + 1;
+  EXPECT_THROW(workload.validate(), std::invalid_argument);
+}
+
+TEST(GatewayStudy, CellKeyAndChurnSizing) {
+  EXPECT_EQ(hg::gateway_cell_key(2.0, 8.0, "moderate",
+                                 hc::RuntimeKind::Docker),
+            "load-2/churn-8/moderate/docker");
+  hg::GatewayGridSpec spec;
+  EXPECT_GE(hg::churn_catalog_images(spec, 0.001), 2);
+  EXPECT_GT(hg::churn_catalog_images(spec, 8.0),
+            hg::churn_catalog_images(spec, 0.5));
+  spec.loads.clear();
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+namespace {
+
+hg::GatewayGridSpec smoke_grid() {
+  hg::GatewayGridSpec spec;
+  spec.loads = {1.0, 4.0};
+  spec.churns = {2.0};
+  spec.faults = {"none", "moderate"};
+  spec.runtimes = {hc::RuntimeKind::Docker, hc::RuntimeKind::Singularity};
+  spec.workload = tiny_workload();
+  return spec;
+}
+
+std::string grid_csv(const hg::GatewayGridResult& grid) {
+  std::ostringstream out;
+  grid.write_csv(out);
+  return out.str();
+}
+
+}  // namespace
+
+TEST(GatewayStudy, GridCsvIsBitIdenticalAcrossJobs) {
+  const auto spec = smoke_grid();
+  const auto serial = hg::run_gateway_grid(spec, 1, false);
+  const auto parallel = hg::run_gateway_grid(spec, 4, false);
+  ASSERT_EQ(serial.cells.size(), 8u);
+  EXPECT_EQ(grid_csv(serial), grid_csv(parallel));
+}
+
+TEST(GatewayStudy, ObservedTraceIsBitIdenticalAcrossJobs) {
+  const auto spec = smoke_grid();
+  const auto serial = hg::run_gateway_grid(spec, 1, true);
+  const auto parallel = hg::run_gateway_grid(spec, 4, true);
+  std::ostringstream trace1, trace4;
+  serial.write_chrome_trace(trace1);
+  parallel.write_chrome_trace(trace4);
+  EXPECT_EQ(trace1.str(), trace4.str());
+  // Observing must not perturb results either (zero-cost-off contract).
+  const auto blind = hg::run_gateway_grid(spec, 1, false);
+  EXPECT_EQ(grid_csv(serial), grid_csv(blind));
+  // Aggregated metrics fold in grid order -> identical too.
+  EXPECT_EQ(serial.aggregate_metrics().counter_value("gateway/arrivals"),
+            parallel.aggregate_metrics().counter_value("gateway/arrivals"));
+  EXPECT_GT(serial.aggregate_metrics().counter_value("gateway/arrivals"),
+            0.0);
+}

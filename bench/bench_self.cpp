@@ -28,7 +28,9 @@
 #include "core/campaign.hpp"
 #include "core/runner.hpp"
 #include "core/thread_pool.hpp"
+#include "gateway/breaker.hpp"
 #include "gateway/cache.hpp"
+#include "gateway/hedge.hpp"
 #include "gateway/singleflight.hpp"
 #include "hw/presets.hpp"
 #include "obs/export.hpp"
@@ -180,6 +182,56 @@ void run_gateway_cache_lookup() {
                static_cast<double>(stats.shared_evictions);
 }
 
+void run_gateway_breaker_fsm() {
+  // The circuit-breaker state machine on the fetch dispatch path: mixed
+  // success/failure reporting with allow() checks, periodic trips through
+  // open -> half-open -> probe, all in simulated time.
+  hpcs::gateway::BreakerPolicy policy;
+  policy.enabled = true;
+  policy.failure_threshold = 3;
+  policy.open_duration_s = 10.0;
+  hpcs::gateway::CircuitBreaker breaker(policy);
+  std::uint64_t allowed = 0;
+  for (int i = 0; i < 65536; ++i) {
+    const double now = static_cast<double>(i) * 0.25;
+    if (breaker.allow(now)) {
+      ++allowed;
+      // Deterministic failure bursts: every 19th dispatch fails, so the
+      // breaker keeps cycling through its whole state machine.
+      if (i % 19 < 6)
+        breaker.on_failure(now);
+      else
+        breaker.on_success();
+    }
+  }
+  g_checksum = g_checksum + static_cast<double>(allowed) +
+               static_cast<double>(breaker.opens());
+}
+
+void run_gateway_hedge_accounting() {
+  // Hedge planning and race bookkeeping: quantile maintenance over the
+  // observed fetch distribution plus resolve_hedge's outcome accounting.
+  hpcs::gateway::HedgePolicy policy;
+  policy.enabled = true;
+  policy.quantile = 0.75;
+  policy.min_samples = 12;
+  hpcs::gateway::HedgePlanner planner(policy);
+  double total = 0.0;
+  for (int i = 0; i < 2048; ++i) {
+    const double primary =
+        1.0 + static_cast<double>(i * 37 % 100) / 10.0;  // 1..10.9s
+    planner.observe(primary);
+    if (!planner.ready()) continue;
+    const double delay = planner.delay();
+    const auto race = hpcs::gateway::resolve_hedge(
+        primary, i % 13 != 0, delay, 1.0 + static_cast<double>(i % 7),
+        i % 11 != 0);
+    total += race.duration + race.wasted_s;
+  }
+  g_checksum = g_checksum + total +
+               static_cast<double>(planner.observed());
+}
+
 void run_task_pool(int workers) {
   hs::TaskPool pool(workers);
   std::vector<double> slots(2048, 0.0);
@@ -277,6 +329,10 @@ int main(int argc, char** argv) {
                               [] { run_gateway_singleflight(); }));
   results.push_back(run_bench("gateway_cache_lookup", reps,
                               [] { run_gateway_cache_lookup(); }));
+  results.push_back(run_bench("gateway_breaker_fsm", reps,
+                              [] { run_gateway_breaker_fsm(); }));
+  results.push_back(run_bench("gateway_hedge_accounting", reps,
+                              [] { run_gateway_hedge_accounting(); }));
   results.push_back(run_bench("task_pool_churn", reps, [pool_workers] {
     run_task_pool(pool_workers);
   }));

@@ -137,6 +137,13 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
     result.pull_retries += failures;
     result.retry_backoff_time += retry_.total_backoff(failures);
   }
+  {
+    // Central staging/conversion writes to the shared filesystem; a
+    // brownout window covering it stretches the I/O (no-op without one).
+    const double actual = hazards_.stretched(0.0, central_done);
+    result.brownout_delay_time += actual - central_done;
+    central_done = actual;
+  }
   result.gateway_time = central_done;
   if (obs && central_done > 0.0)
     obs->span(0,
@@ -185,6 +192,11 @@ DeploymentResult DeploymentSimulator::deploy(const ContainerRuntime& runtime,
       pull = (static_cast<double>(image.transfer_bytes()) * 0.002 /
               cluster_.node.disk_read_bw) *
              jitter;
+      // Shared-FS brownouts stretch the page-in; node-local Docker pulls
+      // above bypass the shared filesystem and are unaffected.
+      const double actual = hazards_.stretched(central_done + service, pull);
+      result.brownout_delay_time += actual - pull;
+      pull = actual;
     }
     result.max_pull_time = std::max(result.max_pull_time, pull);
 

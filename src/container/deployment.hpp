@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <set>
 #include <string>
+#include <utility>
 
 #include "container/image.hpp"
 #include "container/registry.hpp"
 #include "container/runtime.hpp"
+#include "fault/hazard.hpp"
 #include "fault/resilience.hpp"
 #include "fault/spec.hpp"
 #include "hw/cluster.hpp"
@@ -44,6 +46,9 @@ struct DeploymentResult {
   int containers = 0;
   int pull_retries = 0;  ///< transient registry/staging errors retried
   double retry_backoff_time = 0.0;  ///< backoff waited across retries
+  /// Extra time lost to shared-FS brownout windows (fail-slow hazards)
+  /// across staging, conversion, and node mounts; 0 without hazards.
+  double brownout_delay_time = 0.0;
   sim::Samples node_ready_times;  ///< distribution across nodes
 };
 
@@ -90,6 +95,14 @@ class DeploymentSimulator {
   /// exceeding the retry budget throws fault::FaultError from deploy().
   void set_faults(fault::FaultSpec spec, fault::RetryPolicy retry);
 
+  /// Attaches a correlated-hazard schedule: shared-FS brownout windows
+  /// stretch central staging/conversion and per-node mounts (Docker's
+  /// node-local pulls bypass the shared filesystem and are unaffected).
+  /// An empty schedule — the default — changes nothing, byte-for-byte.
+  void set_hazards(fault::HazardSchedule hazards) {
+    hazards_ = std::move(hazards);
+  }
+
   /// Per-node recovery cost [s] after a crash during execution, excluding
   /// the scheduler's requeue delay: Docker restarts the daemon on the
   /// replacement node and re-pulls the full image; Singularity/Shifter
@@ -104,6 +117,7 @@ class DeploymentSimulator {
   std::set<std::string> node_cache_;
   fault::FaultSpec faults_{};
   fault::RetryPolicy retry_{};
+  fault::HazardSchedule hazards_{};
   obs::Collector* obs_ = nullptr;  ///< not owned; null = no tracing
 };
 

@@ -7,6 +7,7 @@
 #include <system_error>
 
 #include "core/images.hpp"
+#include "fault/hazard.hpp"
 #include "hw/presets.hpp"
 
 namespace hpcs::study {
@@ -117,6 +118,10 @@ CliOptions parse_cli(std::span<const char* const> args) {
       o.faults_list = split_list(value());
       if (o.faults_list.empty())
         throw std::invalid_argument("--faults: empty list");
+    } else if (flag == "--hazards") {
+      o.hazards = value();
+      if (o.hazards.empty())
+        throw std::invalid_argument("--hazards: empty preset name");
     } else if (flag == "--mtbf") {
       o.mtbf = parse_double(flag, value());
       if (o.mtbf <= 0)
@@ -271,6 +276,8 @@ RunnerOptions to_runner_options(const CliOptions& o) {
           "--faults: a list of presets requires --campaign");
     ro.faults = fault_from_cli(o, o.faults_list.front());
   }
+  if (!o.hazards.empty())
+    ro.hazards = fault::HazardSpec::preset(o.hazards);
   ro.validate();
   return ro;
 }
@@ -298,6 +305,8 @@ observability (simulated-time spans + metrics; off = zero cost):
 fault injection (default: fault-free, bit-identical to no flags):
   --faults LIST    none | light | moderate | heavy; a comma list adds a
                    fault axis in campaign mode
+  --hazards NAME   correlated-hazard preset layered on --faults: none |
+                   rack-burst | brownout | gray | partition | storm
   --mtbf SECONDS   override the per-node MTBF of enabled presets
   --checkpoint-interval SECONDS
                    work between checkpoints (0 = restart from scratch)

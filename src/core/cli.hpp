@@ -21,7 +21,9 @@
 /// --csv/--json the per-cell and summary output paths.
 ///
 /// Fault injection: --faults takes preset names (none | light | moderate |
-/// heavy; a comma list adds a fault axis in campaign mode), --mtbf
+/// heavy; a comma list adds a fault axis in campaign mode), --hazards
+/// layers a correlated-hazard preset on top (none | rack-burst | brownout
+/// | gray | partition | storm), --mtbf
 /// overrides the per-node MTBF of enabled presets, --checkpoint-interval
 /// sets the checkpoint cadence, and --cell-retries bounds re-executions of
 /// fault-failed campaign cells.
@@ -56,6 +58,8 @@ struct CliOptions {
   std::string json_path = "results/campaign.json";
   /// Fault presets (--faults, comma list); empty = fault-free.
   std::vector<std::string> faults_list;
+  /// Correlated-hazard preset (--hazards); empty = hazard-free.
+  std::string hazards;
   double mtbf = 0.0;  ///< 0: keep each preset's MTBF
   double checkpoint_interval = -1.0;  ///< < 0: policy default
   int cell_retries = 1;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
-
+#include <limits>
 #include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "container/io_model.hpp"
 #include "container/transport.hpp"
@@ -24,6 +26,7 @@ void RunnerOptions::validate() const {
   faults.validate();
   retry.validate();
   checkpoint.validate();
+  hazards.validate();
 }
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
@@ -141,6 +144,16 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
   container::DeploymentSimulator dep(scenario.cluster, scenario.seed);
   if (options_.faults.enabled)
     dep.set_faults(options_.faults, options_.retry);
+  // Correlated hazards share the run's timebase: the schedule is drawn
+  // once over a fixed generous horizon (independent of run length, so
+  // changing time_steps never perturbs the draws) and threaded into both
+  // the deployment DES and the resilience replay below.
+  fault::HazardSchedule hazard_schedule;
+  if (options_.hazards.enabled) {
+    const fault::HazardInjector hz(options_.hazards, scenario.seed);
+    hazard_schedule = hz.schedule(86400.0, scenario.nodes);
+    dep.set_hazards(hazard_schedule);
+  }
   dep.set_collector(&col);
   {
     obs::SpanScope deploy_scope(col, 0, "deploy", "deployment", 0.0);
@@ -247,7 +260,7 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
   result.resilience.link_multiplier = link_mult;
   result.resilience.ideal_time_s = result.total_time;
   result.resilience.effective_time_s = result.total_time;
-  if (options_.faults.enabled) {
+  if (options_.faults.enabled || !hazard_schedule.bursts.empty()) {
     result.resilience.pull_retries = result.deployment.pull_retries;
     result.resilience.retry_backoff_s = result.deployment.retry_backoff_time;
 
@@ -275,10 +288,51 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
         col.instant(0, kind, "fault", dep_offset + wall_time_s,
                     {{"detail_s", sim::CsvWriter::cell(detail_s)}});
       };
+    // Crash sequence: the independent Poisson process merged with any
+    // rack-burst times from the hazard schedule.  A burst fans a whole
+    // rack out at once; under the bulk-synchronous replay the first
+    // crash triggers the rollback and its simultaneous siblings are
+    // masked by the recovery window — which is exactly what makes N
+    // correlated crashes cheaper than N spread-out ones.
+    struct MergedCrashes {
+      fault::CrashProcess process;
+      std::vector<double> bursts;  ///< relative to execution start, sorted
+      std::size_t next_burst = 0;
+      double pending = -1.0;  ///< undrawn Poisson event when < 0
+      std::vector<double> times;
+
+      double at(int i) {
+        while (static_cast<int>(times.size()) <= i) {
+          if (process.active() && pending < 0.0)
+            pending = process.next().time;
+          if (next_burst < bursts.size() &&
+              (!process.active() || bursts[next_burst] <= pending)) {
+            times.push_back(bursts[next_burst++]);
+          } else if (process.active()) {
+            times.push_back(pending);
+            pending = -1.0;
+          } else {
+            times.push_back(std::numeric_limits<double>::infinity());
+          }
+        }
+        return times[static_cast<std::size_t>(i)];
+      }
+    };
+    auto crashes = std::make_shared<MergedCrashes>(
+        MergedCrashes{finj.crash_process(scenario.nodes), {}, 0, -1.0, {}});
+    for (const fault::RackBurst& b : hazard_schedule.bursts)
+      if (b.time >= dep_offset)
+        crashes->bursts.push_back(b.time - dep_offset);
+    // Checkpoint writes go to the shared filesystem, so a brownout window
+    // covering one stretches it (identity without windows).
+    const fault::CheckpointCostFn ckpt_cost_fn =
+        [&hazard_schedule, dep_offset, ckpt_cost](double wall_s) {
+          return hazard_schedule.stretched(dep_offset + wall_s, ckpt_cost);
+        };
     const fault::ResilienceReport rep = fault::replay_with_recovery(
-        result.total_time, options_.checkpoint, ckpt_cost, recovery,
-        finj.crash_process(scenario.nodes), options_.faults.max_crashes,
-        on_event);
+        result.total_time, options_.checkpoint, ckpt_cost_fn, recovery,
+        [crashes](int i) { return crashes->at(i); },
+        options_.faults.max_crashes, on_event);
     result.resilience.crashes = rep.crashes;
     result.resilience.restarts = rep.restarts;
     result.resilience.checkpoints = rep.checkpoints;
@@ -311,6 +365,30 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
       col.gauge("fault/straggler_multiplier", straggler_mult);
       col.gauge("fault/link_multiplier", link_mult);
       col.gauge("fault/downtime_s", result.resilience.downtime_s);
+    }
+    if (options_.hazards.enabled) {
+      col.count("hazard/rack_bursts",
+                static_cast<double>(hazard_schedule.bursts.size()));
+      col.count("hazard/brownout_windows",
+                static_cast<double>(hazard_schedule.brownouts.size()));
+      col.count("hazard/gray_windows",
+                static_cast<double>(hazard_schedule.grays.size()));
+      col.count("hazard/partition_windows",
+                static_cast<double>(hazard_schedule.partitions.size()));
+      col.gauge("hazard/brownout_delay_s",
+                result.deployment.brownout_delay_time);
+      // Window spans live on their own track past the node tracks so
+      // they never become spurious parents in the span forest.
+      const int track = 1 + scenario.nodes;
+      for (const fault::HazardWindow& w : hazard_schedule.brownouts)
+        col.span(track, "fs-brownout", "fault", w.start, w.end - w.start);
+      for (const fault::HazardWindow& w : hazard_schedule.grays)
+        col.span(track, "gray-failure", "fault", w.start, w.end - w.start);
+      for (const fault::HazardWindow& w : hazard_schedule.partitions)
+        col.span(track, "net-partition", "fault", w.start, w.end - w.start);
+      for (const fault::RackBurst& b : hazard_schedule.bursts)
+        col.instant(track, "rack-burst", "fault", b.time,
+                    {{"nodes", std::to_string(b.node_count)}});
     }
 
     run_scope.close(col.cursor(0));

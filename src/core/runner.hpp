@@ -23,6 +23,7 @@
 #include "alya/workload.hpp"
 #include "container/deployment.hpp"
 #include "core/scenario.hpp"
+#include "fault/hazard.hpp"
 #include "fault/resilience.hpp"
 #include "fault/spec.hpp"
 #include "hw/compute.hpp"
@@ -51,6 +52,12 @@ struct RunnerOptions {
   fault::RetryPolicy retry{};
   /// Checkpoint/restart policy applied when faults are enabled.
   fault::CheckpointPolicy checkpoint{};
+  /// Correlated-hazard model layered on the independent fault axis:
+  /// rack-burst crashes join the replay's crash sequence, shared-FS
+  /// brownout windows stretch staging, mounts, and checkpoint writes.
+  /// Disabled by default — and then provably inert: no draws, and every
+  /// result stays byte-identical to a build without the hazard layer.
+  fault::HazardSpec hazards{};
 
   void validate() const;
 };

@@ -1,0 +1,240 @@
+#include "fault/hazard.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hpcs::fault {
+
+void HazardSpec::validate() const {
+  if (!enabled) return;
+  if (label.empty())
+    throw std::invalid_argument("HazardSpec: enabled spec needs a label");
+  if (rack_burst_mtbf_s < 0)
+    throw std::invalid_argument("HazardSpec: rack_burst_mtbf_s < 0");
+  if (rack_size < 1)
+    throw std::invalid_argument("HazardSpec: rack_size < 1");
+  if (brownout_mtbf_s < 0)
+    throw std::invalid_argument("HazardSpec: brownout_mtbf_s < 0");
+  if (brownout_mtbf_s > 0 && brownout_duration_s <= 0)
+    throw std::invalid_argument("HazardSpec: brownout_duration_s <= 0");
+  if (brownout_factor < 1)
+    throw std::invalid_argument("HazardSpec: brownout_factor < 1");
+  if (gray_mtbf_s < 0)
+    throw std::invalid_argument("HazardSpec: gray_mtbf_s < 0");
+  if (gray_mtbf_s > 0 && gray_duration_s <= 0)
+    throw std::invalid_argument("HazardSpec: gray_duration_s <= 0");
+  if (gray_fault_rate < 0 || gray_fault_rate >= 1)
+    throw std::invalid_argument("HazardSpec: gray_fault_rate outside [0,1)");
+  if (gray_latency_factor < 1)
+    throw std::invalid_argument("HazardSpec: gray_latency_factor < 1");
+  if (partition_mtbf_s < 0)
+    throw std::invalid_argument("HazardSpec: partition_mtbf_s < 0");
+  if (partition_mtbf_s > 0 && partition_duration_s <= 0)
+    throw std::invalid_argument("HazardSpec: partition_duration_s <= 0");
+  if (max_events < 1)
+    throw std::invalid_argument("HazardSpec: max_events < 1");
+}
+
+HazardSpec HazardSpec::none() { return HazardSpec{}; }
+
+HazardSpec HazardSpec::rack_burst() {
+  HazardSpec s;
+  s.enabled = true;
+  s.label = "rack-burst";
+  s.rack_burst_mtbf_s = 1'800.0;  // a PDU trip every half hour of chaos
+  s.rack_size = 4;
+  return s;
+}
+
+HazardSpec HazardSpec::brownout() {
+  HazardSpec s;
+  s.enabled = true;
+  s.label = "brownout";
+  s.brownout_mtbf_s = 500.0;
+  s.brownout_duration_s = 150.0;
+  s.brownout_factor = 8.0;
+  return s;
+}
+
+HazardSpec HazardSpec::gray() {
+  HazardSpec s;
+  s.enabled = true;
+  s.label = "gray";
+  s.gray_mtbf_s = 600.0;
+  s.gray_duration_s = 90.0;
+  s.gray_fault_rate = 0.55;
+  s.gray_latency_factor = 3.0;
+  return s;
+}
+
+HazardSpec HazardSpec::partition() {
+  HazardSpec s;
+  s.enabled = true;
+  s.label = "partition";
+  s.partition_mtbf_s = 1'200.0;
+  s.partition_duration_s = 60.0;
+  return s;
+}
+
+HazardSpec HazardSpec::storm() {
+  HazardSpec s = brownout();
+  const HazardSpec r = rack_burst();
+  const HazardSpec g = gray();
+  const HazardSpec p = partition();
+  s.label = "storm";
+  s.rack_burst_mtbf_s = r.rack_burst_mtbf_s;
+  s.rack_size = r.rack_size;
+  s.gray_mtbf_s = g.gray_mtbf_s;
+  s.gray_duration_s = g.gray_duration_s;
+  s.gray_fault_rate = g.gray_fault_rate;
+  s.gray_latency_factor = g.gray_latency_factor;
+  s.partition_mtbf_s = p.partition_mtbf_s;
+  s.partition_duration_s = p.partition_duration_s;
+  return s;
+}
+
+HazardSpec HazardSpec::preset(const std::string& name) {
+  if (name == "none" || name == "hazard-free") return none();
+  if (name == "rack-burst") return rack_burst();
+  if (name == "brownout") return brownout();
+  if (name == "gray") return gray();
+  if (name == "partition") return partition();
+  if (name == "storm") return storm();
+  throw std::invalid_argument(
+      "unknown hazard preset '" + name +
+      "' (none | rack-burst | brownout | gray | partition | storm)");
+}
+
+namespace {
+
+const HazardWindow* window_at(const std::vector<HazardWindow>& windows,
+                              double t) noexcept {
+  for (const HazardWindow& w : windows) {
+    if (t < w.start) return nullptr;  // windows are time-ordered
+    if (t < w.end) return &w;
+  }
+  return nullptr;
+}
+
+/// Poisson window arrivals on one named stream; overlapping windows are
+/// merged (same per-class factor, so a merge is just an interval union).
+std::vector<HazardWindow> draw_windows(sim::Rng rng, double mtbf_s,
+                                       double duration_s, double factor,
+                                       double fault_rate, double horizon_s,
+                                       int max_events) {
+  std::vector<HazardWindow> out;
+  if (mtbf_s <= 0.0 || duration_s <= 0.0 || horizon_s <= 0.0) return out;
+  const double rate = 1.0 / mtbf_s;
+  double t = 0.0;
+  for (int i = 0; i < max_events; ++i) {
+    t += rng.exponential(rate);
+    if (t >= horizon_s) break;
+    const HazardWindow w{t, t + duration_s, factor, fault_rate};
+    if (!out.empty() && w.start <= out.back().end)
+      out.back().end = std::max(out.back().end, w.end);
+    else
+      out.push_back(w);
+  }
+  return out;
+}
+
+}  // namespace
+
+double HazardSchedule::brownout_factor_at(double t) const noexcept {
+  const HazardWindow* w = window_at(brownouts, t);
+  return w ? w->factor : 1.0;
+}
+
+const HazardWindow* HazardSchedule::gray_at(double t) const noexcept {
+  return window_at(grays, t);
+}
+
+bool HazardSchedule::partitioned_at(double t) const noexcept {
+  return window_at(partitions, t) != nullptr;
+}
+
+double HazardSchedule::stretched(double t, double nominal) const noexcept {
+  if (brownouts.empty() || nominal <= 0.0) return nominal;
+  double now = t;
+  double remaining = nominal;
+  for (const HazardWindow& w : brownouts) {
+    if (w.end <= now) continue;
+    if (now < w.start) {
+      const double gap = w.start - now;
+      if (remaining <= gap) {
+        now += remaining;
+        remaining = 0.0;
+        break;
+      }
+      remaining -= gap;
+      now = w.start;
+    }
+    // Inside the window work advances at 1/factor.
+    const double doable = (w.end - now) / w.factor;
+    if (remaining <= doable) {
+      now += remaining * w.factor;
+      remaining = 0.0;
+      break;
+    }
+    remaining -= doable;
+    now = w.end;
+  }
+  now += remaining;
+  return now - t;
+}
+
+std::vector<FaultEvent> HazardSchedule::burst_crashes(int nodes) const {
+  std::vector<FaultEvent> out;
+  if (nodes < 1) return out;
+  for (const RackBurst& b : bursts) {
+    const int first = std::min(b.first_node, nodes);
+    const int last = std::min(b.first_node + b.node_count, nodes);
+    for (int n = first; n < last; ++n)
+      out.push_back(FaultEvent{FaultKind::NodeCrash, b.time, n,
+                               static_cast<double>(last - first)});
+  }
+  return out;
+}
+
+HazardInjector::HazardInjector(HazardSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), root_(sim::Rng(seed).child("hazard")) {
+  spec_.validate();
+}
+
+HazardSchedule HazardInjector::schedule(double horizon_s, int nodes) const {
+  HazardSchedule out;
+  if (!spec_.enabled) return out;  // inert: zero draws
+
+  out.brownouts = draw_windows(root_.child("brownout"), spec_.brownout_mtbf_s,
+                               spec_.brownout_duration_s,
+                               spec_.brownout_factor, 0.0, horizon_s,
+                               spec_.max_events);
+  out.grays = draw_windows(root_.child("gray"), spec_.gray_mtbf_s,
+                           spec_.gray_duration_s, spec_.gray_latency_factor,
+                           spec_.gray_fault_rate, horizon_s,
+                           spec_.max_events);
+  out.partitions = draw_windows(root_.child("partition"),
+                                spec_.partition_mtbf_s,
+                                spec_.partition_duration_s, 1.0, 1.0,
+                                horizon_s, spec_.max_events);
+
+  if (spec_.rack_burst_mtbf_s > 0.0 && horizon_s > 0.0 && nodes >= 1) {
+    sim::Rng rng = root_.child("burst");
+    const double rate = 1.0 / spec_.rack_burst_mtbf_s;
+    const int racks =
+        (nodes + spec_.rack_size - 1) / spec_.rack_size;  // ceil
+    double t = 0.0;
+    for (int i = 0; i < spec_.max_events; ++i) {
+      t += rng.exponential(rate);
+      if (t >= horizon_s) break;
+      const int rack =
+          static_cast<int>(rng.uniform_int(0, racks - 1));
+      const int first = rack * spec_.rack_size;
+      out.bursts.push_back(RackBurst{
+          t, first, std::min(spec_.rack_size, nodes - first)});
+    }
+  }
+  return out;
+}
+
+}  // namespace hpcs::fault

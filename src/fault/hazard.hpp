@@ -1,0 +1,159 @@
+#pragma once
+
+/// \file hazard.hpp
+/// \brief Correlated and fail-slow hazards layered on the fault axis.
+///
+/// The independent hazards in FaultSpec (one node dies, one pull fails)
+/// miss what actually hurts on production clusters: *correlated* incidents
+/// and components that degrade without dying.  A HazardSpec models four of
+/// them:
+///
+///   * rack-correlated crash bursts — one draw (a PDU trip, a top-of-rack
+///     switch death) fans out to every node in the blast radius;
+///   * shared-FS brownouts — fail-slow windows during which staging, pull,
+///     and checkpoint I/O runs at a fraction of its bandwidth;
+///   * upstream gray failures — windows of elevated per-attempt failure
+///     probability plus latency inflation on registry fetches;
+///   * network partitions — episodes during which the upstream is simply
+///     unreachable and every attempt fails fast.
+///
+/// The same two invariants as FaultSpec apply: a disabled spec consumes
+/// zero random draws (hazard-off outputs stay bit-identical), and every
+/// draw comes from a *named* stream ("hazard/burst", "hazard/brownout",
+/// "hazard/gray", "hazard/partition") so schedules are byte-reproducible
+/// per seed and invariant under `--jobs`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/schedule.hpp"
+#include "sim/rng.hpp"
+
+namespace hpcs::fault {
+
+struct HazardSpec {
+  bool enabled = false;
+  /// Axis/display label ("hazard-free" when disabled).
+  std::string label = "hazard-free";
+
+  /// Mean time between rack bursts [s], job-wide; 0 disables bursts.
+  double rack_burst_mtbf_s = 0.0;
+  /// Blast radius: nodes taken down together by one burst.
+  int rack_size = 8;
+
+  /// Mean time between shared-FS brownout windows [s]; 0 disables them.
+  double brownout_mtbf_s = 0.0;
+  double brownout_duration_s = 120.0;
+  /// Fail-slow multiplier on shared-FS I/O inside a window (>= 1).
+  double brownout_factor = 4.0;
+
+  /// Mean time between upstream gray-failure windows [s]; 0 disables.
+  double gray_mtbf_s = 0.0;
+  double gray_duration_s = 90.0;
+  /// Per-attempt failure probability inside a gray window, in [0, 1).
+  double gray_fault_rate = 0.5;
+  /// Latency inflation on upstream attempts inside a window (>= 1).
+  double gray_latency_factor = 3.0;
+
+  /// Mean time between network-partition episodes [s]; 0 disables.
+  double partition_mtbf_s = 0.0;
+  double partition_duration_s = 60.0;
+
+  /// Safety cap on scheduled events per hazard class.
+  int max_events = 64;
+
+  /// \throws std::invalid_argument for rates outside [0,1), factors < 1,
+  ///         non-positive durations on enabled classes, rack_size < 1, or
+  ///         max_events < 1.
+  void validate() const;
+
+  const std::string& name() const noexcept { return label; }
+
+  /// Named presets: "none" (disabled), "rack-burst", "brownout", "gray",
+  /// "partition", "storm" (all four at once).
+  /// \throws std::invalid_argument for unknown names.
+  static HazardSpec preset(const std::string& name);
+
+  static HazardSpec none();
+  static HazardSpec rack_burst();
+  static HazardSpec brownout();
+  static HazardSpec gray();
+  static HazardSpec partition();
+  static HazardSpec storm();
+};
+
+/// One hazard window: [start, end) with a kind-specific multiplier
+/// (brownout I/O stretch, gray latency inflation) and, for gray windows,
+/// the elevated per-attempt failure probability.
+struct HazardWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double factor = 1.0;
+  double fault_rate = 0.0;
+};
+
+/// One correlated crash burst: every node in [first_node, first_node +
+/// node_count) dies at `time`.
+struct RackBurst {
+  double time = 0.0;
+  int first_node = 0;
+  int node_count = 0;
+};
+
+/// The drawn schedule for one run: per-class window lists (time-ordered,
+/// overlaps merged) plus the burst list.  Pure queries; no draws.
+struct HazardSchedule {
+  std::vector<HazardWindow> brownouts;
+  std::vector<HazardWindow> grays;
+  std::vector<HazardWindow> partitions;
+  std::vector<RackBurst> bursts;
+
+  bool active() const noexcept {
+    return !brownouts.empty() || !grays.empty() || !partitions.empty() ||
+           !bursts.empty();
+  }
+
+  /// Shared-FS slowdown at time \p t (1.0 outside brownout windows).
+  double brownout_factor_at(double t) const noexcept;
+
+  /// Gray window covering \p t, or nullptr.
+  const HazardWindow* gray_at(double t) const noexcept;
+
+  /// True when the upstream is partitioned away at \p t.
+  bool partitioned_at(double t) const noexcept;
+
+  /// Wall-clock duration of \p nominal seconds of shared-FS work starting
+  /// at \p t: work advances at 1/factor inside brownout windows.  Returns
+  /// \p nominal unchanged when there are no windows.
+  double stretched(double t, double nominal) const noexcept;
+
+  /// Burst events flattened to per-node crash times for nodes in
+  /// [0, nodes), time-ordered (kind NodeCrash, magnitude = burst size).
+  std::vector<FaultEvent> burst_crashes(int nodes) const;
+};
+
+/// Draws hazard schedules from (spec, seed).  A disabled spec yields an
+/// inert injector: schedule() returns an empty schedule without touching
+/// any RNG stream.
+class HazardInjector {
+ public:
+  /// Inert: disabled spec, no draws ever.
+  HazardInjector() = default;
+
+  /// \throws std::invalid_argument when the spec fails validate().
+  HazardInjector(HazardSpec spec, std::uint64_t seed);
+
+  const HazardSpec& spec() const noexcept { return spec_; }
+  bool enabled() const noexcept { return spec_.enabled; }
+
+  /// The full schedule over [0, horizon_s) for a job on \p nodes nodes.
+  /// Deterministic: two injectors with the same (spec, seed) agree.
+  HazardSchedule schedule(double horizon_s, int nodes) const;
+
+ private:
+  HazardSpec spec_{};
+  sim::Rng root_{sim::Rng(0).child("hazard")};
+};
+
+}  // namespace hpcs::fault

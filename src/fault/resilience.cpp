@@ -21,15 +21,27 @@ void RetryPolicy::validate() const {
 }
 
 double RetryPolicy::delay(int retry) const {
-  if (retry < 1) return 0.0;
+  if (retry < 1 || base_delay_s <= 0.0) return 0.0;
   const double raw =
       base_delay_s * std::pow(multiplier, static_cast<double>(retry - 1));
-  return std::min(raw, max_delay_s);
+  // `<` (not std::min) so an overflowed raw — inf, or NaN from 0 * inf —
+  // lands on the max_delay_s side instead of propagating.
+  return raw < max_delay_s ? raw : max_delay_s;
 }
 
 double RetryPolicy::total_backoff(int failures) const {
   double total = 0.0;
-  for (int k = 1; k <= failures; ++k) total += delay(k);
+  for (int k = 1; k <= failures; ++k) {
+    const double d = delay(k);
+    total += d;
+    if (d >= max_delay_s) {
+      // Saturated: every remaining retry pays the ceiling.  Closing the
+      // sum here keeps pathological max_attempts x multiplier policies
+      // from looping through astronomically many overflowing pow calls.
+      total += static_cast<double>(failures - k) * max_delay_s;
+      break;
+    }
+  }
   return total;
 }
 
@@ -47,7 +59,7 @@ double ResilienceReport::overhead_fraction() const noexcept {
 
 ResilienceReport replay_with_recovery(
     double ideal_work_s, const CheckpointPolicy& checkpoint,
-    double checkpoint_cost_s, double recovery_cost_s,
+    const CheckpointCostFn& checkpoint_cost, double recovery_cost_s,
     const std::function<double(int)>& next_crash_time, int max_crashes,
     const ReplayEventFn& on_event) {
   checkpoint.validate();
@@ -106,16 +118,28 @@ ResilienceReport replay_with_recovery(
     if (done >= W) break;
 
     // Checkpoint due; crashes during the write are masked.
-    wall += checkpoint_cost_s;
-    report.checkpoint_overhead_s += checkpoint_cost_s;
+    const double write_cost = checkpoint_cost(wall);
+    wall += write_cost;
+    report.checkpoint_overhead_s += write_cost;
     ++report.checkpoints;
     saved = done;
-    if (on_event) on_event("checkpoint", wall, checkpoint_cost_s);
+    if (on_event) on_event("checkpoint", wall, write_cost);
     if (next_crash < wall) advance_crash();
   }
 
   report.effective_time_s = wall;
   return report;
+}
+
+ResilienceReport replay_with_recovery(
+    double ideal_work_s, const CheckpointPolicy& checkpoint,
+    double checkpoint_cost_s, double recovery_cost_s,
+    const std::function<double(int)>& next_crash_time, int max_crashes,
+    const ReplayEventFn& on_event) {
+  return replay_with_recovery(
+      ideal_work_s, checkpoint,
+      [checkpoint_cost_s](double) { return checkpoint_cost_s; },
+      recovery_cost_s, next_crash_time, max_crashes, on_event);
 }
 
 ResilienceReport replay_with_recovery(

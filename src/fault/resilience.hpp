@@ -86,11 +86,23 @@ struct ResilienceReport {
 using ReplayEventFn =
     std::function<void(const char* kind, double wall_time_s, double detail_s)>;
 
+/// Checkpoint write cost as a function of the wall-clock time at which
+/// the write starts — lets fail-slow hazards (shared-FS brownout windows)
+/// stretch checkpoint I/O that lands inside them.
+using CheckpointCostFn = std::function<double(double wall_s)>;
+
 /// Replays \p ideal_work_s seconds of work through the crash process.
 /// \p next_crash_time is called with the crash ordinal (0, 1, ...) and
 /// must return non-decreasing absolute wall times; crashes that land
 /// inside downtime or a checkpoint write are masked (the node is not
 /// computing).  At most \p max_crashes crashes are injected.
+ResilienceReport replay_with_recovery(
+    double ideal_work_s, const CheckpointPolicy& checkpoint,
+    const CheckpointCostFn& checkpoint_cost, double recovery_cost_s,
+    const std::function<double(int)>& next_crash_time, int max_crashes,
+    const ReplayEventFn& on_event = {});
+
+/// Convenience overload with a constant checkpoint cost.
 ResilienceReport replay_with_recovery(
     double ideal_work_s, const CheckpointPolicy& checkpoint,
     double checkpoint_cost_s, double recovery_cost_s,

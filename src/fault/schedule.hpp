@@ -116,6 +116,12 @@ class FaultInjector {
   /// with probability link_degrade_prob, else 1.0.
   double link_multiplier() const;
 
+  /// Named child stream under this injector's root ("fault/<name>").
+  /// Lets callers that must interleave failure draws with time-dependent
+  /// state (gray windows, partitions) walk the *same* streams the bulk
+  /// helpers above use, preserving byte-reproducibility.
+  sim::Rng stream(std::string_view name) const { return root_.child(name); }
+
  private:
   FaultSpec spec_;
   sim::Rng root_;

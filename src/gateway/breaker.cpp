@@ -1,0 +1,70 @@
+#include "gateway/breaker.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::gateway {
+
+void BreakerPolicy::validate() const {
+  if (!enabled) return;
+  if (failure_threshold < 1)
+    throw std::invalid_argument("BreakerPolicy: failure_threshold < 1");
+  if (open_duration_s <= 0)
+    throw std::invalid_argument("BreakerPolicy: open_duration_s <= 0");
+}
+
+CircuitBreaker::State CircuitBreaker::state(double now) const noexcept {
+  if (!policy_.enabled || !open_) return State::Closed;
+  return now < open_until_ ? State::Open : State::HalfOpen;
+}
+
+bool CircuitBreaker::allow(double now) noexcept {
+  switch (state(now)) {
+    case State::Closed:
+      return true;
+    case State::Open:
+      return false;
+    case State::HalfOpen:
+      break;
+  }
+  // Half-open: exactly one probe at a time.
+  if (probe_in_flight_) return false;
+  probe_in_flight_ = true;
+  return true;
+}
+
+void CircuitBreaker::on_success() noexcept {
+  consecutive_failures_ = 0;
+  open_ = false;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::on_failure(double now) noexcept {
+  if (!policy_.enabled) return;
+  if (open_) {
+    // The half-open probe failed: re-open for another full window.
+    open_until_ = now + policy_.open_duration_s;
+    probe_in_flight_ = false;
+    ++opens_;
+    return;
+  }
+  if (++consecutive_failures_ >= policy_.failure_threshold) {
+    open_ = true;
+    open_until_ = now + policy_.open_duration_s;
+    probe_in_flight_ = false;
+    ++opens_;
+  }
+}
+
+std::string_view to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::Closed:
+      return "closed";
+    case CircuitBreaker::State::Open:
+      return "open";
+    case CircuitBreaker::State::HalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+}  // namespace hpcs::gateway

@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file breaker.hpp
+/// \brief Per-upstream circuit breaker (closed / open / half-open).
+///
+/// The breaker protects the gateway from hammering a failing upstream:
+/// after `failure_threshold` consecutive fetch failures it *opens* and the
+/// service stops dispatching fetches for `open_duration_s`.  When the
+/// window elapses the breaker is *half-open*: exactly one probe fetch is
+/// allowed through; success closes the breaker, failure re-opens it for
+/// another window.  All timing is simulated time, so breaker behavior is
+/// deterministic and byte-reproducible — there is no wall clock and no
+/// randomized jitter anywhere in the state machine.
+
+#include <cstdint>
+#include <string_view>
+
+namespace hpcs::gateway {
+
+struct BreakerPolicy {
+  bool enabled = false;
+  /// Consecutive upstream failures that trip the breaker (>= 1).
+  int failure_threshold = 3;
+  /// How long the breaker stays open before probing again (> 0).
+  double open_duration_s = 60.0;
+
+  /// \throws std::invalid_argument for threshold < 1 or duration <= 0.
+  void validate() const;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { Closed, Open, HalfOpen };
+
+  /// Disabled policy: always Closed, allow() always true.
+  CircuitBreaker() = default;
+  explicit CircuitBreaker(BreakerPolicy policy) : policy_(policy) {}
+
+  State state(double now) const noexcept;
+
+  /// True when a fetch may be dispatched at \p now.  In the half-open
+  /// state this *claims* the single probe slot: the first caller gets
+  /// true, later callers false until the probe's outcome is reported.
+  bool allow(double now) noexcept;
+
+  /// Reports a fetch outcome registered at simulated time \p now.
+  void on_success() noexcept;
+  void on_failure(double now) noexcept;
+
+  const BreakerPolicy& policy() const noexcept { return policy_; }
+  /// Times the breaker tripped open (including half-open -> open).
+  std::uint64_t opens() const noexcept { return opens_; }
+
+ private:
+  BreakerPolicy policy_{};
+  int consecutive_failures_ = 0;
+  bool open_ = false;
+  bool probe_in_flight_ = false;
+  double open_until_ = 0.0;
+  std::uint64_t opens_ = 0;
+};
+
+std::string_view to_string(CircuitBreaker::State state) noexcept;
+
+}  // namespace hpcs::gateway

@@ -59,8 +59,11 @@ std::vector<std::string> LruTier::recency_order() const {
 }
 
 TieredCache::TieredCache(std::uint64_t local_capacity_bytes,
-                         std::uint64_t shared_capacity_bytes)
-    : local_(local_capacity_bytes), shared_(shared_capacity_bytes) {}
+                         std::uint64_t shared_capacity_bytes,
+                         std::size_t ghost_capacity)
+    : local_(local_capacity_bytes),
+      shared_(shared_capacity_bytes),
+      ghost_capacity_(ghost_capacity) {}
 
 CacheTier TieredCache::lookup(const std::string& digest,
                               std::uint64_t bytes) {
@@ -78,8 +81,37 @@ CacheTier TieredCache::lookup(const std::string& digest,
 }
 
 void TieredCache::install(const std::string& digest, std::uint64_t bytes) {
-  stats_.shared_evictions += shared_.insert(digest, bytes).size();
+  const std::vector<std::string> evicted = shared_.insert(digest, bytes);
+  stats_.shared_evictions += evicted.size();
+  for (const std::string& victim : evicted) remember_ghost(victim);
   stats_.local_evictions += local_.insert(digest, bytes).size();
+  // A fresh install supersedes any stale copy.
+  const auto it = ghost_index_.find(digest);
+  if (it != ghost_index_.end()) {
+    ghosts_.erase(it->second);
+    ghost_index_.erase(it);
+  }
+}
+
+bool TieredCache::lookup_stale(const std::string& digest) {
+  if (ghost_index_.count(digest) == 0) return false;
+  ++stats_.stale_hits;
+  return true;
+}
+
+void TieredCache::remember_ghost(const std::string& digest) {
+  if (ghost_capacity_ == 0) return;
+  const auto it = ghost_index_.find(digest);
+  if (it != ghost_index_.end()) {
+    ghosts_.splice(ghosts_.begin(), ghosts_, it->second);
+    return;
+  }
+  while (ghost_index_.size() >= ghost_capacity_) {
+    ghost_index_.erase(ghosts_.back());
+    ghosts_.pop_back();
+  }
+  ghosts_.push_front(digest);
+  ghost_index_[digest] = ghosts_.begin();
 }
 
 }  // namespace hpcs::gateway

@@ -70,6 +70,7 @@ struct CacheStats {
   std::uint64_t misses = 0;
   std::uint64_t local_evictions = 0;
   std::uint64_t shared_evictions = 0;
+  std::uint64_t stale_hits = 0;  ///< served from an evicted (ghost) entry
 
   std::uint64_t lookups() const noexcept {
     return local_hits + shared_hits + misses;
@@ -79,25 +80,43 @@ struct CacheStats {
 /// The two-tier cache the gateway serves from.  A shared-FS hit promotes
 /// the image to the local tier; an install (after fetch + conversion)
 /// lands in both.
+///
+/// Shared-tier evictions additionally feed a count-bounded *ghost* list:
+/// entries whose bytes were reclaimed from the accounting but whose files
+/// have not yet been scrubbed from the shared filesystem.  During an
+/// upstream outage the gateway can degrade gracefully by serving such a
+/// stale entry (`lookup_stale`) instead of shedding the request.
 class TieredCache {
  public:
   TieredCache(std::uint64_t local_capacity_bytes,
-              std::uint64_t shared_capacity_bytes);
+              std::uint64_t shared_capacity_bytes,
+              std::size_t ghost_capacity = 4096);
 
   /// Finds \p digest, updates recency, promotes shared hits into the
   /// local tier, and counts the outcome.
   CacheTier lookup(const std::string& digest, std::uint64_t bytes);
 
-  /// Installs a freshly converted image into both tiers.
+  /// Installs a freshly converted image into both tiers (and scrubs any
+  /// ghost entry — the fresh copy supersedes it).
   void install(const std::string& digest, std::uint64_t bytes);
+
+  /// True when a stale (evicted-but-unscrubbed) shared-tier copy of
+  /// \p digest exists; counts a stale hit.  Does not touch recency.
+  bool lookup_stale(const std::string& digest);
 
   const CacheStats& stats() const noexcept { return stats_; }
   const LruTier& local() const noexcept { return local_; }
   const LruTier& shared() const noexcept { return shared_; }
+  std::size_t ghost_count() const noexcept { return ghost_index_.size(); }
 
  private:
+  void remember_ghost(const std::string& digest);
+
   LruTier local_;
   LruTier shared_;
+  std::size_t ghost_capacity_;
+  std::list<std::string> ghosts_;  ///< front = most recently evicted
+  std::map<std::string, std::list<std::string>::iterator> ghost_index_;
   CacheStats stats_;
 };
 

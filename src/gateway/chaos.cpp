@@ -1,0 +1,328 @@
+#include "gateway/chaos.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+
+#include "core/thread_pool.hpp"
+#include "fault/spec.hpp"
+#include "obs/export.hpp"
+#include "sim/csv.hpp"
+#include "sim/rng.hpp"
+
+namespace hpcs::gateway {
+
+namespace {
+
+/// Cell seed: the campaign convention — derived from the grid seed and
+/// the cell *name* only, independent of worker count and grid order.
+std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key) {
+  std::uint64_t state = base_seed ^ sim::hash64(key);
+  return sim::splitmix64(state);
+}
+
+/// Catalog size that puts ~churn x shared-cache bytes in play, given the
+/// workload's log-uniform image-size distribution (geometric mean).
+int chaos_catalog_images(const ChaosGridSpec& spec) {
+  const double mean_bytes =
+      std::exp(0.5 *
+               (std::log(static_cast<double>(spec.workload.image_bytes_min)) +
+                std::log(static_cast<double>(spec.workload.image_bytes_max))));
+  const double images =
+      spec.churn * static_cast<double>(spec.config.shared_cache_bytes) /
+      mean_bytes;
+  return std::max(2, static_cast<int>(std::llround(images)));
+}
+
+}  // namespace
+
+MitigationSpec MitigationSpec::preset(const std::string& name) {
+  MitigationSpec m;
+  m.label = name;
+  if (name == "retry-only") return m;
+  if (name == "breaker") {
+    m.breaker.enabled = true;
+    m.serve_stale = true;
+    return m;
+  }
+  // The hedging bundles fire earlier than the library default (p75 of
+  // observed fetches instead of p90): under fail-slow windows the
+  // observed distribution is itself stretched, and a later hedge rarely
+  // escapes the window that slowed its primary.
+  if (name == "hedge") {
+    m.hedge.enabled = true;
+    m.hedge.quantile = 0.75;
+    return m;
+  }
+  if (name == "hedge+breaker") {
+    m.breaker.enabled = true;
+    m.hedge.enabled = true;
+    m.hedge.quantile = 0.75;
+    m.serve_stale = true;
+    return m;
+  }
+  if (name == "full") {
+    m.breaker.enabled = true;
+    m.hedge.enabled = true;
+    m.hedge.quantile = 0.75;
+    m.deadline.enabled = true;
+    m.serve_stale = true;
+    return m;
+  }
+  throw std::invalid_argument(
+      "unknown mitigation preset '" + name +
+      "' (retry-only | breaker | hedge | hedge+breaker | full)");
+}
+
+void MitigationSpec::apply(GatewayConfig& config) const {
+  config.breaker = breaker;
+  config.hedge = hedge;
+  config.deadline = deadline;
+  config.serve_stale = serve_stale;
+}
+
+void ChaosGridSpec::validate() const {
+  if (hazards.empty() || mitigations.empty() || runtimes.empty())
+    throw std::invalid_argument("ChaosGridSpec: every axis needs a value");
+  if (load <= 0) throw std::invalid_argument("ChaosGridSpec: load must be > 0");
+  if (churn <= 0)
+    throw std::invalid_argument("ChaosGridSpec: churn must be > 0");
+  for (const std::string& h : hazards) (void)fault::HazardSpec::preset(h);
+  for (const std::string& m : mitigations) (void)MitigationSpec::preset(m);
+  (void)fault::FaultSpec::preset(faults);
+  config.validate();
+  workload.validate();
+}
+
+std::string chaos_cell_key(const std::string& hazard,
+                           const std::string& mitigation,
+                           container::RuntimeKind runtime) {
+  return hazard + "/" + mitigation + "/" +
+         std::string(container::to_string(runtime));
+}
+
+double ChaosCellResult::completion_rate() const noexcept {
+  if (stats.arrivals == 0) return 0.0;
+  return static_cast<double>(stats.completed) /
+         static_cast<double>(stats.arrivals);
+}
+
+double ChaosCellResult::stale_fraction() const noexcept {
+  if (stats.completed == 0) return 0.0;
+  return static_cast<double>(stats.stale_served) /
+         static_cast<double>(stats.completed);
+}
+
+double ChaosCellResult::start_quantile(double q) const {
+  return stats.start_latency.empty() ? 0.0 : stats.start_latency.quantile(q);
+}
+
+ChaosCellResult run_chaos_cell(const ChaosGridSpec& spec,
+                               const std::string& hazard,
+                               const std::string& mitigation,
+                               container::RuntimeKind runtime, bool observe) {
+  ChaosCellResult cell;
+  cell.key = chaos_cell_key(hazard, mitigation, runtime);
+  cell.hazard = hazard;
+  cell.mitigation = mitigation;
+  cell.runtime = runtime;
+
+  GatewayConfig config = spec.config;
+  MitigationSpec::preset(mitigation).apply(config);
+  WorkloadSpec workload = spec.workload;
+  workload.load = spec.load;
+  workload.catalog_images = chaos_catalog_images(spec);
+
+  // Common random numbers: the seed deliberately excludes the mitigation
+  // name, so every bundle faces the *same* arrival stream, catalog, fault
+  // draws, and hazard schedule for a given (hazard, runtime) — scorecard
+  // rows differ only by what the defenses did about the storm, and the
+  // headline comparison is paired rather than cross-seed noise.
+  const std::uint64_t seed = cell_seed(
+      spec.seed,
+      hazard + "/" + std::string(container::to_string(runtime)));
+  const sim::Rng root{seed};
+  const ImageCatalog catalog(workload, root);
+  ArrivalProcess arrivals(workload, root);
+  fault::FaultInjector injector(fault::FaultSpec::preset(spec.faults), seed);
+  const fault::HazardInjector hazard_injector(
+      fault::HazardSpec::preset(hazard), seed);
+
+  const std::shared_ptr<obs::MemorySink> sink =
+      observe ? std::make_shared<obs::MemorySink>() : nullptr;
+  obs::Collector collector(sink);  // null sink = disabled, zero cost
+
+  GatewayService service(config, runtime, catalog, std::move(injector),
+                         workload.horizon_s, &collector, hazard_injector);
+  while (const auto request = arrivals.next()) service.submit(*request);
+  cell.stats = service.finish();
+  if (observe) {
+    cell.trace = sink->take();
+    cell.metrics = collector.metrics();
+  }
+  return cell;
+}
+
+ChaosGridResult run_chaos_grid(const ChaosGridSpec& spec, int jobs,
+                               bool observe) {
+  spec.validate();
+  if (jobs < 1)
+    throw std::invalid_argument("run_chaos_grid: jobs must be >= 1");
+
+  struct CellParams {
+    std::string hazard, mitigation;
+    container::RuntimeKind runtime;
+  };
+  std::vector<CellParams> params;
+  for (const std::string& h : spec.hazards)
+    for (const std::string& m : spec.mitigations)
+      for (const container::RuntimeKind rt : spec.runtimes)
+        params.push_back(CellParams{h, m, rt});
+
+  ChaosGridResult grid;
+  grid.name = spec.name;
+  grid.jobs = jobs;
+  grid.cells.resize(params.size());
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const CellParams& p = params[i];
+      grid.cells[i] =
+          run_chaos_cell(spec, p.hazard, p.mitigation, p.runtime, observe);
+    }
+  } else {
+    study::TaskPool pool(jobs);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      pool.submit([&spec, &params, &grid, i, observe] {
+        const CellParams& p = params[i];
+        // Disjoint slots: cell i writes only grid.cells[i], so results
+        // are identical for any worker count.
+        grid.cells[i] =
+            run_chaos_cell(spec, p.hazard, p.mitigation, p.runtime, observe);
+      });
+    }
+    pool.wait_idle();
+  }
+  return grid;
+}
+
+void ChaosGridResult::write_csv(std::ostream& out) const {
+  sim::CsvWriter csv(
+      out, {"cell",             "hazard",
+            "mitigation",       "runtime",
+            "arrivals",         "completed",
+            "completion_rate",  "failed",
+            "rejected_queue",   "rejected_admission",
+            "deadline_sheds",   "breaker_fastfail",
+            "breaker_opens",    "stale_served",
+            "stale_fraction",   "hedged_fetches",
+            "hedge_wins",       "hedge_wasted_s",
+            "wasted_work_s",    "upstream_retries",
+            "worker_crashes",   "queue_wait_p50_s",
+            "start_p50_s",      "start_p95_s",
+            "start_p99_s"});
+  for (const ChaosCellResult& cell : cells) {
+    const GatewayStats& s = cell.stats;
+    csv.row({sim::CsvWriter::escape(cell.key),
+             cell.hazard,
+             cell.mitigation,
+             std::string(container::to_string(cell.runtime)),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.arrivals)),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.completed)),
+             sim::CsvWriter::cell(cell.completion_rate()),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.failed)),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.rejected_queue)),
+             sim::CsvWriter::cell(
+                 static_cast<std::size_t>(s.rejected_admission)),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.deadline_sheds)),
+             sim::CsvWriter::cell(
+                 static_cast<std::size_t>(s.breaker_fastfail)),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.breaker_opens)),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.stale_served)),
+             sim::CsvWriter::cell(cell.stale_fraction()),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.hedged_fetches)),
+             sim::CsvWriter::cell(static_cast<std::size_t>(s.hedge_wins)),
+             sim::CsvWriter::cell(s.hedge_wasted_s),
+             sim::CsvWriter::cell(s.wasted_work_s),
+             sim::CsvWriter::cell(
+                 static_cast<std::size_t>(s.upstream_retries)),
+             sim::CsvWriter::cell(
+                 static_cast<std::size_t>(s.worker_crashes)),
+             sim::CsvWriter::cell(
+                 s.queue_wait.empty() ? 0.0 : s.queue_wait.quantile(0.5)),
+             sim::CsvWriter::cell(cell.start_quantile(0.5)),
+             sim::CsvWriter::cell(cell.start_quantile(0.95)),
+             sim::CsvWriter::cell(cell.start_quantile(0.99))});
+  }
+}
+
+bool ChaosGridResult::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return out.good();
+}
+
+void ChaosGridResult::write_chrome_trace(std::ostream& out) const {
+  obs::ChromeTraceWriter writer(out);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int pid = static_cast<int>(i);
+    writer.process_name(pid, cells[i].key);
+    if (!cells[i].trace.empty()) writer.add(cells[i].trace, pid);
+  }
+  writer.finish();
+}
+
+bool ChaosGridResult::save_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+obs::Metrics ChaosGridResult::aggregate_metrics() const {
+  obs::Metrics total;
+  for (const ChaosCellResult& cell : cells) total.merge(cell.metrics);
+  return total;
+}
+
+bool ChaosGridResult::save_metrics_json(const std::string& path) const {
+  return aggregate_metrics().save_json(path);
+}
+
+ChaosHeadline check_chaos_headline(const ChaosGridResult& grid) {
+  ChaosHeadline verdict;
+  const auto find = [&grid](const std::string& mitigation,
+                            container::RuntimeKind runtime)
+      -> const ChaosCellResult* {
+    for (const ChaosCellResult& cell : grid.cells)
+      if (cell.hazard == "brownout" && cell.mitigation == mitigation &&
+          cell.runtime == runtime)
+        return &cell;
+    return nullptr;
+  };
+  for (const ChaosCellResult& cell : grid.cells) {
+    if (cell.hazard != "brownout" || cell.mitigation != "retry-only")
+      continue;
+    const ChaosCellResult* hedged = find("hedge+breaker", cell.runtime);
+    if (!hedged) continue;
+    const double base_p99 = cell.start_quantile(0.99);
+    const double hedged_p99 = hedged->start_quantile(0.99);
+    if (hedged_p99 >= base_p99) {
+      verdict.ok = false;
+      verdict.violations.push_back(
+          hedged->key + ": p99 " + sim::CsvWriter::cell(hedged_p99) +
+          " !< retry-only " + sim::CsvWriter::cell(base_p99));
+    }
+    if (hedged->completion_rate() < cell.completion_rate()) {
+      verdict.ok = false;
+      verdict.violations.push_back(
+          hedged->key + ": completion " +
+          sim::CsvWriter::cell(hedged->completion_rate()) + " < retry-only " +
+          sim::CsvWriter::cell(cell.completion_rate()));
+    }
+  }
+  return verdict;
+}
+
+}  // namespace hpcs::gateway

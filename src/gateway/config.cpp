@@ -22,6 +22,11 @@ ConversionModel conversion_model(container::RuntimeKind kind) noexcept {
   return ConversionModel{0.0, 1.0};
 }
 
+void DeadlinePolicy::validate() const {
+  if (enabled && budget_s <= 0)
+    throw std::invalid_argument("DeadlinePolicy: budget_s <= 0");
+}
+
 void GatewayConfig::validate() const {
   if (workers < 1)
     throw std::invalid_argument("GatewayConfig: workers must be >= 1");
@@ -42,6 +47,9 @@ void GatewayConfig::validate() const {
     throw std::invalid_argument(
         "GatewayConfig: worker recovery must be >= 0");
   retry.validate();
+  breaker.validate();
+  hedge.validate();
+  deadline.validate();
 }
 
 }  // namespace hpcs::gateway

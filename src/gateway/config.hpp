@@ -14,8 +14,21 @@
 
 #include "container/runtime.hpp"
 #include "fault/resilience.hpp"
+#include "gateway/breaker.hpp"
+#include "gateway/hedge.hpp"
 
 namespace hpcs::gateway {
+
+/// Per-request deadline budget: a request that cannot be served before
+/// `arrival + budget_s` (queue wait + fetch + conversion + page-in all
+/// count against it) is shed fast instead of completing uselessly late.
+struct DeadlinePolicy {
+  bool enabled = false;
+  double budget_s = 600.0;
+
+  /// \throws std::invalid_argument for budget_s <= 0.
+  void validate() const;
+};
 
 /// Cost of turning pulled Docker layers into the runtime's native image
 /// format (squashfs for Shifter, SIF for Singularity, an unpacked layer
@@ -55,6 +68,15 @@ struct GatewayConfig {
   /// Retry/backoff schedule for transient upstream errors; the failure
   /// draws themselves come from per-tenant named fault streams.
   fault::RetryPolicy retry;
+
+  /// Mitigations (all default-off; defaults preserve pre-hazard behavior
+  /// byte-for-byte).
+  BreakerPolicy breaker;
+  HedgePolicy hedge;
+  DeadlinePolicy deadline;
+  /// Graceful degradation: while the breaker is open, serve requests from
+  /// recently evicted ("stale") shared-tier entries instead of shedding.
+  bool serve_stale = false;
 
   /// \throws std::invalid_argument for non-positive sizes or rates.
   void validate() const;

@@ -1,5 +1,6 @@
 #include "gateway/service.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -21,14 +22,17 @@ GatewayService::GatewayService(GatewayConfig config,
                                container::RuntimeKind runtime,
                                const ImageCatalog& catalog,
                                fault::FaultInjector injector,
-                               double horizon_s, obs::Collector* collector)
+                               double horizon_s, obs::Collector* collector,
+                               const fault::HazardInjector& hazards)
     : config_(std::move(config)),
       conversion_(conversion_model(runtime)),
       catalog_(catalog),
       injector_(std::move(injector)),
       horizon_s_(horizon_s),
       collector_(collector),
-      cache_(config_.local_cache_bytes, config_.shared_cache_bytes) {
+      cache_(config_.local_cache_bytes, config_.shared_cache_bytes),
+      breaker_(config_.breaker),
+      hedge_(config_.hedge) {
   config_.validate();
   if (horizon_s <= 0)
     throw std::invalid_argument("GatewayService: horizon must be > 0");
@@ -44,6 +48,18 @@ GatewayService::GatewayService(GatewayConfig config,
   for (const fault::FaultEvent& e : crashes.events)
     if (e.node >= 0 && e.node < config_.workers)
       crash_times_[static_cast<std::size_t>(e.node)].push_back(e.time);
+  // Correlated hazards: brownout/gray/partition windows plus rack bursts,
+  // the latter folded into the per-worker crash schedules (a gateway's
+  // "rack" is its worker pool).
+  hazards_ = hazards.schedule(4.0 * horizon_s_, config_.workers);
+  if (!hazards_.bursts.empty()) {
+    for (const fault::FaultEvent& e :
+         hazards_.burst_crashes(config_.workers))
+      if (e.node >= 0 && e.node < config_.workers)
+        crash_times_[static_cast<std::size_t>(e.node)].push_back(e.time);
+    for (std::vector<double>& times : crash_times_)
+      std::sort(times.begin(), times.end());
+  }
 }
 
 void GatewayService::submit(const PullRequest& request) {
@@ -65,7 +81,10 @@ void GatewayService::submit(const PullRequest& request) {
     const double read_bw = tier == CacheTier::Local
                                ? config_.local_read_bw
                                : config_.shared_read_bw;
-    const double latency = static_cast<double>(bytes) / read_bw;
+    double latency = static_cast<double>(bytes) / read_bw;
+    // A brownout slows the shared tier; node-local NVMe is unaffected.
+    if (tier == CacheTier::SharedFS)
+      latency = hazards_.stretched(request.time, latency);
     ++stats_.completed;
     stats_.start_latency.add(latency);
     if (record) {
@@ -89,12 +108,27 @@ void GatewayService::submit(const PullRequest& request) {
     }
     return;
   }
+  const double deadline =
+      config_.deadline.enabled
+          ? request.time + config_.deadline.budget_s
+          : std::numeric_limits<double>::infinity();
   if (flight_.active(digest)) {
     flight_.join(digest);
     groups_.at(digest).waiters.push_back(
-        Waiter{request.tenant, request.time});
+        Waiter{request.tenant, request.time, deadline});
     ++outstanding_;
   } else {
+    // A new group means new fetch work; while the breaker is open, the
+    // upstream is known-bad and we degrade (stale serve) or fast-fail
+    // instead of queueing work that cannot succeed.
+    if (breaker_.state(request.time) == CircuitBreaker::State::Open) {
+      const Waiter waiter{request.tenant, request.time, deadline};
+      if (config_.serve_stale && cache_.lookup_stale(digest))
+        serve_stale(waiter, bytes, request.time);
+      else
+        shed_breaker(request.time);
+      return;
+    }
     if (queue_.size() >= static_cast<std::size_t>(config_.queue_capacity)) {
       ++stats_.rejected_queue;
       if (record) {
@@ -108,7 +142,7 @@ void GatewayService::submit(const PullRequest& request) {
     group.image = request.image;
     group.leader_tenant = request.tenant;
     group.enqueued_at = request.time;
-    group.waiters.push_back(Waiter{request.tenant, request.time});
+    group.waiters.push_back(Waiter{request.tenant, request.time, deadline});
     groups_.emplace(digest, std::move(group));
     queue_.push_back(digest);
     stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
@@ -132,59 +166,240 @@ void GatewayService::advance_to(double t) {
     const std::string digest = it->second;
     busy_.erase(it);
     complete_job(worker, digest, end);
-    if (!queue_.empty())
-      start_next_job(worker, end);
-    else
-      idle_workers_.insert(worker);
+    start_next_job(worker, end);
   }
 }
 
 void GatewayService::start_next_job(int worker, double now) {
-  const std::string digest = queue_.front();
-  queue_.pop_front();
-  Group& group = groups_.at(digest);
-  const std::uint64_t bytes = catalog_.bytes(group.image);
-  const double wait = now - group.enqueued_at;
-  stats_.queue_wait.add(wait);
-  const bool record = collector_ && collector_->enabled();
-  if (record) collector_->observe("gateway/queue_wait_s", wait);
+  while (!queue_.empty()) {
+    const std::string digest = queue_.front();
+    queue_.pop_front();
+    Group& group = groups_.at(digest);
+    const std::uint64_t bytes = catalog_.bytes(group.image);
 
-  // Upstream fetch with per-tenant named retry streams: a failed attempt
-  // wastes a drawn fraction of the transfer and pays the policy backoff.
-  const std::string stream = tenant_stream(group.leader_tenant, digest);
-  const int failures =
-      injector_.pull_failures(stream, config_.retry.max_attempts);
+    // Deadline budgets: a waiter whose budget expired while queued is
+    // shed now instead of burning a worker on a uselessly late serve.
+    if (config_.deadline.enabled) {
+      std::vector<Waiter> alive;
+      alive.reserve(group.waiters.size());
+      for (const Waiter& waiter : group.waiters) {
+        if (waiter.deadline <= now) {
+          shed_deadline(now);
+          --outstanding_;
+        } else {
+          alive.push_back(waiter);
+        }
+      }
+      group.waiters = std::move(alive);
+      if (group.waiters.empty()) {
+        groups_.erase(digest);
+        flight_.complete(digest);
+        continue;  // the whole group expired; no fetch at all
+      }
+    }
+
+    // Breaker: groups queued before the breaker opened are degraded or
+    // fast-failed at dispatch; in the half-open state allow() admits
+    // exactly one probe group.
+    if (!breaker_.allow(now)) {
+      outstanding_ -= group.waiters.size();
+      for (const Waiter& waiter : group.waiters) {
+        if (config_.serve_stale && cache_.lookup_stale(digest))
+          serve_stale(waiter, bytes, now);
+        else
+          shed_breaker(now);
+      }
+      groups_.erase(digest);
+      flight_.complete(digest);
+      continue;
+    }
+
+    const double wait = now - group.enqueued_at;
+    stats_.queue_wait.add(wait);
+    const bool record = collector_ && collector_->enabled();
+    if (record) collector_->observe("gateway/queue_wait_s", wait);
+
+    // Upstream fetch with per-tenant named retry streams: a failed
+    // attempt wastes a drawn fraction of the transfer and pays the
+    // policy backoff.
+    const std::string stream = tenant_stream(group.leader_tenant, digest);
+    const FetchResult primary = compute_fetch(stream, bytes, now);
+    double fetch = primary.fetch_s;
+    bool exhausted = primary.exhausted;
+    int failures = primary.failures;
+
+    // Hedge: when the primary would outlast the quantile-derived delay,
+    // race a second fetch on its own named stream; first success wins
+    // and cancels the other attempt.  The hedge streams direct from the
+    // upstream, skipping the shared-FS staging pipeline — the point of
+    // hedging under fail-slow is taking a path the brownout doesn't own
+    // (gray windows and partitions live on the upstream side and still
+    // apply).
+    HedgeOutcome race;
+    if (hedge_.ready()) {
+      const double delay = hedge_.delay();
+      if (fetch > delay) {
+        const FetchResult backup = compute_fetch(stream + "#hedge", bytes,
+                                                 now + delay,
+                                                 /*bypass_shared_fs=*/true);
+        race = resolve_hedge(fetch, !exhausted, delay, backup.fetch_s,
+                             !backup.exhausted);
+        if (race.hedge_launched) {
+          ++stats_.hedged_fetches;
+          if (race.hedge_won) ++stats_.hedge_wins;
+          stats_.hedge_wasted_s += race.wasted_s;
+          failures += backup.failures;
+          fetch = race.duration;
+          exhausted = race.failed;
+        }
+      }
+    }
+    if (!primary.exhausted) hedge_.observe(primary.fetch_s);
+
+    // The fetch outcome is known analytically at dispatch, so the
+    // breaker registers it at dispatch time — deterministic probe
+    // timing with no reordering hazards.
+    if (exhausted)
+      breaker_.on_failure(now);
+    else
+      breaker_.on_success();
+
+    stats_.upstream_retries += static_cast<std::uint64_t>(failures);
+    group.failed = exhausted;
+
+    // Conversion is CPU-bound packing on the gateway node's local
+    // scratch, so shared-FS brownouts leave it alone — only the pull
+    // (above) and the shared-tier reads are fail-slow I/O.
+    const double service =
+        exhausted ? fetch : fetch + conversion_.seconds(bytes);
+    const double end = apply_crashes(worker, now, service);
+    if (record) {
+      const int track = 1 + worker;
+      const double final_start = end - service;
+      collector_->span(track, "upstream-fetch", "registry", final_start,
+                       fetch, {{"digest", digest}});
+      if (failures > 0) {
+        collector_->instant(track, "pull-retry", "registry", final_start,
+                            {{"failures", std::to_string(failures)}});
+        collector_->count("gateway/upstream_retries",
+                          static_cast<double>(failures));
+      }
+      if (race.hedge_launched) {
+        collector_->instant(track,
+                            race.hedge_won ? "hedge-win" : "hedge-cancel",
+                            "registry", final_start, {{"digest", digest}});
+        collector_->count("gateway/hedged_fetches");
+        if (race.hedge_won) collector_->count("gateway/hedge_wins");
+      }
+      if (!exhausted)
+        collector_->span(track, "convert", "deployment", final_start + fetch,
+                         service - fetch,
+                         {{"digest", digest}});
+    }
+    busy_.emplace(std::make_tuple(end, seq_++, worker), digest);
+    return;
+  }
+  idle_workers_.insert(worker);
+}
+
+GatewayService::FetchResult GatewayService::compute_fetch(
+    const std::string& stream, std::uint64_t bytes, double start,
+    bool bypass_shared_fs) const {
+  FetchResult out;
   const double base = config_.upstream_latency_s +
                       static_cast<double>(bytes) / config_.upstream_bw;
-  double fetch = 0.0;
-  for (int a = 0; a < failures; ++a)
-    fetch += base * injector_.wasted_fraction(stream, a);
-  fetch += config_.retry.total_backoff(failures);
-  const bool exhausted = failures >= config_.retry.max_attempts;
-  if (!exhausted) fetch += base;
-  stats_.upstream_retries += static_cast<std::uint64_t>(failures);
-  group.failed = exhausted;
-
-  const double service =
-      exhausted ? fetch : fetch + conversion_.seconds(bytes);
-  const double end = apply_crashes(worker, now, service);
-  if (record) {
-    const int track = 1 + worker;
-    const double final_start = end - service;
-    collector_->span(track, "upstream-fetch", "registry", final_start, fetch,
-                     {{"digest", digest}});
-    if (failures > 0) {
-      collector_->instant(track, "pull-retry", "registry", final_start,
-                          {{"failures", std::to_string(failures)}});
-      collector_->count("gateway/upstream_retries",
-                        static_cast<double>(failures));
-    }
-    if (!exhausted)
-      collector_->span(track, "convert", "deployment", final_start + fetch,
-                       service - fetch,
-                       {{"digest", digest}});
+  if (!hazards_.active()) {
+    // Legacy closed form: bulk failure draw, then waste + backoff.
+    out.failures =
+        injector_.pull_failures(stream, config_.retry.max_attempts);
+    for (int a = 0; a < out.failures; ++a)
+      out.fetch_s += base * injector_.wasted_fraction(stream, a);
+    out.fetch_s += config_.retry.total_backoff(out.failures);
+    out.exhausted = out.failures >= config_.retry.max_attempts;
+    if (!out.exhausted) out.fetch_s += base;
+    return out;
   }
-  busy_.emplace(std::make_tuple(end, seq_++, worker), digest);
+
+  // Hazard-aware walk: each attempt runs at a concrete simulated time,
+  // so gray windows and partitions hit exactly the attempts they cover.
+  // Failure draws come from the same "fault/pull/<stream>" chain the
+  // bulk helper uses; waste draws from "fault/waste/<stream>/<attempt>".
+  sim::Rng pull = injector_.stream("pull").child(stream);
+  const double base_rate = injector_.spec().enabled
+                               ? injector_.spec().registry_fault_rate
+                               : 0.0;
+  double t = start;
+  for (int a = 0; a < config_.retry.max_attempts; ++a) {
+    if (hazards_.partitioned_at(t)) {
+      // No route to the upstream: the attempt dies at handshake cost
+      // without transferring (or drawing) anything.
+      out.fetch_s += config_.upstream_latency_s;
+      t += config_.upstream_latency_s;
+    } else {
+      const fault::HazardWindow* gray = hazards_.gray_at(t);
+      const double rate =
+          gray ? std::max(base_rate, gray->fault_rate) : base_rate;
+      const double attempt = gray ? base * gray->factor : base;
+      const bool fail = rate > 0.0 && pull.uniform() < rate;
+      if (!fail) {
+        // Pulled bytes land on the shared filesystem, so a brownout
+        // stretches the transfer like any other shared-FS I/O — unless
+        // this is a direct-path (hedged) fetch that bypasses staging.
+        out.fetch_s +=
+            bypass_shared_fs ? attempt : hazards_.stretched(t, attempt);
+        return out;
+      }
+      const double waste = injector_.stream("waste")
+                               .child(stream)
+                               .child(static_cast<std::uint64_t>(a))
+                               .uniform();
+      const double cost = bypass_shared_fs
+                              ? attempt * waste
+                              : hazards_.stretched(t, attempt * waste);
+      out.fetch_s += cost;
+      t += cost;
+    }
+    ++out.failures;
+    const double backoff = config_.retry.delay(out.failures);
+    out.fetch_s += backoff;
+    t += backoff;
+  }
+  out.exhausted = true;
+  return out;
+}
+
+void GatewayService::serve_stale(const Waiter& waiter, std::uint64_t bytes,
+                                 double now) {
+  // The evicted entry is still on the shared filesystem; page it in at
+  // shared-tier speed (brownout-stretched like any shared read).
+  const double latency = hazards_.stretched(
+      now, static_cast<double>(bytes) / config_.shared_read_bw);
+  ++stats_.completed;
+  ++stats_.stale_served;
+  stats_.start_latency.add(now + latency - waiter.arrival);
+  if (collector_ && collector_->enabled()) {
+    collector_->span(0, "request", "gateway", waiter.arrival,
+                     now + latency - waiter.arrival, {{"tier", "stale"}});
+    collector_->count("gateway/stale_served");
+    collector_->observe("gateway/start_latency_s",
+                        now + latency - waiter.arrival);
+  }
+}
+
+void GatewayService::shed_breaker(double now) {
+  ++stats_.breaker_fastfail;
+  if (collector_ && collector_->enabled()) {
+    collector_->instant(0, "breaker-shed", "gateway", now);
+    collector_->count("gateway/breaker_fastfail");
+  }
+}
+
+void GatewayService::shed_deadline(double now) {
+  ++stats_.deadline_sheds;
+  if (collector_ && collector_->enabled()) {
+    collector_->instant(0, "deadline-shed", "gateway", now);
+    collector_->count("gateway/deadline_sheds");
+  }
 }
 
 double GatewayService::apply_crashes(int worker, double start,
@@ -198,6 +413,7 @@ double GatewayService::apply_crashes(int worker, double start,
   while (cursor < times.size() && times[cursor] < t0 + service_s) {
     const double crash = times[cursor++];
     ++stats_.worker_crashes;
+    stats_.wasted_work_s += crash - t0;
     if (record) {
       collector_->span(1 + worker, "worker-restart", "fault", crash,
                        config_.worker_recovery_s);
@@ -231,10 +447,15 @@ void GatewayService::complete_job(int worker, const std::string& digest,
   ++stats_.upstream_fetches;
   ++stats_.conversions;
   cache_.install(digest, bytes);
-  // Waiters page the converted image in from the shared tier.
-  const double read =
-      static_cast<double>(bytes) / config_.shared_read_bw;
+  // Waiters page the converted image in from the shared tier (stretched
+  // when a brownout window covers the read).
+  const double read = hazards_.stretched(
+      end, static_cast<double>(bytes) / config_.shared_read_bw);
   for (const Waiter& waiter : group.waiters) {
+    if (end + read > waiter.deadline) {
+      shed_deadline(end);
+      continue;
+    }
     const double latency = end + read - waiter.arrival;
     ++stats_.completed;
     stats_.start_latency.add(latency);
@@ -252,6 +473,7 @@ const GatewayStats& GatewayService::finish() {
     advance_to(std::numeric_limits<double>::infinity());
     finished_ = true;
     stats_.coalesced = flight_.coalesced();
+    stats_.breaker_opens = breaker_.opens();
     stats_.cache = cache_.stats();
     if (collector_ && collector_->enabled()) {
       collector_->gauge("gateway/max_queue_depth",
@@ -260,6 +482,41 @@ const GatewayStats& GatewayService::finish() {
                         static_cast<double>(stats_.max_outstanding));
       collector_->count("gateway/coalesced",
                         static_cast<double>(stats_.coalesced));
+      // Zero-presence counters: shed/failure/retry outcomes show up in
+      // the metrics JSON even when they never fired, so dashboards and
+      // CI greps can always assert on them.
+      collector_->count("gateway/failed", 0.0);
+      collector_->count("gateway/rejected_queue", 0.0);
+      collector_->count("gateway/rejected_admission", 0.0);
+      collector_->count("gateway/upstream_retries", 0.0);
+      collector_->count("gateway/worker_crashes", 0.0);
+      collector_->count("gateway/deadline_sheds", 0.0);
+      collector_->count("gateway/breaker_fastfail", 0.0);
+      collector_->count("gateway/stale_served", 0.0);
+      collector_->count("gateway/hedged_fetches", 0.0);
+      collector_->count("gateway/hedge_wins", 0.0);
+      collector_->gauge("gateway/breaker_opens",
+                        static_cast<double>(stats_.breaker_opens));
+      collector_->gauge("gateway/hedge_wasted_s", stats_.hedge_wasted_s);
+      collector_->gauge("gateway/wasted_work_s", stats_.wasted_work_s);
+      if (hazards_.active()) {
+        // Hazard windows on their own track so request spans keep their
+        // parents; category "fault" routes them into the FaultRecovery
+        // cost bucket.
+        const int track = 1 + config_.workers;
+        for (const fault::HazardWindow& w : hazards_.brownouts)
+          collector_->span(track, "fs-brownout", "fault", w.start,
+                           w.end - w.start);
+        for (const fault::HazardWindow& w : hazards_.grays)
+          collector_->span(track, "gray-failure", "fault", w.start,
+                           w.end - w.start);
+        for (const fault::HazardWindow& w : hazards_.partitions)
+          collector_->span(track, "net-partition", "fault", w.start,
+                           w.end - w.start);
+        for (const fault::RackBurst& b : hazards_.bursts)
+          collector_->instant(track, "rack-burst", "fault", b.time,
+                              {{"nodes", std::to_string(b.node_count)}});
+      }
     }
   }
   return stats_;

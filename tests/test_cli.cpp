@@ -118,6 +118,22 @@ TEST(Cli, CampaignFlagErrors) {
   EXPECT_THROW(parse({"--nodes", "2,x"}), std::invalid_argument);
 }
 
+TEST(Cli, HazardsFlagSelectsAPresetLayeredOnFaults) {
+  auto o = parse({"--hazards", "storm", "--faults", "moderate"});
+  EXPECT_EQ(o.hazards, "storm");
+  const auto ro = hs::to_runner_options(o);
+  EXPECT_TRUE(ro.hazards.enabled);
+  EXPECT_EQ(ro.hazards.name(), "storm");
+  EXPECT_TRUE(ro.faults.enabled);  // hazards layer on the fault axis
+
+  // Default: no hazards, byte-identical to the pre-hazard simulator.
+  EXPECT_FALSE(hs::to_runner_options(parse({})).hazards.enabled);
+  // Unknown presets fail at conversion with the candidate list.
+  auto bad = parse({"--hazards", "quake"});
+  EXPECT_THROW(hs::to_runner_options(bad), std::invalid_argument);
+  EXPECT_THROW(parse({"--hazards", ""}), std::invalid_argument);
+}
+
 TEST(Cli, NodesListRequiresCampaign) {
   auto o = parse({"--nodes", "2,4"});
   EXPECT_THROW(hs::to_scenario(o), std::invalid_argument);

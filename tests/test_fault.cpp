@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <functional>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -68,6 +70,44 @@ TEST(FaultSpec, ValidateRejectsBadEnabledSpecs) {
   auto bad_cap = hf::FaultSpec::light();
   bad_cap.max_crashes = 0;
   EXPECT_THROW(bad_cap.validate(), std::invalid_argument);
+}
+
+TEST(FaultSpec, PresetsRoundTripAndNameErrorsAreActionable) {
+  // Every preset's label is itself a valid preset name, so a label written
+  // to a CSV or CLI flag round-trips back to the same spec.
+  for (const char* name : {"light", "moderate", "heavy"}) {
+    const auto spec = hf::FaultSpec::preset(name);
+    EXPECT_EQ(spec.name(), name);
+    EXPECT_EQ(hf::FaultSpec::preset(spec.name()).label, spec.label);
+  }
+  // The disabled spellings both map to the inert spec.
+  EXPECT_FALSE(hf::FaultSpec::preset("none").enabled);
+  EXPECT_FALSE(hf::FaultSpec::preset("fault-free").enabled);
+
+  const auto message = [](const std::function<void()>& fn) -> std::string {
+    try {
+      fn();
+    } catch (const std::invalid_argument& e) {
+      return e.what();
+    }
+    return "";
+  };
+  // Error messages name the offender and the valid candidates.
+  EXPECT_EQ(message([] { (void)hf::FaultSpec::preset("apocalyptic"); }),
+            "unknown fault preset 'apocalyptic' (none | light | moderate | "
+            "heavy)");
+  auto bad_rate = hf::FaultSpec::light();
+  bad_rate.registry_fault_rate = 1.0;
+  EXPECT_EQ(message([&] { bad_rate.validate(); }),
+            "FaultSpec: registry_fault_rate outside [0,1)");
+  auto bad_factor = hf::FaultSpec::light();
+  bad_factor.straggler_factor = 0.5;
+  EXPECT_EQ(message([&] { bad_factor.validate(); }),
+            "FaultSpec: straggler_factor < 1");
+  auto bad_label = hf::FaultSpec::light();
+  bad_label.label.clear();
+  EXPECT_EQ(message([&] { bad_label.validate(); }),
+            "FaultSpec: enabled spec needs a label");
 }
 
 // --- FaultInjector determinism --------------------------------------------
@@ -154,6 +194,28 @@ TEST(RetryPolicy, ExponentialBackoffWithCeiling) {
   EXPECT_DOUBLE_EQ(p.delay(4), 5.0);  // clamped
   EXPECT_DOUBLE_EQ(p.total_backoff(0), 0.0);
   EXPECT_DOUBLE_EQ(p.total_backoff(3), 1.0 + 2.0 + 4.0);
+}
+
+TEST(RetryPolicy, PathologicalPolicySaturatesInsteadOfOverflowing) {
+  // 0.5 * 10^9999 overflows a double to inf long before attempt 10000;
+  // the clamp must land every delay on the ceiling, never propagate inf
+  // or NaN into the backoff sum.
+  const hf::RetryPolicy p{.max_attempts = 10000,
+                          .base_delay_s = 0.5,
+                          .multiplier = 10.0,
+                          .max_delay_s = 30.0};
+  for (int retry : {1, 2, 3, 400, 5000, 10000}) {
+    const double d = p.delay(retry);
+    EXPECT_TRUE(std::isfinite(d)) << retry;
+    EXPECT_LE(d, 30.0) << retry;
+    EXPECT_GE(d, 0.0) << retry;
+  }
+  EXPECT_DOUBLE_EQ(p.delay(3), 30.0);  // 50.0 raw, clamped exactly
+  EXPECT_DOUBLE_EQ(p.delay(10000), 30.0);
+  const double total = p.total_backoff(9999);
+  EXPECT_TRUE(std::isfinite(total));
+  // delay(1) = 0.5, delay(2) = 5, everything after pays the ceiling.
+  EXPECT_DOUBLE_EQ(total, 0.5 + 5.0 + 9997.0 * 30.0);
 }
 
 TEST(RetryPolicy, Validation) {

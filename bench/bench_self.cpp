@@ -35,6 +35,8 @@
 #include "hw/presets.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "sched/nodes.hpp"
+#include "sched/study.hpp"
 #include "sim/stats.hpp"
 
 namespace hs = hpcs::study;
@@ -232,6 +234,51 @@ void run_gateway_hedge_accounting() {
                static_cast<double>(planner.observed());
 }
 
+void run_sched_backfill_scan() {
+  // The scheduler's allocation hot path: fits/allocate/release churn over
+  // a fragmented 256-node pool, mixing dedicated and core-packed jobs —
+  // the inner loop of every backfill scan.
+  hpcs::sched::NodePool pool(256, 48);
+  std::vector<std::pair<std::vector<int>, int>> held;  // nodes, cores
+  std::uint64_t started = 0;
+  for (int i = 0; i < 8192; ++i) {
+    const bool share = i % 3 == 0;
+    const auto mode = share ? hpcs::sched::AllocMode::NodeShare
+                            : hpcs::sched::AllocMode::Dedicated;
+    const int want_nodes = 1 + i * 7 % 24;
+    const int want_cores = share ? 12 + 12 * (i % 3) : 48;
+    if (pool.fits(want_nodes, want_cores, mode)) {
+      held.emplace_back(pool.allocate(want_nodes, want_cores, mode),
+                        want_cores);
+      ++started;
+    } else if (!held.empty()) {
+      // Release the oldest allocation (FIFO drain keeps fragmentation
+      // realistic); the next iteration rescans.
+      const auto& [nodes, cores] = held.front();
+      pool.release(nodes, cores,
+                   cores == 48 ? hpcs::sched::AllocMode::Dedicated
+                               : hpcs::sched::AllocMode::NodeShare);
+      held.erase(held.begin());
+    }
+  }
+  g_checksum = g_checksum + static_cast<double>(started) +
+               static_cast<double>(pool.free_cores());
+}
+
+void run_sched_event_loop() {
+  // A small end-to-end scheduler run: queue + backfill + contended
+  // deploys + walltime kills, the whole event loop on one cell.
+  hpcs::sched::SchedGridSpec spec;
+  spec.policies = {"backfill-dedicated"};
+  spec.mixes = {"container-heavy"};
+  spec.loads = {2.0};
+  spec.workload.jobs = 400;
+  const auto cell = hpcs::sched::run_sched_cell(
+      spec, "backfill-dedicated", "container-heavy", 2.0, false);
+  g_checksum = g_checksum + cell.stats.utilization +
+               static_cast<double>(cell.stats.completed);
+}
+
 void run_task_pool(int workers) {
   hs::TaskPool pool(workers);
   std::vector<double> slots(2048, 0.0);
@@ -333,6 +380,10 @@ int main(int argc, char** argv) {
                               [] { run_gateway_breaker_fsm(); }));
   results.push_back(run_bench("gateway_hedge_accounting", reps,
                               [] { run_gateway_hedge_accounting(); }));
+  results.push_back(run_bench("sched_backfill_scan", reps,
+                              [] { run_sched_backfill_scan(); }));
+  results.push_back(run_bench("sched_event_loop", reps,
+                              [] { run_sched_event_loop(); }));
   results.push_back(run_bench("task_pool_churn", reps, [pool_workers] {
     run_task_pool(pool_workers);
   }));

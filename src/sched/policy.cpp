@@ -1,0 +1,50 @@
+#include "sched/policy.hpp"
+
+#include <stdexcept>
+
+namespace hpcs::sched {
+
+std::string_view to_string(AllocMode mode) noexcept {
+  switch (mode) {
+    case AllocMode::Dedicated:
+      return "dedicated";
+    case AllocMode::NodeShare:
+      return "share";
+  }
+  return "?";
+}
+
+std::string_view to_string(QueueDiscipline q) noexcept {
+  switch (q) {
+    case QueueDiscipline::Fifo:
+      return "fifo";
+    case QueueDiscipline::Backfill:
+      return "backfill";
+  }
+  return "?";
+}
+
+SchedPolicy SchedPolicy::preset(const std::string& name) {
+  SchedPolicy policy;
+  policy.name = name;
+  if (name == "fifo-dedicated") {
+    policy.queue = QueueDiscipline::Fifo;
+    policy.alloc = AllocMode::Dedicated;
+  } else if (name == "backfill-dedicated") {
+    policy.queue = QueueDiscipline::Backfill;
+    policy.alloc = AllocMode::Dedicated;
+  } else if (name == "fifo-share") {
+    policy.queue = QueueDiscipline::Fifo;
+    policy.alloc = AllocMode::NodeShare;
+  } else if (name == "backfill-share") {
+    policy.queue = QueueDiscipline::Backfill;
+    policy.alloc = AllocMode::NodeShare;
+  } else {
+    throw std::invalid_argument("SchedPolicy: unknown preset '" + name +
+                                "' (fifo-dedicated, backfill-dedicated, "
+                                "fifo-share, backfill-share)");
+  }
+  return policy;
+}
+
+}  // namespace hpcs::sched

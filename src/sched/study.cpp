@@ -1,0 +1,258 @@
+#include "sched/study.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "core/thread_pool.hpp"
+#include "fault/hazard.hpp"
+#include "fault/schedule.hpp"
+#include "fault/spec.hpp"
+#include "gateway/workload.hpp"
+#include "obs/export.hpp"
+#include "sim/csv.hpp"
+#include "sim/rng.hpp"
+
+namespace hpcs::sched {
+
+namespace {
+
+/// Cell seed: the campaign convention — derived from the grid seed and
+/// the cell *name* only, independent of worker count and grid order.
+std::uint64_t cell_seed(std::uint64_t base_seed, const std::string& key) {
+  std::uint64_t state = base_seed ^ sim::hash64(key);
+  return sim::splitmix64(state);
+}
+
+std::string quantile_cell(const sim::Samples& samples, double q) {
+  return sim::CsvWriter::cell(samples.empty() ? 0.0 : samples.quantile(q));
+}
+
+/// Sound horizon bound for hazard schedules: every job terminates within
+/// (max_requeues + 1) walltime-bounded attempts plus requeue delays.
+double run_horizon(const std::vector<JobSpec>& jobs,
+                   const SchedConfig& config) {
+  double last_submit = 0.0;
+  double max_walltime = 0.0;
+  for (const JobSpec& job : jobs) {
+    last_submit = std::max(last_submit, job.submit_s);
+    max_walltime = std::max(max_walltime, job.walltime_s);
+  }
+  const double attempts = static_cast<double>(config.max_requeues + 1);
+  return last_submit +
+         attempts * (max_walltime + config.requeue_delay_s) +
+         max_walltime;
+}
+
+}  // namespace
+
+void SchedGridSpec::validate() const {
+  if (policies.empty() || mixes.empty() || loads.empty())
+    throw std::invalid_argument("SchedGridSpec: every axis needs a value");
+  for (const std::string& p : policies) (void)SchedPolicy::preset(p);
+  for (const std::string& m : mixes) (void)RuntimeMix::preset(m);
+  for (const double load : loads)
+    if (load <= 0)
+      throw std::invalid_argument("SchedGridSpec: loads must be > 0");
+  (void)fault::FaultSpec::preset(faults);
+  (void)fault::HazardSpec::preset(hazards);
+  config.validate();
+  workload.validate();
+}
+
+std::string sched_cell_key(const std::string& policy, const std::string& mix,
+                           double load, const std::string& faults,
+                           const std::string& hazards) {
+  return policy + "/" + mix + "/load-" + sim::CsvWriter::cell(load) + "/" +
+         faults + "/" + hazards;
+}
+
+SchedCellResult run_sched_cell(const SchedGridSpec& spec,
+                               const std::string& policy,
+                               const std::string& mix, double load,
+                               bool observe) {
+  SchedCellResult cell;
+  cell.key = sched_cell_key(policy, mix, load, spec.faults, spec.hazards);
+  cell.policy = policy;
+  cell.mix = mix;
+  cell.load = load;
+
+  SchedWorkloadSpec workload = spec.workload;
+  workload.mix = mix;
+  workload.load = load;
+
+  SchedConfig config = spec.config;
+  config.policy = SchedPolicy::preset(policy);
+  config.gateway_enabled = spec.gateway_enabled;
+
+  const std::uint64_t seed = cell_seed(spec.seed, cell.key);
+  const sim::Rng root{seed};
+  const gateway::ImageCatalog catalog(workload.catalog_spec(), root);
+  std::vector<JobSpec> jobs = generate_jobs(workload, root);
+  fault::FaultInjector faults(fault::FaultSpec::preset(spec.faults), seed);
+  const fault::HazardInjector hazard_injector(
+      fault::HazardSpec::preset(spec.hazards), seed);
+  fault::HazardSchedule hazards =
+      hazard_injector.schedule(run_horizon(jobs, config), config.nodes);
+
+  const std::shared_ptr<obs::MemorySink> sink =
+      observe ? std::make_shared<obs::MemorySink>() : nullptr;
+  obs::Collector collector(sink);  // null sink = disabled, zero cost
+
+  BatchScheduler scheduler(config, std::move(jobs), catalog,
+                           std::move(faults), std::move(hazards),
+                           &collector);
+  SchedResult result = scheduler.run();
+  cell.stats = std::move(result.stats);
+  if (observe) {
+    cell.trace = sink->take();
+    cell.metrics = collector.metrics();
+  }
+  return cell;
+}
+
+SchedGridResult run_sched_grid(const SchedGridSpec& spec, int jobs,
+                               bool observe) {
+  spec.validate();
+  if (jobs < 1)
+    throw std::invalid_argument("run_sched_grid: jobs must be >= 1");
+
+  struct CellParams {
+    std::string policy;
+    std::string mix;
+    double load = 1.0;
+  };
+  std::vector<CellParams> params;
+  for (const std::string& policy : spec.policies)
+    for (const std::string& mix : spec.mixes)
+      for (const double load : spec.loads)
+        params.push_back(CellParams{policy, mix, load});
+
+  SchedGridResult grid;
+  grid.name = spec.name;
+  grid.jobs = jobs;
+  grid.cells.resize(params.size());
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      const CellParams& p = params[i];
+      grid.cells[i] = run_sched_cell(spec, p.policy, p.mix, p.load, observe);
+    }
+  } else {
+    study::TaskPool pool(jobs);
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      pool.submit([&spec, &params, &grid, i, observe] {
+        const CellParams& p = params[i];
+        // Disjoint slots: cell i writes only grid.cells[i], so results
+        // are identical for any worker count.
+        grid.cells[i] =
+            run_sched_cell(spec, p.policy, p.mix, p.load, observe);
+      });
+    }
+    pool.wait_idle();
+  }
+  return grid;
+}
+
+void SchedGridResult::write_csv(std::ostream& out) const {
+  sim::CsvWriter csv(
+      out, {"cell",           "policy",
+            "mix",            "load",
+            "faults",         "hazards",
+            "submitted",      "completed",
+            "failed",         "shed",
+            "timeouts",       "requeues",
+            "crashes",        "backfill_starts",
+            "utilization",    "makespan_s",
+            "upstream_fetches", "conversions",
+            "coalesced",      "hits_local",
+            "hits_shared",    "misses",
+            "queue_wait_p50_s", "deploy_p50_s",
+            "start_p50_s",    "start_p95_s",
+            "start_p99_s",    "start_mean_s",
+            "start_max_s"});
+  for (const SchedCellResult& cell : cells) {
+    const SchedStats& s = cell.stats;
+    // The key embeds faults/hazards; split them back out of it so the
+    // CSV stays greppable per axis.
+    const std::string& key = cell.key;
+    const std::size_t last_slash = key.rfind('/');
+    const std::size_t prev_slash = key.rfind('/', last_slash - 1);
+    const std::string faults = key.substr(
+        prev_slash + 1, last_slash - prev_slash - 1);
+    const std::string hazards = key.substr(last_slash + 1);
+    csv.row(
+        {sim::CsvWriter::escape(key),
+         cell.policy,
+         cell.mix,
+         sim::CsvWriter::cell(cell.load),
+         faults,
+         hazards,
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.submitted)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.completed)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.failed)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.shed)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.timeouts)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.requeues)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.crashes)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.backfill_starts)),
+         sim::CsvWriter::cell(s.utilization),
+         sim::CsvWriter::cell(s.makespan_s),
+         sim::CsvWriter::cell(
+             static_cast<std::size_t>(s.deploy.upstream_fetches)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.deploy.conversions)),
+         sim::CsvWriter::cell(static_cast<std::size_t>(s.deploy.coalesced)),
+         sim::CsvWriter::cell(
+             static_cast<std::size_t>(s.deploy.cache.local_hits)),
+         sim::CsvWriter::cell(
+             static_cast<std::size_t>(s.deploy.cache.shared_hits)),
+         sim::CsvWriter::cell(
+             static_cast<std::size_t>(s.deploy.cache.misses)),
+         quantile_cell(s.queue_wait_s, 0.5),
+         quantile_cell(s.deploy_s, 0.5),
+         quantile_cell(s.start_latency_s, 0.5),
+         quantile_cell(s.start_latency_s, 0.95),
+         quantile_cell(s.start_latency_s, 0.99),
+         sim::CsvWriter::cell(
+             s.start_latency_s.empty() ? 0.0 : s.start_latency_s.mean()),
+         sim::CsvWriter::cell(
+             s.start_latency_s.empty() ? 0.0 : s.start_latency_s.max())});
+  }
+}
+
+bool SchedGridResult::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_csv(out);
+  return out.good();
+}
+
+void SchedGridResult::write_chrome_trace(std::ostream& out) const {
+  obs::ChromeTraceWriter writer(out);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int pid = static_cast<int>(i);
+    writer.process_name(pid, cells[i].key);
+    if (!cells[i].trace.empty()) writer.add(cells[i].trace, pid);
+  }
+  writer.finish();
+}
+
+bool SchedGridResult::save_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return out.good();
+}
+
+obs::Metrics SchedGridResult::aggregate_metrics() const {
+  obs::Metrics total;
+  for (const SchedCellResult& cell : cells) total.merge(cell.metrics);
+  return total;
+}
+
+bool SchedGridResult::save_metrics_json(const std::string& path) const {
+  return aggregate_metrics().save_json(path);
+}
+
+}  // namespace hpcs::sched

@@ -1,0 +1,181 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hpcs::sched {
+
+namespace hc = container;
+
+RuntimeMix RuntimeMix::preset(const std::string& name) {
+  RuntimeMix mix;
+  mix.name = name;
+  if (name == "bare-metal") {
+    mix.weights = {{hc::RuntimeKind::BareMetal, 1.0}};
+  } else if (name == "mixed") {
+    mix.weights = {{hc::RuntimeKind::BareMetal, 0.4},
+                   {hc::RuntimeKind::Singularity, 0.3},
+                   {hc::RuntimeKind::Shifter, 0.2},
+                   {hc::RuntimeKind::Docker, 0.1}};
+  } else if (name == "container-heavy") {
+    mix.weights = {{hc::RuntimeKind::BareMetal, 0.2},
+                   {hc::RuntimeKind::Singularity, 0.35},
+                   {hc::RuntimeKind::Shifter, 0.3},
+                   {hc::RuntimeKind::Docker, 0.15}};
+  } else if (name == "docker-heavy") {
+    mix.weights = {{hc::RuntimeKind::BareMetal, 0.2},
+                   {hc::RuntimeKind::Singularity, 0.15},
+                   {hc::RuntimeKind::Shifter, 0.15},
+                   {hc::RuntimeKind::Docker, 0.5}};
+  } else {
+    throw std::invalid_argument(
+        "RuntimeMix: unknown preset '" + name +
+        "' (bare-metal, mixed, container-heavy, docker-heavy)");
+  }
+  return mix;
+}
+
+void RuntimeMix::validate() const {
+  if (weights.empty())
+    throw std::invalid_argument("RuntimeMix: weights must not be empty");
+  for (const auto& [kind, w] : weights) {
+    (void)kind;
+    if (w <= 0.0)
+      throw std::invalid_argument("RuntimeMix: weights must be > 0");
+  }
+}
+
+void SchedWorkloadSpec::validate() const {
+  if (jobs < 1)
+    throw std::invalid_argument("SchedWorkloadSpec: jobs must be >= 1");
+  if (arrival_rate_hz <= 0.0 || load <= 0.0)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: arrival_rate_hz and load must be > 0");
+  if (priority_levels < 1)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: priority_levels must be >= 1");
+  if (nodes_min < 1 || nodes_max < nodes_min)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: need 1 <= nodes_min <= nodes_max");
+  if (cores_choices.empty())
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: cores_choices must not be empty");
+  for (const int c : cores_choices)
+    if (c < 1)
+      throw std::invalid_argument(
+          "SchedWorkloadSpec: cores_choices must be >= 1");
+  if (compute_s_min <= 0.0 || compute_s_max < compute_s_min)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: need 0 < compute_s_min <= compute_s_max");
+  if (walltime_margin < 1.0)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: walltime_margin must be >= 1");
+  if (walltime_deploy_allowance_s < 0.0)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: walltime_deploy_allowance_s must be >= 0");
+  if (catalog_images < 1)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: catalog_images must be >= 1");
+  if (zipf_s <= 0.0)
+    throw std::invalid_argument("SchedWorkloadSpec: zipf_s must be > 0");
+  if (image_bytes_min == 0 || image_bytes_max < image_bytes_min)
+    throw std::invalid_argument(
+        "SchedWorkloadSpec: need 0 < image_bytes_min <= image_bytes_max");
+  RuntimeMix::preset(mix).validate();
+}
+
+gateway::WorkloadSpec SchedWorkloadSpec::catalog_spec() const {
+  gateway::WorkloadSpec gw;
+  gw.catalog_images = catalog_images;
+  gw.image_bytes_min = image_bytes_min;
+  gw.image_bytes_max = image_bytes_max;
+  gw.zipf_s = zipf_s;
+  return gw;
+}
+
+namespace {
+
+/// Zipf CDF over [0, n): P(i) ~ 1 / (i+1)^s (same law the gateway uses).
+std::vector<double> zipf_cdf(int n, double s) {
+  std::vector<double> cdf(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int i = 0; i < n; ++i)
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s) / total;
+    cdf[static_cast<std::size_t>(i)] = acc;
+  }
+  cdf.back() = 1.0;
+  return cdf;
+}
+
+int draw_cdf(const std::vector<double>& cdf, double u) {
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<int>(it - cdf.begin());
+}
+
+}  // namespace
+
+std::vector<JobSpec> generate_jobs(const SchedWorkloadSpec& spec,
+                                   const sim::Rng& root) {
+  spec.validate();
+  const RuntimeMix mix = RuntimeMix::preset(spec.mix);
+
+  sim::Rng arrivals = root.child("sched/arrivals");
+  sim::Rng sizes = root.child("sched/sizes");
+  sim::Rng durations = root.child("sched/durations");
+  sim::Rng priorities = root.child("sched/priorities");
+  sim::Rng runtimes = root.child("sched/runtimes");
+  sim::Rng images = root.child("sched/images");
+
+  const std::vector<double> image_cdf =
+      zipf_cdf(spec.catalog_images, spec.zipf_s);
+  double mix_total = 0.0;
+  for (const auto& [kind, w] : mix.weights) {
+    (void)kind;
+    mix_total += w;
+  }
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(spec.jobs));
+  const double rate = spec.arrival_rate_hz * spec.load;
+  double now = 0.0;
+  for (int id = 0; id < spec.jobs; ++id) {
+    now += arrivals.exponential(rate);
+    JobSpec job;
+    job.id = id;
+    job.submit_s = now;
+    job.priority = static_cast<int>(priorities.uniform_int(
+        0, static_cast<std::int64_t>(spec.priority_levels) - 1));
+    job.nodes = static_cast<int>(std::llround(std::exp(
+        sizes.uniform(std::log(static_cast<double>(spec.nodes_min)),
+                      std::log(static_cast<double>(spec.nodes_max))))));
+    job.nodes = std::clamp(job.nodes, spec.nodes_min, spec.nodes_max);
+    job.cores_per_node = spec.cores_choices[static_cast<std::size_t>(
+        sizes.uniform_int(
+            0, static_cast<std::int64_t>(spec.cores_choices.size()) - 1))];
+    job.compute_s = std::exp(durations.uniform(
+        std::log(spec.compute_s_min), std::log(spec.compute_s_max)));
+
+    double pick = runtimes.uniform() * mix_total;
+    job.runtime = mix.weights.back().first;
+    for (const auto& [kind, w] : mix.weights) {
+      if (pick < w) {
+        job.runtime = kind;
+        break;
+      }
+      pick -= w;
+    }
+    job.image = job.runtime == container::RuntimeKind::BareMetal
+                    ? 0
+                    : draw_cdf(image_cdf, images.uniform());
+    job.walltime_s = spec.walltime_margin * job.compute_s +
+                     spec.walltime_deploy_allowance_s;
+    jobs.push_back(job);
+  }
+  return jobs;
+}
+
+}  // namespace hpcs::sched

@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file workload.hpp
+/// \brief The batch job stream: thousands of queued Alya jobs of mixed
+///        sizes, priorities, and per-job containerization runtime.
+///
+/// Jobs arrive open-loop (Poisson submits — the queue does not throttle
+/// users), with log-uniform node counts and compute durations (campaigns
+/// mix single-node parameter sweeps with wide production runs), a Zipf
+/// image popularity law over the shared gateway catalog, and a weighted
+/// per-job runtime mix (Docker / Singularity / Shifter / bare-metal —
+/// the paper's comparison axis, at facility scale).  Every draw comes
+/// from a named sim::Rng child stream, so a job stream is
+/// byte-reproducible from (spec, seed) and independent of host
+/// parallelism.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "container/runtime.hpp"
+#include "gateway/workload.hpp"
+#include "sim/rng.hpp"
+
+namespace hpcs::sched {
+
+/// Weights over per-job containerization choices.
+struct RuntimeMix {
+  std::string name = "mixed";
+  std::vector<std::pair<container::RuntimeKind, double>> weights;
+
+  /// Named presets: "bare-metal" (all native), "mixed" (40% bare-metal,
+  /// 30% Singularity, 20% Shifter, 10% Docker), "container-heavy"
+  /// (20/35/30/15), "docker-heavy" (20/15/15/50).
+  /// \throws std::invalid_argument for unknown names.
+  static RuntimeMix preset(const std::string& name);
+
+  /// \throws std::invalid_argument for empty or non-positive weights.
+  void validate() const;
+};
+
+struct SchedWorkloadSpec {
+  int jobs = 2000;  ///< jobs submitted over the run
+  /// Mean submits/s at load 1.  The default is sized so load 1 roughly
+  /// saturates the default 64-node x 48-core cluster: mean occupied
+  /// core-seconds per job (~9 nodes x 48 cores x ~1.7 ks) ~ 742k, and
+  /// 3072 cores / 742k ~ 0.004 submits/s.
+  double arrival_rate_hz = 0.004;
+  double load = 1.0;            ///< offered-load multiplier (grid axis)
+  int priority_levels = 3;      ///< uniform priority classes [0, levels)
+  int nodes_min = 1;            ///< job width bounds (log-uniform)
+  int nodes_max = 32;
+  std::vector<int> cores_choices = {12, 24, 48};  ///< per-node cores
+  double compute_s_min = 120.0;  ///< compute duration bounds (log-uniform)
+  double compute_s_max = 7200.0;
+  /// Walltime limit = margin * compute + a fixed deploy allowance; the
+  /// scheduler kills at the limit, which is what makes backfill
+  /// reservations sound (no job outlives its declared bound).
+  double walltime_margin = 3.0;
+  double walltime_deploy_allowance_s = 1800.0;
+  std::string mix = "mixed";   ///< RuntimeMix preset name
+  int catalog_images = 32;     ///< distinct image digests
+  double zipf_s = 1.1;         ///< image popularity skew
+  std::uint64_t image_bytes_min = 256ull << 20;
+  std::uint64_t image_bytes_max = 4ull << 30;
+
+  /// \throws std::invalid_argument for non-positive counts/rates or
+  ///         inverted bounds.
+  void validate() const;
+
+  /// The gateway-workload view used to build the shared image catalog
+  /// (same log-uniform size law the PR-7 gateway draws from).
+  gateway::WorkloadSpec catalog_spec() const;
+};
+
+struct JobSpec {
+  int id = 0;
+  double submit_s = 0.0;
+  int priority = 0;  ///< higher runs first
+  int nodes = 1;
+  int cores_per_node = 48;
+  container::RuntimeKind runtime = container::RuntimeKind::BareMetal;
+  int image = 0;  ///< catalog index (unused for bare-metal)
+  double compute_s = 600.0;
+  double walltime_s = 3600.0;  ///< hard kill limit (deploy + compute)
+};
+
+/// Deterministic job stream from (spec, root), submit-time ordered.
+/// \throws std::invalid_argument when the spec fails validate().
+std::vector<JobSpec> generate_jobs(const SchedWorkloadSpec& spec,
+                                   const sim::Rng& root);
+
+}  // namespace hpcs::sched

@@ -1,0 +1,40 @@
+# Registration audit for the test tree, run as a ctest meta-check:
+#
+#   cmake -DTESTS_DIR=<tests dir> -P check_registered.cmake
+#
+# Fails when any tests/test_*.cpp source is not wired into
+# tests/CMakeLists.txt via hpcs_test(<name> ...) or add_executable(<name>
+# ...).  An unregistered test compiles on nobody's machine and guards
+# nothing — this keeps "add the file" and "run the file" one step.
+
+if(NOT DEFINED TESTS_DIR)
+  message(FATAL_ERROR "pass -DTESTS_DIR=<path to tests/>")
+endif()
+
+file(GLOB test_sources RELATIVE "${TESTS_DIR}" "${TESTS_DIR}/test_*.cpp")
+if(NOT test_sources)
+  message(FATAL_ERROR "no test_*.cpp sources under ${TESTS_DIR}")
+endif()
+
+file(READ "${TESTS_DIR}/CMakeLists.txt" cmakelists)
+
+set(missing "")
+foreach(source IN LISTS test_sources)
+  string(REPLACE ".cpp" "" name "${source}")
+  # Either registration form counts; the name must be followed by a
+  # delimiter so test_foo does not satisfy test_foo_bar.
+  string(REGEX MATCH "hpcs_test\\(${name}[ )]" via_helper "${cmakelists}")
+  string(REGEX MATCH "add_executable\\(${name}[ )]" via_exe "${cmakelists}")
+  if(NOT via_helper AND NOT via_exe)
+    list(APPEND missing "${name}")
+  endif()
+endforeach()
+
+list(LENGTH test_sources total)
+if(missing)
+  list(JOIN missing ", " missing_list)
+  message(FATAL_ERROR
+          "test sources not registered in tests/CMakeLists.txt: "
+          "${missing_list}")
+endif()
+message(STATUS "all ${total} test sources registered")

@@ -8,6 +8,7 @@
 /// Boundary condition sets are stored as named node groups.
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -19,6 +19,7 @@
 /// mode semantics (the image carries its own MPI); BIND marks host paths to
 /// be bind-mounted at run time (the system-specific technique).
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

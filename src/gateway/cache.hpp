@@ -11,6 +11,7 @@
 /// tier.  Everything is deterministic: recency is defined purely by the
 /// order of lookup/install calls, never by host time.
 
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>

@@ -11,6 +11,7 @@
 /// needs: a digest -> join-count map whose first joiner becomes the
 /// leader that owns the upstream fetch.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

@@ -13,6 +13,7 @@
 /// stream, so a workload is byte-reproducible from (spec, seed) and
 /// independent of host parallelism.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>

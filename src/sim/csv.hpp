@@ -6,6 +6,7 @@
 /// Every bench writes its series both as a human-readable table (table.hpp)
 /// and as CSV so the figures can be re-plotted outside this repo.
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>

@@ -9,6 +9,7 @@
 /// *modeled* systems are parallel, the simulator is not, which keeps every
 /// run exactly reproducible.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 

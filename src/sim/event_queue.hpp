@@ -7,6 +7,7 @@
 /// order, which makes every simulation bit-reproducible regardless of
 /// floating-point ties.
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <queue>

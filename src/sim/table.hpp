@@ -7,6 +7,7 @@
 /// renders them with right-aligned numeric columns so the console output can
 /// be read like the paper's tables.
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <vector>

@@ -8,6 +8,7 @@
 /// records that the experiment runner can emit per simulated time step,
 /// exportable to CSV for external timeline viewers.
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>

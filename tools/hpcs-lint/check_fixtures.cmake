@@ -1,0 +1,44 @@
+# Fixture audit for hpcs-lint, run as a ctest meta-check:
+#
+#   cmake -DFIXTURE_DIR=<tools/hpcs-lint/fixtures> \
+#         -DTEST_SOURCE=<tests/test_lint.cpp> -P check_fixtures.cmake
+#
+# Fails when any fixture file is not exercised by test_lint.cpp.  Flat
+# fixtures count when the test source names the file; files inside a
+# layering mini-tree (layering/<case>/...) count when the test source
+# names the case directory ("layering/<case>"), since lint_tree consumes
+# the whole tree at once.  A fixture nobody asserts on guards nothing —
+# this keeps "add the fixture" and "assert on the fixture" one step.
+
+if(NOT DEFINED FIXTURE_DIR OR NOT DEFINED TEST_SOURCE)
+  message(FATAL_ERROR
+          "pass -DFIXTURE_DIR=<fixtures dir> -DTEST_SOURCE=<test_lint.cpp>")
+endif()
+
+file(GLOB_RECURSE fixtures RELATIVE "${FIXTURE_DIR}" "${FIXTURE_DIR}/*")
+if(NOT fixtures)
+  message(FATAL_ERROR "no fixture files under ${FIXTURE_DIR}")
+endif()
+
+file(READ "${TEST_SOURCE}" test_source)
+
+set(missing "")
+foreach(fixture IN LISTS fixtures)
+  if(fixture MATCHES "^layering/([^/]+)/")
+    set(needle "layering/${CMAKE_MATCH_1}")
+  else()
+    set(needle "${fixture}")
+  endif()
+  string(FIND "${test_source}" "\"${needle}\"" at)
+  if(at EQUAL -1)
+    list(APPEND missing "${fixture}")
+  endif()
+endforeach()
+
+list(LENGTH fixtures total)
+if(missing)
+  list(JOIN missing ", " missing_list)
+  message(FATAL_ERROR
+          "fixtures not exercised by test_lint.cpp: ${missing_list}")
+endif()
+message(STATUS "all ${total} fixture files exercised by test_lint.cpp")

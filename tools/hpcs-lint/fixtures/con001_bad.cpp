@@ -1,0 +1,23 @@
+// Fixture: CON-001 — naked lock()/unlock() on a mutex.
+#include <mutex>
+
+int g_value = 0;
+
+void bump(std::mutex& m) {
+  m.lock();
+  ++g_value;
+  m.unlock();
+}
+
+class Counter {
+ public:
+  void add(int delta) {
+    mu_.lock();
+    value_ += delta;
+    mu_.unlock();
+  }
+
+ private:
+  std::mutex mu_;
+  int value_ = 0;
+};

@@ -1,0 +1,23 @@
+// Fixture: CON-001 non-findings — RAII guards, re-locking a
+// std::unique_lock (a Lock, not a mutex), and unrelated .lock() calls
+// (e.g. weak_ptr::lock) on receivers that are not mutexes.
+#include <memory>
+#include <mutex>
+
+int g_value = 0;
+
+void bump(std::mutex& m) {
+  const std::lock_guard<std::mutex> guard(m);
+  ++g_value;
+}
+
+void relock(std::mutex& m) {
+  std::unique_lock<std::mutex> lk(m, std::defer_lock);
+  lk.lock();
+  ++g_value;
+  lk.unlock();
+}
+
+std::shared_ptr<int> pin(const std::weak_ptr<int>& weak) {
+  return weak.lock();
+}

@@ -1,0 +1,11 @@
+// Fixture: CON-001 suppression with a written reason.
+#include <mutex>
+
+int g_value = 0;
+
+void handoff(std::mutex& m) {
+  m.lock();  // hpcs-lint: allow(CON-001) lock handed to C callback API
+  ++g_value;
+  // hpcs-lint: allow(CON-001) unlock pairs with the handed-off lock
+  m.unlock();
+}

@@ -1,0 +1,17 @@
+// Fixture: CON-002 — detached threads and a thread that can leave its
+// scope without join().
+#include <thread>
+
+void work();
+
+void fire_and_forget() {
+  std::thread t(work);
+  t.detach();
+}
+
+void detach_temporary() { std::thread(work).detach(); }
+
+void never_joined() {
+  std::thread worker(work);
+  work();
+}

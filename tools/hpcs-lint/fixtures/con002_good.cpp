@@ -1,0 +1,23 @@
+// Fixture: CON-002 non-findings — joined threads, threads moved into a
+// container (ownership transferred), and a returned thread.
+#include <thread>
+#include <utility>
+#include <vector>
+
+void work();
+
+void joined() {
+  std::thread t(work);
+  work();
+  t.join();
+}
+
+void pooled(std::vector<std::thread>& pool) {
+  std::thread t(work);
+  pool.push_back(std::move(t));
+}
+
+std::thread spawn() {
+  std::thread t(work);
+  return t;
+}

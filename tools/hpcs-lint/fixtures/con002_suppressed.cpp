@@ -1,0 +1,9 @@
+// Fixture: CON-002 suppression with a written reason.
+#include <thread>
+
+void work();
+
+void daemon() {
+  // hpcs-lint: allow(CON-002) watchdog outlives the process by design
+  std::thread(work).detach();
+}

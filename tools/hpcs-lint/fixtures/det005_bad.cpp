@@ -1,0 +1,23 @@
+// Fixture: DET-005 — unordered iteration reaching an emitter unsorted.
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void dump(std::ostream& os,
+          const std::unordered_map<std::string, int>& stats) {
+  for (const auto& kv : stats) os << kv.first << "," << kv.second << "\n";
+}
+
+void dump_decl(std::ostream& os) {
+  std::unordered_map<std::string, int> local;
+  for (const auto& kv : local) {
+    os << kv.first << "\n";
+  }
+}
+
+void dump_call(const std::unordered_map<std::string, int>& stats) {
+  for (const auto& kv : stats) {
+    write_row(kv.first, kv.second);
+  }
+}

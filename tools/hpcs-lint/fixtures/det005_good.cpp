@@ -1,0 +1,37 @@
+// Fixture: DET-005 non-findings — ordered containers, sorted copies,
+// bit-shifts on integers, and unordered loops that never emit.
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+void dump_ordered(std::ostream& os, const std::map<std::string, int>& m) {
+  for (const auto& kv : m) os << kv.first << "," << kv.second << "\n";
+}
+
+void dump_sorted(std::ostream& os,
+                 const std::unordered_map<std::string, int>& stats) {
+  std::vector<std::pair<std::string, int>> rows(stats.begin(), stats.end());
+  for (int pass = 0; pass < 1; ++pass) {
+    std::sort(rows.begin(), rows.end());
+    os << rows.size() << "\n";
+  }
+}
+
+void dump_after_sort(std::ostream& os,
+                     std::unordered_map<std::string, std::vector<int>>& m) {
+  // A sort before the first emitter in the body counts as "intervening".
+  for (auto& kv : m) {
+    std::sort(kv.second.begin(), kv.second.end());
+    os << kv.second.size() << "\n";
+  }
+}
+
+int accumulate_only(const std::unordered_map<std::string, int>& stats) {
+  int total = 0;
+  for (const auto& kv : stats) total += kv.second << 2;
+  return total;
+}

@@ -1,0 +1,10 @@
+// Fixture: DET-005 suppression — a reasoned allow() on the loop line.
+#include <ostream>
+#include <string>
+#include <unordered_map>
+
+void dump(std::ostream& os,
+          const std::unordered_map<std::string, int>& stats) {
+  // hpcs-lint: allow(DET-005) debug dump; never reaches an artifact
+  for (const auto& kv : stats) os << kv.first << "\n";
+}

@@ -1,0 +1,16 @@
+// Fixture: DET-006 — ad-hoc RNG in a named-stream module (fault/,
+// gateway/, sched/): direct seeding, unchained construction, .draw().
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+double bad_direct_seed(std::uint64_t seed) {
+  sim::Rng stream(seed);
+  return stream.uniform();
+}
+
+double bad_unchained_temp(std::uint64_t seed) {
+  return sim::Rng(seed).uniform();
+}
+
+double bad_legacy_draw(sim::Rng& g) { return g.draw(); }

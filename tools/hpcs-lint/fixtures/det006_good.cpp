@@ -1,0 +1,31 @@
+// Fixture: DET-006 non-findings — the sanctioned RNG shapes in a
+// named-stream module: a bound root, immediate .child() chains, stream
+// parameters, and function declarators that merely *return* sim::Rng.
+#include <cstdint>
+#include <string_view>
+
+#include "sim/rng.hpp"
+
+struct Injector {
+  explicit Injector(std::uint64_t seed) : root_(seed) {}
+
+  // A function named like a variable: declarator, not a seeded decl.
+  sim::Rng stream(std::string_view name) const { return root_.child(name); }
+  sim::Rng make() const;
+
+  double roll() const { return root_.child("roll").uniform(); }
+
+ private:
+  sim::Rng root_;
+};
+
+double chained(std::uint64_t seed) {
+  return sim::Rng(seed).child("fault/chained").uniform();
+}
+
+double from_param(sim::Rng stream) { return stream.uniform(); }
+
+double bound_root(std::uint64_t seed) {
+  const sim::Rng root{seed};
+  return root.child("fault/x").uniform();
+}

@@ -1,0 +1,10 @@
+// Fixture: DET-006 suppression with a written reason.
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+double replay(std::uint64_t seed) {
+  // hpcs-lint: allow(DET-006) replay harness reconstructs historic streams
+  sim::Rng stream(seed);
+  return stream.uniform();
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int hazard() { return 3; }
+}  // namespace fx

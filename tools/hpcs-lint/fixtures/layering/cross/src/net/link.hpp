@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: a same-rank (cross-layer) include.
+#include "fault/hazard.hpp"
+
+namespace fx {
+inline int link_cost() { return fx::hazard(); }
+}  // namespace fx

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: two headers that include each other.
+#include "core/b.hpp"
+
+namespace fx {
+inline int a() { return 1; }
+}  // namespace fx

@@ -1,0 +1,6 @@
+#pragma once
+#include "core/a.hpp"
+
+namespace fx {
+inline int b() { return 2; }
+}  // namespace fx

@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: uses std::size_t with no route to <cstddef>.
+
+namespace fx {
+inline std::size_t count() { return 0; }
+}  // namespace fx

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: LAY-003 suppressed with a written reason.
+
+namespace fx {
+// hpcs-lint: allow(LAY-003) forward use only; consumers include <string>
+inline std::string name();
+}  // namespace fx

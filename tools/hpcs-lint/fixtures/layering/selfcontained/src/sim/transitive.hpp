@@ -1,0 +1,7 @@
+#pragma once
+// Self-containment may be satisfied through a project include.
+#include "sim/good.hpp"
+
+namespace fx {
+inline std::size_t via() { return std::size_t{2}; }
+}  // namespace fx

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: a bottom-layer header reaching upward into the scheduler.
+#include "sched/deploy.hpp"
+
+namespace fx {
+inline int seed() { return fx::deploy_id(); }
+}  // namespace fx

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fx {
+inline int deploy_id() { return 7; }
+}  // namespace fx

@@ -1,0 +1,8 @@
+#pragma once
+// Fixture: the same upward include, silenced with a reasoned allow().
+// hpcs-lint: allow(LAY-001) transitional: split tracked in the roadmap
+#include "sched/deploy.hpp"
+
+namespace fx {
+inline int seed() { return fx::deploy_id(); }
+}  // namespace fx

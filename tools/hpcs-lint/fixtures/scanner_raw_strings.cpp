@@ -1,0 +1,11 @@
+// Fixture: scanner hardening — banned identifiers inside raw strings
+// (plain, delimited, u8/L/u/U-prefixed, multi-line) must never fire.
+const char* a = R"(std::mt19937 gen; rand(); steady_clock)";
+const char* b = R"delim(quote " and paren ) inside: system_clock)delim";
+const char* c = u8R"(rand() srand(1))";
+const wchar_t* d = LR"(mt19937_64)";
+const char* e = R"multi(
+  std::unordered_map<std::string, int> in_serialization;
+  gettimeofday(&tv, nullptr);
+)multi";
+int after = 1;  // scanner must resume Code state here

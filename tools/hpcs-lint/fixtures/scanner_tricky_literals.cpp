@@ -1,0 +1,14 @@
+// Fixture: scanner hardening — comment markers inside string literals,
+// quotes inside block comments, escaped quotes, and line continuations.
+const char* url = "http://example.com/rand";  // '//' inside the string
+const char* fake = "not a comment: // std::mt19937";
+const char* esc = "escaped \" quote then rand()";
+/* block comment with "quote and rand()
+   spanning lines, still a comment: srand(7) */
+const char* cont =
+    "line one \
+continues: steady_clock here";
+// line comment continued by backslash \
+   srand(42);  continuation is still comment text
+char q = '\'';
+int after = 2;

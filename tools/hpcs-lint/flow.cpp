@@ -1,0 +1,533 @@
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "flow.hpp"
+
+namespace hpcs::lint {
+
+namespace {
+
+bool ident_start(char c) noexcept {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// --- token stream ----------------------------------------------------------
+
+enum class TokKind { Ident, Number, Punct };
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;
+  int line = 1;
+};
+
+/// Flattens the lexed lines into one token stream.  Multi-char operators
+/// that change parsing decisions (`::`, `->`, `<<`, `>>`) are single
+/// tokens; everything else is one punctuation character.
+std::vector<Token> tokenize(const ScannedFile& file) {
+  std::vector<Token> out;
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string& code = file.lines[li].code;
+    const int line = static_cast<int>(li) + 1;
+    std::size_t i = 0;
+    const std::size_t n = code.size();
+    while (i < n) {
+      const char c = code[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+      } else if (ident_start(c)) {
+        const std::size_t b = i;
+        while (i < n && ident_char(code[i])) ++i;
+        out.push_back({TokKind::Ident, code.substr(b, i - b), line});
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        const std::size_t b = i;
+        while (i < n && (ident_char(code[i]) || code[i] == '\'' ||
+                         code[i] == '.'))
+          ++i;
+        out.push_back({TokKind::Number, code.substr(b, i - b), line});
+      } else {
+        const char next = i + 1 < n ? code[i + 1] : '\0';
+        std::string text(1, c);
+        if ((c == ':' && next == ':') || (c == '-' && next == '>') ||
+            (c == '<' && next == '<') || (c == '>' && next == '>')) {
+          text += next;
+          ++i;
+        }
+        out.push_back({TokKind::Punct, std::move(text), line});
+        ++i;
+      }
+    }
+  }
+  return out;
+}
+
+// --- declaration tracking --------------------------------------------------
+
+// Other marks declarations of tracked-but-benign types (ordered
+// containers, strings): it never fires a rule, but it participates in
+// same-name conflict detection so `std::map m` in one function is not
+// poisoned by `std::unordered_map m` in another.
+enum class DeclKind { None, Unordered, Mutex, Lock, Thread, Stream, Other };
+
+struct TypeKeyword {
+  const char* name;
+  DeclKind kind;
+  bool needs_std;  // requires a std:: (or ::std::) qualifier
+};
+
+const TypeKeyword kTypeKeywords[] = {
+    {"unordered_map", DeclKind::Unordered, false},
+    {"unordered_set", DeclKind::Unordered, false},
+    {"unordered_multimap", DeclKind::Unordered, false},
+    {"unordered_multiset", DeclKind::Unordered, false},
+    {"mutex", DeclKind::Mutex, true},
+    {"recursive_mutex", DeclKind::Mutex, true},
+    {"timed_mutex", DeclKind::Mutex, true},
+    {"recursive_timed_mutex", DeclKind::Mutex, true},
+    {"shared_mutex", DeclKind::Mutex, true},
+    {"shared_timed_mutex", DeclKind::Mutex, true},
+    {"lock_guard", DeclKind::Lock, true},
+    {"unique_lock", DeclKind::Lock, true},
+    {"scoped_lock", DeclKind::Lock, true},
+    {"shared_lock", DeclKind::Lock, true},
+    {"thread", DeclKind::Thread, true},
+    {"jthread", DeclKind::Thread, true},
+    {"ostream", DeclKind::Stream, true},
+    {"ofstream", DeclKind::Stream, true},
+    {"ostringstream", DeclKind::Stream, true},
+    {"stringstream", DeclKind::Stream, true},
+    {"fstream", DeclKind::Stream, true},
+    {"map", DeclKind::Other, true},
+    {"multimap", DeclKind::Other, true},
+    {"set", DeclKind::Other, true},
+    {"multiset", DeclKind::Other, true},
+    {"vector", DeclKind::Other, true},
+    {"deque", DeclKind::Other, true},
+    {"array", DeclKind::Other, true},
+    {"string", DeclKind::Other, true},
+};
+
+bool is_decl_keyword(const std::string& name) {
+  static const char* const kKeywords[] = {
+      "const",   "constexpr", "static", "inline", "mutable", "volatile",
+      "typename", "class",    "struct", "return", "new",     "delete",
+      "operator", "if",       "while",  "for",    "switch",  "case",
+      "default",  "break",    "continue"};
+  for (const char* kw : kKeywords)
+    if (name == kw) return true;
+  return false;
+}
+
+/// One-token qualifier of tokens[i]: "std" for `std::X`, "::" for global
+/// `::X`, "" otherwise.
+std::string qualifier_at(const std::vector<Token>& toks, std::size_t i) {
+  if (i < 1 || toks[i - 1].text != "::") return "";
+  if (i < 2 || toks[i - 2].kind != TokKind::Ident) return "::";
+  return toks[i - 2].text;
+}
+
+/// Advances \p j past a balanced template argument list starting at a
+/// `<` token; returns false if the list never closes.
+bool skip_template_args(const std::vector<Token>& toks, std::size_t& j) {
+  int depth = 0;
+  while (j < toks.size()) {
+    const std::string& t = toks[j].text;
+    if (t == "<")
+      ++depth;
+    else if (t == ">")
+      --depth;
+    else if (t == ">>")
+      depth -= 2;
+    else if (t == ";" || t == "{")
+      return false;  // not a template argument list after all
+    ++j;
+    if (depth <= 0) return true;
+  }
+  return false;
+}
+
+/// Finds the matching closer for the opener at \p i (`(`/`{`/`[`);
+/// returns toks.size() when unbalanced.
+std::size_t match_close(const std::vector<Token>& toks, std::size_t i) {
+  const std::string& open = toks[i].text;
+  const std::string close = open == "(" ? ")" : open == "{" ? "}" : "]";
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (toks[j].text == open)
+      ++depth;
+    else if (toks[j].text == close && --depth == 0)
+      return j;
+  }
+  return toks.size();
+}
+
+/// Heuristic: the `(` at \p open starts a function parameter list rather
+/// than a variable's direct-initializer.  True when the matching `)` is
+/// followed by a function-only token (`const`, `noexcept`, `override`,
+/// `->`, `{`), when the parens are empty, or when the argument region
+/// contains declaration shapes (`::`-qualified type, adjacent
+/// identifiers) at top level.
+bool looks_like_function(const std::vector<Token>& toks, std::size_t open) {
+  const std::size_t close = match_close(toks, open);
+  if (close >= toks.size()) return false;
+  if (close == open + 1) return true;  // `()` — no-arg declarator
+  if (close + 1 < toks.size()) {
+    const std::string& after = toks[close + 1].text;
+    if (after == "const" || after == "noexcept" || after == "override" ||
+        after == "->" || after == "{")
+      return true;
+  }
+  int depth = 0;
+  for (std::size_t j = open; j < close; ++j) {
+    if (toks[j].text == "(" || toks[j].text == "{" || toks[j].text == "[")
+      ++depth;
+    else if (toks[j].text == ")" || toks[j].text == "}" ||
+             toks[j].text == "]")
+      --depth;
+    else if (depth == 1 && toks[j].kind == TokKind::Ident &&
+             j + 1 < close &&
+             (toks[j + 1].kind == TokKind::Ident || toks[j + 1].text == "::"))
+      return true;  // `int x` / `std::string_view name` — a parameter
+  }
+  return false;
+}
+
+/// A declaration recognized at toks[i]: `std::mutex mu_`, `unordered_map
+/// <K,V> m`, `std::thread worker{...}`, parameters included.  Returns the
+/// declared kind and name via out-params; false when toks[i] does not
+/// start a declaration (or is a function declarator).
+bool match_decl(const std::vector<Token>& toks, std::size_t i,
+                DeclKind* kind, std::string* name, std::size_t* name_pos,
+                bool* is_param) {
+  const std::size_t n = toks.size();
+  if (toks[i].kind != TokKind::Ident) return false;
+  if (i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->"))
+    return false;
+  for (const TypeKeyword& type : kTypeKeywords) {
+    if (toks[i].text != type.name) continue;
+    const std::string qual = qualifier_at(toks, i);
+    if (type.needs_std ? (qual != "std") : (qual != "std" && !qual.empty()))
+      return false;
+    std::size_t j = i + 1;
+    if (j < n && toks[j].text == "::") return false;  // static member access
+    if (j < n && toks[j].text == "<" && !skip_template_args(toks, j))
+      return false;
+    while (j < n && (toks[j].text == "&" || toks[j].text == "*" ||
+                     toks[j].text == "const"))
+      ++j;
+    if (j >= n || toks[j].kind != TokKind::Ident ||
+        is_decl_keyword(toks[j].text))
+      return false;
+    const std::string& follower = j + 1 < n ? toks[j + 1].text : ";";
+    if (follower == "(" && looks_like_function(toks, j + 1)) return false;
+    if (follower != ";" && follower != "=" && follower != "{" &&
+        follower != "(" && follower != "," && follower != ")")
+      return false;
+    *kind = type.kind;
+    *name = toks[j].text;
+    *name_pos = j;
+    *is_param = follower == "," || follower == ")";
+    return true;
+  }
+  return false;
+}
+
+struct ThreadDecl {
+  std::string name;
+  int line = 1;
+  bool handled = false;  // join()/detach() seen
+  bool escaped = false;  // used some other way (moved, stored, returned)
+};
+
+struct Scope {
+  bool block = false;  // function/lambda/compound body vs type/init braces
+  std::vector<ThreadDecl> threads;
+};
+
+}  // namespace
+
+std::vector<Finding> flow_findings(const ScannedFile& file, bool det_scope,
+                                   bool stream_scope) {
+  std::vector<Finding> out;
+  if (!det_scope && !stream_scope) return out;
+  const std::vector<Token> toks = tokenize(file);
+  const std::size_t n = toks.size();
+
+  std::map<std::string, DeclKind> kinds;  // flow order: decls seen so far
+  std::vector<Scope> scopes;
+
+  // Declaration pre-pass: class members are conventionally declared at
+  // the *bottom* of the class, after the methods that use them, so a
+  // file-wide fallback must exist before the flow pass runs.  A name
+  // declared with different kinds in different functions is ambiguous —
+  // the fallback degrades to None and only a flow-order declaration
+  // (below) can re-establish it.
+  std::map<std::string, DeclKind> fallback;
+  for (std::size_t i = 0; i < n; ++i) {
+    DeclKind kind = DeclKind::None;
+    std::string name;
+    std::size_t name_pos = 0;
+    bool is_param = false;
+    if (!match_decl(toks, i, &kind, &name, &name_pos, &is_param)) continue;
+    const auto it = fallback.find(name);
+    if (it == fallback.end())
+      fallback[name] = kind;
+    else if (it->second != kind)
+      it->second = DeclKind::None;
+  }
+
+  auto kind_of = [&](const std::string& name) {
+    const auto it = kinds.find(name);
+    if (it != kinds.end()) return it->second;
+    const auto fb = fallback.find(name);
+    return fb == fallback.end() ? DeclKind::None : fb->second;
+  };
+
+  auto thread_decl_for = [&](const std::string& name) -> ThreadDecl* {
+    for (auto scope = scopes.rbegin(); scope != scopes.rend(); ++scope)
+      for (ThreadDecl& decl : scope->threads)
+        if (decl.name == name) return &decl;
+    return nullptr;
+  };
+
+  auto pop_scope = [&] {
+    if (scopes.empty()) return;
+    const Scope scope = std::move(scopes.back());
+    scopes.pop_back();
+    if (!scope.block || !det_scope) return;
+    for (const ThreadDecl& decl : scope.threads)
+      if (!decl.handled && !decl.escaped)
+        out.push_back({file.path, decl.line, "CON-002",
+                       "std::thread '" + decl.name +
+                           "' may leave its scope without join()"});
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Token& tok = toks[i];
+
+    if (tok.text == "{" && tok.kind == TokKind::Punct) {
+      // A compound statement follows `)` (function/if/for/lambda heads),
+      // `else`/`do`/`try`, another brace, or a semicolon; braces after
+      // identifiers or `=` are type bodies and initializer lists.
+      Scope scope;
+      if (i == 0) {
+        scope.block = true;
+      } else {
+        const Token& prev = toks[i - 1];
+        scope.block = prev.text == ")" || prev.text == "else" ||
+                      prev.text == "do" || prev.text == "try" ||
+                      prev.text == "{" || prev.text == "}" ||
+                      prev.text == ";" || prev.text == "]";
+      }
+      scopes.push_back(std::move(scope));
+      continue;
+    }
+    if (tok.text == "}" && tok.kind == TokKind::Punct) {
+      pop_scope();
+      continue;
+    }
+
+    if (tok.kind != TokKind::Ident) continue;
+    const bool after_member_access =
+        i > 0 && (toks[i - 1].text == "." || toks[i - 1].text == "->");
+
+    // --- declarations ------------------------------------------------------
+    // A flow-order declaration overrides the file-wide fallback from
+    // here on, and local std::thread declarations pick up join tracking.
+    // jthread joins in its destructor and parameters are someone else's
+    // responsibility.
+    {
+      DeclKind kind = DeclKind::None;
+      std::string name;
+      std::size_t name_pos = 0;
+      bool is_param = false;
+      if (match_decl(toks, i, &kind, &name, &name_pos, &is_param)) {
+        kinds[name] = kind;
+        if (kind == DeclKind::Thread && tok.text == "thread" && !is_param &&
+            !scopes.empty() && scopes.back().block)
+          scopes.back().threads.push_back(
+              {name, toks[name_pos].line, false, false});
+      }
+    }
+
+    // --- DET-006: ad-hoc RNG in named-stream modules -----------------------
+    if (stream_scope && tok.text == "Rng" && !after_member_access) {
+      const std::string qual = qualifier_at(toks, i);
+      if (qual.empty() || qual == "sim") {
+        std::size_t j = i + 1;
+        if (j < n && (toks[j].text == "(" || toks[j].text == "{")) {
+          // Anonymous construction: must immediately derive a named child.
+          const std::size_t close = match_close(toks, j);
+          const bool chained =
+              close + 2 < n &&
+              (toks[close + 1].text == "." || toks[close + 1].text == "->") &&
+              toks[close + 2].text == "child";
+          if (!chained)
+            out.push_back(
+                {file.path, tok.line, "DET-006",
+                 "ad-hoc RNG construction: derive a named child "
+                 "immediately (sim::Rng(seed).child(\"stream\")) or bind "
+                 "the module's root stream"});
+        } else if (j < n && toks[j].kind == TokKind::Ident &&
+                   !is_decl_keyword(toks[j].text)) {
+          const std::string& name = toks[j].text;
+          const std::string& follower = j + 1 < n ? toks[j + 1].text : ";";
+          const bool is_root = name == "root" || name == "root_";
+          const bool is_function =
+              follower == "(" && looks_like_function(toks, j + 1);
+          if (!is_root && !is_function && (follower == "(" || follower == "{"))
+            out.push_back(
+                {file.path, toks[j].line, "DET-006",
+                 "RNG '" + name +
+                     "' seeded directly: only the root stream may be "
+                     "constructed from a seed; derive named children via "
+                     ".child(...) or the module's stream() helper"});
+        }
+      }
+    }
+    if (stream_scope && after_member_access && tok.text == "draw" &&
+        i + 1 < n && toks[i + 1].text == "(") {
+      out.push_back({file.path, tok.line, "DET-006",
+                     "legacy .draw() call: draw through a named stream "
+                     "helper instead"});
+    }
+
+    // --- CON-001: naked mutex lock/unlock ----------------------------------
+    if (det_scope && after_member_access &&
+        (tok.text == "lock" || tok.text == "unlock") && i + 1 < n &&
+        toks[i + 1].text == "(" && i >= 2 &&
+        toks[i - 2].kind == TokKind::Ident) {
+      const DeclKind receiver = kind_of(toks[i - 2].text);
+      if (receiver == DeclKind::Mutex)
+        out.push_back({file.path, tok.line, "CON-001",
+                       "naked ." + tok.text + "() on mutex '" +
+                           toks[i - 2].text +
+                           "': use std::lock_guard / std::scoped_lock / "
+                           "std::unique_lock"});
+    }
+
+    // --- CON-002: detach and join tracking ---------------------------------
+    if (det_scope && after_member_access &&
+        (tok.text == "join" || tok.text == "detach" ||
+         tok.text == "joinable") &&
+        i + 1 < n && toks[i + 1].text == "(") {
+      std::string receiver;
+      bool temporary = false;
+      if (i >= 2 && toks[i - 2].kind == TokKind::Ident) {
+        receiver = toks[i - 2].text;
+      } else if (i >= 2 && toks[i - 2].text == ")") {
+        // std::thread(...).detach() — scan back to the matching opener.
+        int depth = 0;
+        for (std::size_t j = i - 2; j + 1 > 0; --j) {
+          if (toks[j].text == ")") ++depth;
+          if (toks[j].text == "(" && --depth == 0) {
+            temporary = j >= 1 && toks[j - 1].text == "thread" &&
+                        qualifier_at(toks, j - 1) == "std";
+            break;
+          }
+        }
+      }
+      ThreadDecl* decl =
+          receiver.empty() ? nullptr : thread_decl_for(receiver);
+      if (decl != nullptr && tok.text != "joinable") decl->handled = true;
+      const bool on_thread = temporary || decl != nullptr ||
+                             kind_of(receiver) == DeclKind::Thread;
+      if (tok.text == "detach" && on_thread)
+        out.push_back({file.path, tok.line, "CON-002",
+                       "detach() abandons the thread past scope exit; "
+                       "join on all paths instead"});
+    } else if (det_scope && !after_member_access) {
+      // Any other mention of a tracked thread (moved, stored, returned)
+      // transfers responsibility for the join elsewhere.
+      ThreadDecl* decl = thread_decl_for(tok.text);
+      if (decl != nullptr &&
+          !(i + 2 < n &&
+            (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+            (toks[i + 2].text == "join" || toks[i + 2].text == "detach" ||
+             toks[i + 2].text == "joinable")) &&
+          !(i >= 1 && (toks[i - 1].text == "thread" ||
+                       toks[i - 1].text == "jthread")))
+        decl->escaped = true;
+    }
+
+    // --- DET-005: unordered iteration feeding an emitter -------------------
+    if (det_scope && tok.text == "for" && !after_member_access &&
+        i + 1 < n && toks[i + 1].text == "(") {
+      const std::size_t open = i + 1;
+      const std::size_t close = match_close(toks, open);
+      if (close >= n) continue;
+      // Range-for: a single `:` at parenthesis depth 1, no top-level `;`.
+      std::size_t colon = 0;
+      bool classic = false;
+      int depth = 0;
+      for (std::size_t j = open; j <= close && !classic; ++j) {
+        if (toks[j].text == "(")
+          ++depth;
+        else if (toks[j].text == ")")
+          --depth;
+        else if (depth == 1 && toks[j].text == ";")
+          classic = true;
+        else if (depth == 1 && toks[j].text == ":" && colon == 0)
+          colon = j;
+      }
+      if (classic || colon == 0) continue;
+      bool unordered = false;
+      for (std::size_t j = colon + 1; j < close; ++j)
+        if (toks[j].kind == TokKind::Ident &&
+            (kind_of(toks[j].text) == DeclKind::Unordered ||
+             toks[j].text.rfind("unordered_", 0) == 0)) {
+          unordered = true;
+          break;
+        }
+      if (!unordered) continue;
+      std::size_t body_begin = close + 1;
+      std::size_t body_end;
+      if (body_begin < n && toks[body_begin].text == "{")
+        body_end = match_close(toks, body_begin);
+      else
+        for (body_end = body_begin;
+             body_end < n && toks[body_end].text != ";"; ++body_end) {
+        }
+      bool sorted = false;
+      for (std::size_t j = body_begin; j < body_end && j < n; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::Ident &&
+            (t.text == "sort" || t.text == "stable_sort")) {
+          sorted = true;
+          continue;
+        }
+        const bool stream_emit =
+            t.text == "<<" && j >= 1 && toks[j - 1].kind == TokKind::Ident &&
+            kind_of(toks[j - 1].text) == DeclKind::Stream;
+        const bool call_emit =
+            t.kind == TokKind::Ident && j + 1 < n &&
+            toks[j + 1].text == "(" &&
+            (t.text == "json_escape" || t.text.rfind("save_", 0) == 0 ||
+             t.text.rfind("write_", 0) == 0);
+        if ((stream_emit || call_emit) && !sorted) {
+          out.push_back(
+              {file.path, tok.line, "DET-005",
+               "iteration over an unordered container reaches an "
+               "emitter ('" + (stream_emit ? "<<" : t.text) +
+                   "') without an intervening sort — hash order would "
+                   "be serialized"});
+          break;
+        }
+      }
+    }
+  }
+  while (!scopes.empty()) pop_scope();
+
+  std::sort(out.begin(), out.end(), finding_before);
+  return out;
+}
+
+}  // namespace hpcs::lint

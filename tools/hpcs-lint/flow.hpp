@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file flow.hpp
+/// \brief hpcs-lint pass 2: flow-aware rules on a token stream.
+///
+/// The line rules in rules.cpp match single identifiers; the rules here
+/// need to follow a value — from a container declaration to the loop
+/// that iterates it to the emitter inside the loop body, or from a
+/// mutex declaration to a naked `.lock()` three scopes later.  Pass 2
+/// therefore tokenizes the lexed file (comments and literal contents
+/// already stripped) and walks the stream once with a brace-scope
+/// tracker that records what each name was declared as.
+///
+/// Rule families:
+///
+///   DET-005  range-for over an `unordered_map`/`unordered_set` whose
+///            body reaches an emitter (`<<`, `save_*`, `write_*`,
+///            `json_escape`) with no intervening sort — the classic
+///            "serialize hash order" reproducibility bug
+///   DET-006  ad-hoc RNG in the named-stream modules (fault/, gateway/,
+///            sched/): constructing `Rng` without immediately deriving
+///            a named child (`.child(...)`) or binding the root stream,
+///            and any legacy `.draw(...)` call
+///   CON-001  naked `.lock()`/`.unlock()` on a declared mutex instead
+///            of `lock_guard`/`scoped_lock`/`unique_lock`
+///   CON-002  `std::thread` that can leave its scope without `join()`
+///            (and every `.detach()`), heuristic over all paths
+///
+/// Everything here is a heuristic by design — the fixtures under
+/// tools/hpcs-lint/fixtures/ pin the exact behavior, and inline
+/// `allow(RULE)` suppressions (applied by the caller) handle the rest.
+
+#include <vector>
+
+#include "lint.hpp"
+
+namespace hpcs::lint {
+
+/// Runs the pass-2 rule families over one lexed file.
+///
+/// \p det_scope    file can reach serialized artifacts (src/, bench/,
+///                 examples/) — enables DET-005 and the CON family
+/// \p stream_scope file belongs to a named-stream module (src/fault,
+///                 src/gateway, src/sched) — enables DET-006
+///
+/// Findings are returned unfiltered; the caller applies inline
+/// suppressions and the built-in allowlist.
+std::vector<Finding> flow_findings(const ScannedFile& file, bool det_scope,
+                                   bool stream_scope);
+
+}  // namespace hpcs::lint

@@ -1,0 +1,505 @@
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph.hpp"
+
+namespace hpcs::lint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0)
+    --e;
+  return s.substr(b, e - b);
+}
+
+/// Collapses "." and ".." segments of a '/'-separated path; returns ""
+/// when the path escapes its root.
+std::string normalize(const std::string& path) {
+  std::vector<std::string> parts;
+  std::size_t i = 0;
+  while (i <= path.size()) {
+    const std::size_t slash = path.find('/', i);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    const std::string part = path.substr(i, end - i);
+    if (part == "..") {
+      if (parts.empty()) return "";
+      parts.pop_back();
+    } else if (!part.empty() && part != ".") {
+      parts.push_back(part);
+    }
+    if (slash == std::string::npos) break;
+    i = slash + 1;
+  }
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) out += '/';
+    out += part;
+  }
+  return out;
+}
+
+std::string dirname(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+std::vector<IncludeRef> parse_includes(const ScannedFile& file) {
+  std::vector<IncludeRef> out;
+  for (std::size_t li = 0; li < file.lines.size(); ++li) {
+    const std::string code = trim(file.lines[li].code);
+    if (code.empty() || code[0] != '#') continue;
+    std::size_t i = 1;
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i])) != 0)
+      ++i;
+    if (code.compare(i, 7, "include") != 0) continue;
+    i += 7;
+    while (i < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[i])) != 0)
+      ++i;
+    if (i >= code.size()) continue;
+    const char open = code[i];
+    const char close = open == '<' ? '>' : '"';
+    if (open != '<' && open != '"') continue;
+    const std::size_t end = code.find(close, i + 1);
+    if (end == std::string::npos) continue;
+    IncludeRef ref;
+    ref.line = static_cast<int>(li) + 1;
+    ref.target = code.substr(i + 1, end - i - 1);
+    ref.angled = open == '<';
+    out.push_back(std::move(ref));
+  }
+  return out;
+}
+
+ProjectGraph build_include_graph(const std::vector<ScannedFile>& files) {
+  ProjectGraph graph;
+  std::set<std::string> known;
+  for (const ScannedFile& f : files) known.insert(f.path);
+  for (const ScannedFile& f : files) {
+    std::vector<IncludeRef> refs = parse_includes(f);
+    for (IncludeRef& ref : refs) {
+      std::vector<std::string> candidates;
+      if (!ref.angled) {
+        const std::string dir = dirname(f.path);
+        candidates.push_back(dir.empty() ? ref.target : dir + "/" + ref.target);
+      }
+      // Both forms may name a project header relative to the src/
+      // include root (the build's only -I besides the file's own dir).
+      candidates.push_back("src/" + ref.target);
+      candidates.push_back(ref.target);
+      for (const std::string& candidate : candidates) {
+        const std::string norm = normalize(candidate);
+        if (!norm.empty() && known.count(norm) != 0) {
+          ref.resolved = norm;
+          break;
+        }
+      }
+    }
+    graph.files[f.path] = std::move(refs);
+  }
+  return graph;
+}
+
+LayerSpec parse_layers(const std::string& text, std::string* error) {
+  LayerSpec spec;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    std::string line =
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty()) continue;
+    std::istringstream words(line);
+    std::string word;
+    words >> word;
+    if (word != "layer") {
+      if (error)
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 ": expected 'layer <module>...', got '" + word + "'";
+      return LayerSpec{};
+    }
+    std::vector<std::string> modules;
+    while (words >> word) {
+      if (spec.rank.count(word) != 0) {
+        if (error)
+          *error = "layers.txt:" + std::to_string(line_no) + ": module '" +
+                   word + "' declared twice";
+        return LayerSpec{};
+      }
+      spec.rank[word] = static_cast<int>(spec.layers.size());
+      modules.push_back(word);
+    }
+    if (modules.empty()) {
+      if (error)
+        *error = "layers.txt:" + std::to_string(line_no) +
+                 ": empty 'layer' line";
+      return LayerSpec{};
+    }
+    spec.layers.push_back(std::move(modules));
+  }
+  if (spec.layers.empty() && error)
+    *error = "layers.txt declares no layers";
+  return spec;
+}
+
+LayerSpec load_layers(const std::string& root, std::string* error) {
+  for (const char* rel : {"/tools/hpcs-lint/layers.txt", "/layers.txt"}) {
+    std::ifstream in(root + rel, std::ios::binary);
+    if (!in.good()) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse_layers(buf.str(), error);
+  }
+  return LayerSpec{};
+}
+
+std::string module_of(const std::string& path) {
+  if (path.rfind("src/", 0) != 0) return "";
+  const std::size_t slash = path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return path.substr(4, slash - 4);
+}
+
+std::vector<Finding> check_layering(const ProjectGraph& graph,
+                                    const LayerSpec& spec) {
+  std::vector<Finding> out;
+  std::set<std::string> undeclared;  // report one finding per module
+  std::set<std::string> on_disk;
+  for (const auto& [file, refs] : graph.files) {
+    const std::string mod = module_of(file);
+    if (mod.empty()) continue;  // consumers may include any layer
+    on_disk.insert(mod);
+    if (spec.rank.count(mod) == 0) {
+      if (undeclared.insert(mod).second)
+        out.push_back({file, 1, "LAY-001",
+                       "module '" + mod +
+                           "' is not declared in layers.txt — add it to "
+                           "the layer DAG"});
+      continue;
+    }
+    const int rank = spec.rank.at(mod);
+    for (const IncludeRef& ref : refs) {
+      if (ref.resolved.empty()) continue;
+      const std::string dep = module_of(ref.resolved);
+      if (dep.empty() || dep == mod) continue;
+      const auto it = spec.rank.find(dep);
+      if (it == spec.rank.end()) continue;  // reported once above
+      if (it->second > rank)
+        out.push_back({file, ref.line, "LAY-001",
+                       "upward include: '" + mod + "' (layer " +
+                           std::to_string(rank) + ") must not include '" +
+                           dep + "' (layer " + std::to_string(it->second) +
+                           ")"});
+      else if (it->second == rank)
+        out.push_back({file, ref.line, "LAY-001",
+                       "cross-layer include: '" + mod + "' and '" + dep +
+                           "' share layer " + std::to_string(rank) +
+                           "; same-rank modules must stay independent"});
+    }
+  }
+  for (const auto& [mod, rank] : spec.rank) {
+    (void)rank;
+    if (!graph.files.empty() && on_disk.count(mod) == 0)
+      out.push_back({"tools/hpcs-lint/layers.txt", 1, "LAY-001",
+                     "module '" + mod +
+                         "' is declared in layers.txt but has no files "
+                         "under src/" +
+                         mod + "/"});
+  }
+  std::sort(out.begin(), out.end(), finding_before);
+  return out;
+}
+
+std::vector<Finding> check_include_cycles(const ProjectGraph& graph) {
+  // Iterative DFS with tricolor marking over resolved edges; every back
+  // edge closes a cycle, canonicalized (smallest member first) to
+  // deduplicate the same loop discovered from different entry points.
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::string> stack;
+  std::set<std::vector<std::string>> seen;
+  std::vector<Finding> out;
+
+  std::function<void(const std::string&)> visit = [&](const std::string& file) {
+    color[file] = 1;
+    stack.push_back(file);
+    const auto it = graph.files.find(file);
+    if (it != graph.files.end()) {
+      for (const IncludeRef& ref : it->second) {
+        if (ref.resolved.empty()) continue;
+        const int c = color[ref.resolved];
+        if (c == 0) {
+          visit(ref.resolved);
+        } else if (c == 1) {
+          const auto begin =
+              std::find(stack.begin(), stack.end(), ref.resolved);
+          std::vector<std::string> cycle(begin, stack.end());
+          const auto min =
+              std::min_element(cycle.begin(), cycle.end());
+          std::rotate(cycle.begin(), min, cycle.end());
+          if (!seen.insert(cycle).second) continue;
+          // Report at the smallest member's include of its successor.
+          const std::string& head = cycle.front();
+          const std::string& next =
+              cycle.size() > 1 ? cycle[1] : cycle.front();
+          int line = 1;
+          const auto head_it = graph.files.find(head);
+          if (head_it != graph.files.end())
+            for (const IncludeRef& edge : head_it->second)
+              if (edge.resolved == next) {
+                line = edge.line;
+                break;
+              }
+          std::string path;
+          for (const std::string& member : cycle) path += member + " -> ";
+          path += head;
+          out.push_back({head, line, "LAY-002", "include cycle: " + path});
+        }
+      }
+    }
+    stack.pop_back();
+    color[file] = 2;
+  };
+
+  for (const auto& [file, refs] : graph.files) {
+    (void)refs;
+    if (color[file] == 0) visit(file);
+  }
+  std::sort(out.begin(), out.end(), finding_before);
+  return out;
+}
+
+namespace {
+
+/// std:: components worth checking, mapped to the standard headers that
+/// provide them (any one suffices).  Deliberately conservative: only
+/// symbols whose home header is unambiguous, so the lint-side rule never
+/// contradicts the compile probe.
+struct StdSymbol {
+  const char* name;
+  std::vector<const char*> headers;
+};
+
+const std::vector<StdSymbol>& std_symbols() {
+  static const std::vector<StdSymbol> kSymbols = {
+      {"string", {"string"}},
+      {"to_string", {"string"}},
+      {"string_view", {"string_view"}},
+      {"vector", {"vector"}},
+      {"deque", {"deque"}},
+      {"array", {"array"}},
+      {"map", {"map"}},
+      {"multimap", {"map"}},
+      {"set", {"set"}},
+      {"multiset", {"set"}},
+      {"unordered_map", {"unordered_map"}},
+      {"unordered_multimap", {"unordered_map"}},
+      {"unordered_set", {"unordered_set"}},
+      {"unordered_multiset", {"unordered_set"}},
+      {"optional", {"optional"}},
+      {"variant", {"variant"}},
+      {"function", {"functional"}},
+      {"shared_ptr", {"memory"}},
+      {"unique_ptr", {"memory"}},
+      {"weak_ptr", {"memory"}},
+      {"make_shared", {"memory"}},
+      {"make_unique", {"memory"}},
+      {"mutex", {"mutex"}},
+      {"lock_guard", {"mutex"}},
+      {"unique_lock", {"mutex"}},
+      {"scoped_lock", {"mutex"}},
+      {"shared_mutex", {"shared_mutex"}},
+      {"shared_lock", {"shared_mutex"}},
+      {"condition_variable", {"condition_variable"}},
+      {"thread", {"thread"}},
+      {"atomic", {"atomic"}},
+      {"chrono", {"chrono"}},
+      {"ostream", {"iosfwd", "ostream", "iostream", "sstream", "fstream"}},
+      {"istream", {"iosfwd", "istream", "iostream", "sstream", "fstream"}},
+      {"ofstream", {"fstream"}},
+      {"ifstream", {"fstream"}},
+      {"fstream", {"fstream"}},
+      {"ostringstream", {"sstream"}},
+      {"istringstream", {"sstream"}},
+      {"stringstream", {"sstream"}},
+      {"runtime_error", {"stdexcept"}},
+      {"logic_error", {"stdexcept"}},
+      {"invalid_argument", {"stdexcept"}},
+      {"out_of_range", {"stdexcept"}},
+      {"domain_error", {"stdexcept"}},
+      {"exception_ptr", {"exception", "stdexcept"}},
+      {"current_exception", {"exception", "stdexcept"}},
+      {"rethrow_exception", {"exception", "stdexcept"}},
+      {"numeric_limits", {"limits"}},
+      {"int8_t", {"cstdint"}},
+      {"int16_t", {"cstdint"}},
+      {"int32_t", {"cstdint"}},
+      {"int64_t", {"cstdint"}},
+      {"uint8_t", {"cstdint"}},
+      {"uint16_t", {"cstdint"}},
+      {"uint32_t", {"cstdint"}},
+      {"uint64_t", {"cstdint"}},
+      {"size_t", {"cstddef"}},
+      {"ptrdiff_t", {"cstddef"}},
+      {"accumulate", {"numeric"}},
+  };
+  return kSymbols;
+}
+
+const StdSymbol* find_symbol(const std::string& name) {
+  for (const StdSymbol& symbol : std_symbols())
+    if (name == symbol.name) return &symbol;
+  return nullptr;
+}
+
+bool ident_char(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Collects the std headers reachable from \p file through the resolved
+/// project include closure (memoized; cycles degrade gracefully — the
+/// cycle itself is a LAY-002 finding).
+const std::set<std::string>& std_closure(
+    const ProjectGraph& graph, const std::string& file,
+    std::map<std::string, std::set<std::string>>& memo,
+    std::set<std::string>& visiting) {
+  const auto hit = memo.find(file);
+  if (hit != memo.end()) return hit->second;
+  static const std::set<std::string> kEmpty;
+  if (!visiting.insert(file).second) return kEmpty;
+  std::set<std::string> closure;
+  const auto it = graph.files.find(file);
+  if (it != graph.files.end()) {
+    for (const IncludeRef& ref : it->second) {
+      if (ref.resolved.empty()) {
+        closure.insert(ref.target);  // external: a standard/system header
+      } else {
+        const std::set<std::string>& sub =
+            std_closure(graph, ref.resolved, memo, visiting);
+        closure.insert(sub.begin(), sub.end());
+      }
+    }
+  }
+  visiting.erase(file);
+  return memo[file] = std::move(closure);
+}
+
+bool is_header(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return false;
+  const std::string ext = path.substr(dot + 1);
+  return ext == "hpp" || ext == "h" || ext == "hh" || ext == "hxx";
+}
+
+}  // namespace
+
+std::vector<Finding> check_self_contained(
+    const ProjectGraph& graph, const std::vector<ScannedFile>& files) {
+  std::vector<Finding> out;
+  std::map<std::string, std::set<std::string>> memo;
+  std::set<std::string> visiting;
+  for (const ScannedFile& f : files) {
+    if (module_of(f.path).empty() || !is_header(f.path)) continue;
+    const std::set<std::string>& have =
+        std_closure(graph, f.path, memo, visiting);
+    std::set<std::string> reported;  // one finding per missing header
+    for (std::size_t li = 0; li < f.lines.size(); ++li) {
+      const std::string& code = f.lines[li].code;
+      // Find `std :: <symbol>` uses; only the component directly after
+      // std:: matters (std::chrono::seconds charges <chrono>).
+      std::size_t pos = 0;
+      while ((pos = code.find("std", pos)) != std::string::npos) {
+        const std::size_t begin = pos;
+        pos += 3;
+        if (begin > 0 && ident_char(code[begin - 1])) continue;
+        std::size_t i = pos;
+        while (i < code.size() && code[i] == ' ') ++i;
+        if (i + 1 >= code.size() || code[i] != ':' || code[i + 1] != ':')
+          continue;
+        i += 2;
+        while (i < code.size() && code[i] == ' ') ++i;
+        const std::size_t sym_begin = i;
+        while (i < code.size() && ident_char(code[i])) ++i;
+        if (i == sym_begin) continue;
+        const std::string name = code.substr(sym_begin, i - sym_begin);
+        const StdSymbol* symbol = find_symbol(name);
+        if (symbol == nullptr) continue;
+        bool satisfied = false;
+        for (const char* header : symbol->headers)
+          if (have.count(header) != 0) {
+            satisfied = true;
+            break;
+          }
+        if (satisfied || reported.count(symbol->headers.front()) != 0)
+          continue;
+        reported.insert(symbol->headers.front());
+        out.push_back(
+            {f.path, static_cast<int>(li) + 1, "LAY-003",
+             "header is not self-contained: uses std::" + name +
+                 " but neither includes <" + symbol->headers.front() +
+                 "> nor reaches it transitively"});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), finding_before);
+  return out;
+}
+
+std::string module_dot(const ProjectGraph& graph, const LayerSpec& spec) {
+  std::set<std::pair<std::string, std::string>> edges;
+  std::set<std::string> modules;
+  for (const auto& [file, refs] : graph.files) {
+    const std::string mod = module_of(file);
+    if (mod.empty()) continue;
+    modules.insert(mod);
+    for (const IncludeRef& ref : refs) {
+      if (ref.resolved.empty()) continue;
+      const std::string dep = module_of(ref.resolved);
+      if (!dep.empty() && dep != mod) edges.emplace(mod, dep);
+    }
+  }
+  std::ostringstream dot;
+  dot << "digraph hpcs_layers {\n"
+      << "  // generated by hpcs-lint --dot; do not edit\n"
+      << "  rankdir = BT;\n"
+      << "  node [shape=box, fontname=\"monospace\"];\n";
+  for (const std::vector<std::string>& layer : spec.layers) {
+    dot << "  { rank = same;";
+    for (const std::string& mod : layer)
+      if (modules.count(mod) != 0) dot << " " << mod << ";";
+    dot << " }\n";
+  }
+  for (const std::string& mod : modules)
+    if (spec.rank.count(mod) == 0) dot << "  " << mod << ";\n";
+  for (const auto& [from, to] : edges)
+    dot << "  " << from << " -> " << to << ";\n";
+  dot << "}\n";
+  return dot.str();
+}
+
+std::string layering_dot(const std::string& root) {
+  const std::vector<ScannedFile> files = scan_tree(root);
+  const ProjectGraph graph = build_include_graph(files);
+  std::string error;
+  const LayerSpec spec = load_layers(root, &error);
+  return module_dot(graph, spec);
+}
+
+}  // namespace hpcs::lint

@@ -102,10 +102,17 @@ struct Report {
   std::size_t files_scanned = 0;
 };
 
-/// Lints the project tree under \p root: src/, bench/, examples/,
-/// tools/, and tests/ (minus tests/lint_fixtures/, whose files are
-/// intentionally bad).  File order — and therefore output — is sorted
-/// and deterministic.
+/// Lexes every lintable file under the project tree: src/, bench/,
+/// examples/, tools/, and tests/ (minus tools/hpcs-lint/fixtures/,
+/// whose files are intentionally bad).  Sorted by path.
+std::vector<ScannedFile> scan_tree(const std::string& root);
+
+/// Lints the project tree under \p root (see scan_tree for the file
+/// set).  Runs the per-file rules, then — when a layer spec is present
+/// (tools/hpcs-lint/layers.txt, or layers.txt for fixture trees) — the
+/// include-graph pass: layer DAG conformance (LAY-001), cycle detection
+/// (LAY-002), and header self-containment (LAY-003).  File order — and
+/// therefore output — is sorted and deterministic.
 Report lint_tree(const std::string& root);
 
 /// Lints explicit files and/or directories.  Paths are relativized

@@ -1,17 +1,23 @@
 // hpcs-lint CLI: scans the tree (or explicit paths) and exits nonzero on
-// any finding, so both the `lint` ctest entry and the CI job fail loudly.
+// any finding, so both the `lint_tree` ctest entry and the CI job fail
+// loudly.
 //
-//   hpcs-lint [--root DIR] [--list-rules] [paths...]
+//   hpcs-lint [--root DIR] [--list-rules] [--dot FILE] [paths...]
 //
 // With no paths, lints src/, bench/, examples/, tools/, and tests/ under
-// the root (tests/lint_fixtures/ excluded).  Output is deterministic:
-// findings sorted by (file, line, rule).
+// the root (tools/hpcs-lint/fixtures/ excluded), including the
+// include-graph pass (layer DAG, cycles, header self-containment).
+// --dot writes the module-level layering diagram (Graphviz) that
+// docs/architecture.md embeds and the lint-layering CI step uploads.
+// Output is deterministic: findings sorted by (file, line, rule).
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "graph.hpp"
 #include "lint.hpp"
 
 namespace {
@@ -32,7 +38,7 @@ void print_rules() {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--root DIR] [--list-rules] [paths...]\n";
+            << " [--root DIR] [--list-rules] [--dot FILE] [paths...]\n";
   return 2;
 }
 
@@ -40,6 +46,7 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string dot_path;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -50,6 +57,9 @@ int main(int argc, char** argv) {
     if (std::strcmp(arg, "--root") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
       root = argv[++i];
+    } else if (std::strcmp(arg, "--dot") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      dot_path = argv[++i];
     } else if (std::strcmp(arg, "--help") == 0 ||
                std::strcmp(arg, "-h") == 0) {
       usage(argv[0]);
@@ -61,14 +71,31 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!dot_path.empty()) {
+    const std::string dot = hpcs::lint::layering_dot(root);
+    if (dot_path == "-") {
+      std::cout << dot;
+    } else {
+      std::ofstream out(dot_path, std::ios::binary);
+      out << dot;
+      if (!out) {
+        std::cerr << "hpcs-lint: cannot write " << dot_path << "\n";
+        return 2;
+      }
+    }
+  }
+
   const hpcs::lint::Report report =
       paths.empty() ? hpcs::lint::lint_tree(root)
                     : hpcs::lint::lint_paths(root, paths);
+  // `--dot -` streams the diagram on stdout; keep it pipeable by routing
+  // the findings and the summary line to stderr in that mode.
+  std::ostream& out = dot_path == "-" ? std::cerr : std::cout;
   for (const hpcs::lint::Finding& finding : report.findings)
-    std::cout << finding.file << ":" << finding.line << ": ["
-              << finding.rule << "] " << finding.message << "\n";
-  std::cout << "hpcs-lint: " << report.files_scanned << " files scanned, "
-            << report.findings.size() << " finding"
-            << (report.findings.size() == 1 ? "" : "s") << "\n";
+    out << finding.file << ":" << finding.line << ": [" << finding.rule
+        << "] " << finding.message << "\n";
+  out << "hpcs-lint: " << report.files_scanned << " files scanned, "
+      << report.findings.size() << " finding"
+      << (report.findings.size() == 1 ? "" : "s") << "\n";
   return report.findings.empty() ? 0 : 1;
 }

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "flow.hpp"
+#include "graph.hpp"
 #include "lint.hpp"
 
 namespace hpcs::lint {
@@ -211,6 +213,26 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"DET-004",
        "no thread identity (thread::id, get_id, hardware_concurrency) "
        "that could flow into serialized output"},
+      {"DET-005",
+       "no iteration over unordered containers whose loop body reaches "
+       "an emitter (<<, save_*, write_*, json_escape) without a sort"},
+      {"DET-006",
+       "in fault/gateway/sched: RNG must be the bound root stream or a "
+       "named .child(...); no direct seeding or legacy .draw() calls"},
+      {"CON-001",
+       "no naked .lock()/.unlock() on a mutex; use lock_guard / "
+       "scoped_lock / unique_lock"},
+      {"CON-002",
+       "no std::thread that can leave its scope without join(), and no "
+       "detach()"},
+      {"LAY-001",
+       "src/ modules only include strictly lower layers of the declared "
+       "DAG (tools/hpcs-lint/layers.txt)"},
+      {"LAY-002", "no include cycles"},
+      {"LAY-003",
+       "headers are self-contained: every std:: component's header is "
+       "reachable from the header's own include closure (ground truth: "
+       "the generated header_selfcontained compile probe)"},
       {"HYG-001", "no 'using namespace' in headers"},
       {"HYG-002", "every header starts with '#pragma once'"},
       {"HYG-003",
@@ -274,6 +296,46 @@ bool allowlisted(const std::string& path, const std::string& rule) {
   return false;
 }
 
+/// Collects inline suppressions: line -> suppressed rules.  A suppression
+/// on a comment-only line applies to the next line.  Malformed
+/// suppressions (no reason, unknown rule) become findings in
+/// \p complaints when non-null — they never suppress anything.
+std::map<int, std::set<std::string>> suppression_map(
+    const ScannedFile& f, std::vector<Finding>* complaints) {
+  std::map<int, std::set<std::string>> allow;
+  for (std::size_t li = 0; li < f.lines.size(); ++li) {
+    const int ln = static_cast<int>(li) + 1;
+    for (SuppRef& ref : parse_suppressions(f.lines[li].comment)) {
+      if (!known_rule(ref.rule)) {
+        if (complaints != nullptr)
+          complaints->push_back(
+              {f.path, ln, "LNT-902",
+               "suppression names unknown rule '" + ref.rule + "'"});
+        continue;
+      }
+      if (ref.reason.empty()) {
+        // An unexplained suppression does not suppress: the finding it
+        // targeted resurfaces alongside this one.
+        if (complaints != nullptr)
+          complaints->push_back({f.path, ln, "LNT-901",
+                                 "suppression for " + ref.rule +
+                                     " is missing a reason"});
+        continue;
+      }
+      const int target = trim(f.lines[li].code).empty() ? ln + 1 : ln;
+      allow[target].insert(std::move(ref.rule));
+    }
+  }
+  return allow;
+}
+
+/// Modules whose every random decision must flow through named streams
+/// (DET-006): the fault injectors, the gateway service, the scheduler.
+bool named_stream_module(const std::string& path) {
+  const std::string mod = module_of(path);
+  return mod == "fault" || mod == "gateway" || mod == "sched";
+}
+
 }  // namespace
 
 std::vector<Finding> lint_file(const ScannedFile& f) {
@@ -289,29 +351,8 @@ std::vector<Finding> lint_file(const ScannedFile& f) {
                          cls == FileClass::Example || cls == FileClass::Other;
   const bool serial = det_scope && looks_serialization(f);
 
-  // Collect inline suppressions: line -> suppressed rules.  A suppression
-  // on a comment-only line applies to the next line.
-  std::map<int, std::set<std::string>> allow;
-  for (std::size_t li = 0; li < f.lines.size(); ++li) {
-    const int ln = static_cast<int>(li) + 1;
-    for (SuppRef& ref : parse_suppressions(f.lines[li].comment)) {
-      if (!known_rule(ref.rule)) {
-        out.push_back({f.path, ln, "LNT-902",
-                       "suppression names unknown rule '" + ref.rule + "'"});
-        continue;
-      }
-      if (ref.reason.empty()) {
-        // An unexplained suppression does not suppress: the finding it
-        // targeted resurfaces alongside this one.
-        out.push_back({f.path, ln, "LNT-901",
-                       "suppression for " + ref.rule +
-                           " is missing a reason"});
-        continue;
-      }
-      const int target = trim(f.lines[li].code).empty() ? ln + 1 : ln;
-      allow[target].insert(std::move(ref.rule));
-    }
-  }
+  const std::map<int, std::set<std::string>> allow =
+      suppression_map(f, &out);
 
   auto add = [&](int line, const char* rule, std::string message) {
     const auto it = allow.find(line);
@@ -367,6 +408,12 @@ std::vector<Finding> lint_file(const ScannedFile& f) {
   if (header && !has_pragma_once)
     add(1, "HYG-002", "header is missing '#pragma once'");
 
+  // Pass 2: flow-aware families (DET-005/006, CON-001/002) on the token
+  // stream, routed through the same suppression machinery.
+  for (Finding& finding : flow_findings(f, det_scope,
+                                        named_stream_module(f.path)))
+    add(finding.line, finding.rule.c_str(), std::move(finding.message));
+
   std::sort(out.begin(), out.end(), finding_before);
   return out;
 }
@@ -385,7 +432,7 @@ bool lintable_extension(const fs::path& p) {
 
 bool excluded(const std::string& rel) {
   // Fixture files are intentionally rule-violating inputs for test_lint.
-  return rel.find("tests/lint_fixtures/") != std::string::npos;
+  return rel.find("tools/hpcs-lint/fixtures/") != std::string::npos;
 }
 
 std::string read_file(const fs::path& p) {
@@ -405,17 +452,26 @@ void collect_files(const fs::path& dir, std::vector<fs::path>& out) {
   }
 }
 
-Report lint_file_list(const fs::path& root, std::vector<fs::path> files) {
+std::vector<ScannedFile> scan_file_list(const fs::path& root,
+                                        std::vector<fs::path> files) {
   std::sort(files.begin(), files.end());
-  Report report;
+  std::vector<ScannedFile> out;
   for (const fs::path& file : files) {
     std::string rel =
         file.lexically_normal().lexically_relative(root).generic_string();
     if (rel.empty() || rel.rfind("..", 0) == 0)
       rel = file.lexically_normal().generic_string();
     if (excluded(rel)) continue;
-    ++report.files_scanned;
-    std::vector<Finding> findings = lint_text(rel, read_file(file));
+    out.push_back(scan_source(std::move(rel), read_file(file)));
+  }
+  return out;
+}
+
+Report lint_scanned(const std::vector<ScannedFile>& files) {
+  Report report;
+  report.files_scanned = files.size();
+  for (const ScannedFile& file : files) {
+    std::vector<Finding> findings = lint_file(file);
     report.findings.insert(report.findings.end(),
                            std::make_move_iterator(findings.begin()),
                            std::make_move_iterator(findings.end()));
@@ -426,7 +482,7 @@ Report lint_file_list(const fs::path& root, std::vector<fs::path> files) {
 
 }  // namespace
 
-Report lint_tree(const std::string& root) {
+std::vector<ScannedFile> scan_tree(const std::string& root) {
   const fs::path base = fs::path(root).lexically_normal();
   std::vector<fs::path> files;
   for (const char* sub : {"src", "bench", "examples", "tools", "tests"}) {
@@ -434,7 +490,49 @@ Report lint_tree(const std::string& root) {
     std::error_code ec;
     if (fs::is_directory(dir, ec)) collect_files(dir, files);
   }
-  return lint_file_list(base, std::move(files));
+  return scan_file_list(base, std::move(files));
+}
+
+Report lint_tree(const std::string& root) {
+  const std::vector<ScannedFile> files = scan_tree(root);
+  Report report = lint_scanned(files);
+
+  // Pass 1 (whole-tree scans only: the graph is meaningless for a
+  // partial file list): include graph + layer DAG + self-containment.
+  std::string layers_error;
+  const LayerSpec spec = load_layers(root, &layers_error);
+  if (!layers_error.empty()) {
+    report.findings.push_back(
+        {"tools/hpcs-lint/layers.txt", 1, "LAY-001", layers_error});
+  } else if (!spec.empty()) {
+    const ProjectGraph graph = build_include_graph(files);
+    std::vector<Finding> layering = check_layering(graph, spec);
+    std::vector<Finding> cycles = check_include_cycles(graph);
+    std::vector<Finding> contained = check_self_contained(graph, files);
+    layering.insert(layering.end(),
+                    std::make_move_iterator(cycles.begin()),
+                    std::make_move_iterator(cycles.end()));
+    layering.insert(layering.end(),
+                    std::make_move_iterator(contained.begin()),
+                    std::make_move_iterator(contained.end()));
+    // Route graph findings through the same inline-suppression syntax
+    // the per-file rules honor.
+    std::map<std::string, std::map<int, std::set<std::string>>> allows;
+    for (const ScannedFile& file : files)
+      allows[file.path] = suppression_map(file, nullptr);
+    for (Finding& finding : layering) {
+      const auto file_it = allows.find(finding.file);
+      if (file_it != allows.end()) {
+        const auto line_it = file_it->second.find(finding.line);
+        if (line_it != file_it->second.end() &&
+            line_it->second.count(finding.rule) != 0)
+          continue;
+      }
+      report.findings.push_back(std::move(finding));
+    }
+  }
+  std::sort(report.findings.begin(), report.findings.end(), finding_before);
+  return report;
 }
 
 Report lint_paths(const std::string& root,
@@ -449,7 +547,7 @@ Report lint_paths(const std::string& root,
     else
       files.push_back(path);
   }
-  return lint_file_list(base, std::move(files));
+  return lint_scanned(scan_file_list(base, std::move(files)));
 }
 
 }  // namespace hpcs::lint

@@ -17,13 +17,48 @@ bool hex_digit(char c) noexcept {
   return std::isxdigit(static_cast<unsigned char>(c)) != 0;
 }
 
+/// True when everything before the current position on \p code is the
+/// spelling of an `#include` directive, so the quoted "path" that follows
+/// is a header name (preprocessor grammar), not a string literal — its
+/// text must survive lexing for the include-graph pass to resolve it.
+bool is_include_prefix(const std::string& code) noexcept {
+  std::size_t i = 0;
+  const std::size_t n = code.size();
+  while (i < n && (code[i] == ' ' || code[i] == '\t')) ++i;
+  if (i >= n || code[i] != '#') return false;
+  ++i;
+  while (i < n && (code[i] == ' ' || code[i] == '\t')) ++i;
+  if (code.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  while (i < n && (code[i] == ' ' || code[i] == '\t')) ++i;
+  return i == n;
+}
+
+/// True when \p code ends with a raw-string prefix (R, uR, UR, LR, u8R)
+/// that is not the tail of a longer identifier — i.e. the '"' that
+/// follows opens a raw string literal.
+bool ends_with_raw_prefix(const std::string& code) noexcept {
+  std::size_t n = code.size();
+  if (n == 0 || code[n - 1] != 'R') return false;
+  --n;  // chars before the 'R'
+  std::size_t prefix = 0;
+  if (n >= 2 && code[n - 2] == 'u' && code[n - 1] == '8')
+    prefix = 2;
+  else if (n >= 1 &&
+           (code[n - 1] == 'u' || code[n - 1] == 'U' || code[n - 1] == 'L'))
+    prefix = 1;
+  return n == prefix || !ident_char(code[n - prefix - 1]);
+}
+
 }  // namespace
 
 ScannedFile scan_source(std::string path, const std::string& content) {
   ScannedFile out;
   out.path = std::move(path);
 
-  enum class State { Code, LineComment, BlockComment, String, Char, Raw };
+  enum class State {
+    Code, LineComment, BlockComment, String, Char, Raw, HeaderName
+  };
   State state = State::Code;
   std::string raw_end;  // ")delim\"" terminator of the active raw string
   ScannedLine line;
@@ -41,7 +76,7 @@ ScannedFile scan_source(std::string path, const std::string& content) {
       // Unterminated ordinary literals reset at end of line, like the
       // compiler's error recovery; raw strings and block comments span.
       if (state == State::LineComment || state == State::String ||
-          state == State::Char)
+          state == State::Char || state == State::HeaderName)
         state = State::Code;
       flush();
       ++i;
@@ -57,15 +92,15 @@ ScannedFile scan_source(std::string path, const std::string& content) {
           state = State::BlockComment;
           i += 2;
         } else if (c == '"') {
-          // R"delim( opens a raw string when the R is not the tail of a
-          // longer identifier.
-          const bool raw =
-              !line.code.empty() && line.code.back() == 'R' &&
-              (line.code.size() < 2 ||
-               !ident_char(line.code[line.code.size() - 2]));
+          // R"delim( opens a raw string; so do the prefixed spellings
+          // u8R"/uR"/UR"/LR" (when not the tail of a longer identifier).
+          const bool raw = ends_with_raw_prefix(line.code);
+          const bool header = !raw && is_include_prefix(line.code);
           line.code += '"';
           ++i;
-          if (raw) {
+          if (header) {
+            state = State::HeaderName;
+          } else if (raw) {
             std::string delim;
             while (i < n && content[i] != '(' && content[i] != '\n')
               delim += content[i++];
@@ -90,8 +125,16 @@ ScannedFile scan_source(std::string path, const std::string& content) {
         }
         break;
       case State::LineComment:
-        line.comment += c;
-        ++i;
+        if (c == '\\' && next == '\n') {
+          // Backslash-newline extends a // comment onto the next physical
+          // line; without this, the continuation text would be lexed as
+          // code and could fake (or mask) findings.
+          flush();
+          i += 2;
+        } else {
+          line.comment += c;
+          ++i;
+        }
         break;
       case State::BlockComment:
         if (c == '*' && next == '/') {
@@ -106,6 +149,7 @@ ScannedFile scan_source(std::string path, const std::string& content) {
       case State::Char: {
         const char close = state == State::String ? '"' : '\'';
         if (c == '\\') {
+          if (next == '\n') flush();  // literal continues on the next line
           i += 2;  // skip the escaped character, whatever it is
         } else if (c == close) {
           line.code += close;
@@ -116,6 +160,13 @@ ScannedFile scan_source(std::string path, const std::string& content) {
         }
         break;
       }
+      case State::HeaderName:
+        // #include "path" — the path is a header name, kept verbatim so
+        // the include-graph pass can resolve it.
+        line.code += c;
+        if (c == '"') state = State::Code;
+        ++i;
+        break;
       case State::Raw:
         if (content.compare(i, raw_end.size(), raw_end) == 0) {
           line.code += '"';

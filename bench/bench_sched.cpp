@@ -78,6 +78,12 @@ int usage(std::ostream& out, int code) {
          "observability)\n"
          "  --metrics-out PATH   merged metrics JSON (enables "
          "observability)\n"
+         "  --timeseries-out PATH windowed time-series CSV (enables "
+         "observability + temporal telemetry)\n"
+         "  --timeseries-json PATH aggregate hpcs-timeseries-v1 JSON "
+         "(hpcs-report --timeseries/--slo input)\n"
+         "  --window S           time-series window width in simulated "
+         "seconds (default 60)\n"
          "  --policies A,B,...   scheduling policies (default "
          "fifo-dedicated,backfill-dedicated,backfill-share)\n"
          "  --mixes A,B,...      runtime mixes (default "
@@ -104,6 +110,9 @@ int main(int argc, char** argv) {
   std::string csv_path = "results/sched_grid.csv";
   std::string trace_path;
   std::string metrics_path;
+  std::string timeseries_path;
+  std::string timeseries_json_path;
+  double window_s = 60.0;
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string flag = argv[i];
@@ -123,6 +132,14 @@ int main(int argc, char** argv) {
         trace_path = value();
       } else if (flag == "--metrics-out") {
         metrics_path = value();
+      } else if (flag == "--timeseries-out") {
+        timeseries_path = value();
+      } else if (flag == "--timeseries-json") {
+        timeseries_json_path = value();
+      } else if (flag == "--window") {
+        window_s = std::stod(value());
+        if (window_s <= 0)
+          throw std::invalid_argument("--window: must be > 0");
       } else if (flag == "--policies") {
         spec.policies = split_list(value());
       } else if (flag == "--mixes") {
@@ -149,16 +166,22 @@ int main(int argc, char** argv) {
         throw std::invalid_argument("unknown flag '" + flag + "'");
       }
     }
+    if (!timeseries_path.empty() || !timeseries_json_path.empty())
+      spec.timeseries_window_s = window_s;
     spec.validate();
     probe_open("--csv", csv_path);
     probe_open("--trace-out", trace_path);
     probe_open("--metrics-out", metrics_path);
+    probe_open("--timeseries-out", timeseries_path);
+    probe_open("--timeseries-json", timeseries_json_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
   }
 
-  const bool observe = !trace_path.empty() || !metrics_path.empty();
+  const bool observe = !trace_path.empty() || !metrics_path.empty() ||
+                       !timeseries_path.empty() ||
+                       !timeseries_json_path.empty();
   const auto wall_start = std::chrono::steady_clock::now();
   const hs::SchedGridResult grid = hs::run_sched_grid(spec, jobs, observe);
   const double wall_s =
@@ -207,6 +230,20 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::cout << "[saved " << metrics_path << "]\n";
+  }
+  if (!timeseries_path.empty()) {
+    if (!grid.save_timeseries_csv(timeseries_path)) {
+      std::cerr << "error: cannot write '" << timeseries_path << "'\n";
+      return 2;
+    }
+    std::cout << "[saved " << timeseries_path << "]\n";
+  }
+  if (!timeseries_json_path.empty()) {
+    if (!grid.save_timeseries_json(timeseries_json_path)) {
+      std::cerr << "error: cannot write '" << timeseries_json_path << "'\n";
+      return 2;
+    }
+    std::cout << "[saved " << timeseries_json_path << "]\n";
   }
   std::cout << grid.cells.size() << " cells, " << jobs << " jobs, wall "
             << TextTable::num(wall_s, 3) << " s\n";

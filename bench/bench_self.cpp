@@ -35,6 +35,8 @@
 #include "hw/presets.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
+#include "obs/timeseries.hpp"
 #include "sched/nodes.hpp"
 #include "sched/study.hpp"
 #include "sim/stats.hpp"
@@ -137,6 +139,39 @@ void run_metrics_merge() {
   ho::Metrics total;
   for (const ho::Metrics& m : registries) total.merge(m);
   g_checksum = g_checksum + total.counter_value("runner/steps");
+}
+
+void run_obs_timeseries_append() {
+  // The windowed-store hot path: every gateway/scheduler event lands here
+  // when temporal telemetry is on — counter bumps, gauge samples, and
+  // sketch observations spread over many windows.
+  ho::TimeSeries ts(60.0);
+  for (int i = 0; i < 65536; ++i) {
+    const double t = static_cast<double>(i) * 0.125;  // ~137 windows
+    ts.count("gateway/arrivals", t);
+    if (i % 4 == 0) ts.gauge("gateway/queue_depth", t, double(i % 97));
+    ts.observe("gateway/start_latency_s", t,
+               0.01 + static_cast<double>(i * 31 % 1000) / 100.0);
+  }
+  g_checksum = g_checksum + ts.counter_total("gateway/arrivals");
+}
+
+void run_obs_sketch_merge() {
+  // The aggregation hot path behind the campaign's time-series fold: many
+  // per-cell sketches merged bucket-by-bucket in index order.
+  std::vector<ho::QuantileSketch> sketches(
+      256, ho::QuantileSketch(ho::SketchConfig{}));
+  for (std::size_t i = 0; i < sketches.size(); ++i)
+    for (int k = 0; k < 64; ++k)
+      sketches[i].add(
+          0.001 +
+          static_cast<double>((i * 67 + static_cast<std::size_t>(k) * 31) %
+                              4096) /
+              40.96);
+  ho::QuantileSketch total;
+  for (const ho::QuantileSketch& s : sketches) total.merge(s);
+  g_checksum = g_checksum + total.quantile(0.99) +
+               static_cast<double>(total.count());
 }
 
 void run_trace_export(const ho::TraceData& trace) {
@@ -369,6 +404,10 @@ int main(int argc, char** argv) {
       run_bench("runner_cfd_112x1_observed", reps, [] { run_runner(true); }));
   results.push_back(
       run_bench("metrics_merge_512", reps, [] { run_metrics_merge(); }));
+  results.push_back(run_bench("obs_timeseries_append", reps,
+                              [] { run_obs_timeseries_append(); }));
+  results.push_back(run_bench("obs_sketch_merge", reps,
+                              [] { run_obs_sketch_merge(); }));
   results.push_back(run_bench("trace_export", reps, [&export_trace] {
     run_trace_export(export_trace);
   }));

@@ -67,6 +67,17 @@ int run_campaign(const hs::CliOptions& opts) {
     else
       std::cerr << "warning: could not write " << opts.metrics_path << "\n";
   }
+  if (!opts.timeseries_path.empty()) {
+    ensure_parent_dir(opts.timeseries_path);
+    const std::string json_path = opts.timeseries_path + ".json";
+    if (res.save_timeseries_csv(opts.timeseries_path) &&
+        res.save_timeseries_json(json_path))
+      std::cout << "[saved " << opts.timeseries_path << " + " << json_path
+                << "]\n";
+    else
+      std::cerr << "warning: could not write " << opts.timeseries_path
+                << "\n";
+  }
 
   // Failed cells are part of a campaign's normal output; only a campaign
   // with no successful cell at all is a usage error.
@@ -154,6 +165,17 @@ int main(int argc, char** argv) {
         std::cout << "[saved " << opts.metrics_path << "]\n";
       else
         std::cerr << "warning: could not write " << opts.metrics_path
+                  << "\n";
+    }
+    if (!opts.timeseries_path.empty()) {
+      ensure_parent_dir(opts.timeseries_path);
+      const std::string ts_json = opts.timeseries_path + ".json";
+      if (r.timeseries.save_csv(opts.timeseries_path, r.label) &&
+          r.timeseries.save_json(ts_json))
+        std::cout << "[saved " << opts.timeseries_path << " + " << ts_json
+                  << "]\n";
+      else
+        std::cerr << "warning: could not write " << opts.timeseries_path
                   << "\n";
     }
 

@@ -626,6 +626,34 @@ bool CampaignResult::save_metrics_json(const std::string& path) const {
   return aggregate_metrics().save_json(path);
 }
 
+obs::TimeSeries CampaignResult::aggregate_timeseries() const {
+  obs::TimeSeries total;
+  // Strict cell-index order, like aggregate_metrics(): the merge is
+  // associative and commutative, so any order gives the same store, but
+  // a fixed order keeps the code auditable.
+  for (const CampaignCell& cell : cells)
+    if (cell.ok) total.merge(cell.result.timeseries);
+  return total;
+}
+
+void CampaignResult::write_timeseries_csv(std::ostream& out) const {
+  sim::CsvWriter csv(out, obs::TimeSeries::csv_header());
+  for (const CampaignCell& cell : cells)
+    if (cell.ok) cell.result.timeseries.write_csv_rows(csv, cell.key);
+  aggregate_timeseries().write_csv_rows(csv, "(aggregate)");
+}
+
+bool CampaignResult::save_timeseries_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_timeseries_csv(out);
+  return out.good();
+}
+
+bool CampaignResult::save_timeseries_json(const std::string& path) const {
+  return aggregate_timeseries().save_json(path);
+}
+
 void CampaignResult::write_chrome_trace(std::ostream& out) const {
   obs::ChromeTraceWriter w(out);
   for (const CampaignCell& cell : cells) {

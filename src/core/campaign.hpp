@@ -233,6 +233,17 @@ struct CampaignResult {
   obs::Metrics aggregate_metrics() const;
   bool save_metrics_json(const std::string& path) const;
 
+  /// Merges every successful cell's windowed store in cell-index order
+  /// (empty when temporal telemetry was off) — the associative merge
+  /// keeps the result `--jobs`-invariant.
+  obs::TimeSeries aggregate_timeseries() const;
+  /// Time-series CSV: one scope per successful cell in expansion order
+  /// plus a final "(aggregate)" scope.  Deterministic bytes.
+  void write_timeseries_csv(std::ostream& out) const;
+  bool save_timeseries_csv(const std::string& path) const;
+  /// Aggregate store as "hpcs-timeseries-v1" JSON (hpcs-report input).
+  bool save_timeseries_json(const std::string& path) const;
+
   /// Chrome trace-event JSON for the whole campaign: one trace process
   /// per cell (pid = cell index, named by the cell key) holding a
   /// campaign-level "cell" span over the cell's own run trace; failed

@@ -134,6 +134,12 @@ CliOptions parse_cli(std::span<const char* const> args) {
       o.trace_path = value();
     } else if (flag == "--metrics-out") {
       o.metrics_path = value();
+    } else if (flag == "--timeseries-out") {
+      o.timeseries_path = value();
+    } else if (flag == "--window") {
+      o.window_s = parse_double(flag, value());
+      if (o.window_s <= 0)
+        throw std::invalid_argument("--window: must be > 0");
     } else if (flag == "--cell-retries") {
       o.cell_retries = parse_int(flag, value());
       if (o.cell_retries < 0)
@@ -258,6 +264,7 @@ void probe_output_path(const std::string& flag, const std::string& path) {
 void validate_output_paths(const CliOptions& o) {
   probe_output_path("--trace-out", o.trace_path);
   probe_output_path("--metrics-out", o.metrics_path);
+  probe_output_path("--timeseries-out", o.timeseries_path);
   if (o.campaign) {
     probe_output_path("--csv", o.csv_path);
     probe_output_path("--json", o.json_path);
@@ -267,7 +274,9 @@ void validate_output_paths(const CliOptions& o) {
 RunnerOptions to_runner_options(const CliOptions& o) {
   RunnerOptions ro;
   ro.record_timeline = o.timeline;
-  ro.observe = !o.trace_path.empty() || !o.metrics_path.empty();
+  ro.observe = !o.trace_path.empty() || !o.metrics_path.empty() ||
+               !o.timeseries_path.empty();
+  if (!o.timeseries_path.empty()) ro.timeseries_window_s = o.window_s;
   if (o.checkpoint_interval >= 0)
     ro.checkpoint.interval_s = o.checkpoint_interval;
   if (!o.campaign && !o.faults_list.empty()) {
@@ -301,6 +310,13 @@ observability (simulated-time spans + metrics; off = zero cost):
                      Perfetto); in campaign mode one process per cell
   --metrics-out PATH write the metrics registry as JSON (campaign mode
                      aggregates all cells)
+  --timeseries-out PATH
+                     write windowed time-series telemetry as CSV (campaign
+                     mode: one scope per cell plus an aggregate scope;
+                     PATH.json gets the aggregate hpcs-timeseries-v1
+                     JSON for hpcs-report --timeseries/--slo)
+  --window SECONDS   time-series window width in simulated seconds
+                     (default 60)
 
 fault injection (default: fault-free, bit-identical to no flags):
   --faults LIST    none | light | moderate | heavy; a comma list adds a

@@ -67,6 +67,10 @@ struct CliOptions {
   /// path turns RunnerOptions::observe on.
   std::string trace_path;
   std::string metrics_path;
+  /// Temporal telemetry (--timeseries-out + --window); a non-empty path
+  /// turns the observability collector *and* the windowed store on.
+  std::string timeseries_path;
+  double window_s = 60.0;  ///< --window; window width in simulated seconds
 };
 
 /// Parses argv-style arguments (excluding argv[0]).

@@ -27,6 +27,9 @@ void RunnerOptions::validate() const {
   retry.validate();
   checkpoint.validate();
   hazards.validate();
+  if (timeseries_window_s < 0 || !std::isfinite(timeseries_window_s))
+    throw std::invalid_argument(
+        "RunnerOptions: timeseries_window_s must be >= 0");
 }
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)
@@ -138,6 +141,8 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
   const auto obs_sink = collect ? std::make_shared<obs::MemorySink>()
                                 : std::shared_ptr<obs::MemorySink>{};
   obs::Collector col(obs_sink);
+  if (options_.timeseries_window_s > 0)
+    col.enable_timeseries(options_.timeseries_window_s);
   obs::SpanScope run_scope(col, 0, "run", "runner", 0.0);
 
   // --- deployment (before execution: the job's containers must be up) ------
@@ -202,6 +207,7 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
       // steps are laid out back-to-back after the deployment offset.
       double t0 = dep_offset;
       for (double prev : result.step_times.values()) t0 += prev;
+      const double step_start = t0;
       const double cpl = work.coupling_iterations;
       obs::SpanScope step_scope(col, 0, "step", "runner", t0);
       col.span(0, "compute", "phase", t0, compute * cpl);
@@ -217,6 +223,13 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
       step_scope.close(t0);
       col.count("runner/steps");
       col.observe("runner/step_time_s", step);
+      // Windowed telemetry: a step lands in the window its start time
+      // falls in, so solver slowdowns localize to the windows they cover.
+      col.ts_count("runner/steps", step_start);
+      col.ts_observe("runner/step_time_s", step_start, step);
+      col.ts_gauge("runner/comm_fraction_window", step_start,
+                   step > 0 ? (halo + reductions + t_interface) * cpl / step
+                            : 0.0);
       col.observe("runner/phase/compute_s", compute * cpl);
       col.observe("runner/phase/halo_s", halo * cpl);
       col.observe("runner/phase/reduction_s", reductions * cpl);
@@ -355,8 +368,13 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
               static_cast<double>(result.deployment.bytes_transferred));
     col.count("deploy/pull_retries",
               static_cast<double>(result.deployment.pull_retries));
-    for (double t : result.deployment.node_ready_times.values())
+    for (double t : result.deployment.node_ready_times.values()) {
       col.observe("deploy/node_ready_s", t);
+      // Node readiness arrives at its own simulated time, so staging
+      // waves show up window by window.
+      col.ts_observe("deploy/node_ready_s", t, t);
+      col.ts_count("deploy/nodes_ready", t);
+    }
     if (options_.faults.enabled) {
       col.count("fault/crashes",
                 static_cast<double>(result.resilience.crashes));
@@ -397,6 +415,7 @@ RunResult ExperimentRunner::run(const Scenario& scenario,
       result.timeline = obs::to_timeline(result.trace, dep_offset);
     if (options_.observe) {
       result.metrics = col.metrics();
+      if (col.timeseries_enabled()) result.timeseries = col.timeseries();
     } else {
       result.trace = obs::TraceData{};  // timeline-only request
     }

@@ -58,6 +58,10 @@ struct RunnerOptions {
   /// Disabled by default — and then provably inert: no draws, and every
   /// result stays byte-identical to a build without the hazard layer.
   fault::HazardSpec hazards{};
+  /// Windowed-telemetry window width in simulated seconds; 0 (the
+  /// default) leaves temporal telemetry off.  Only takes effect when the
+  /// run is observed — telemetry never exists without a collector.
+  double timeseries_window_s = 0.0;
 
   void validate() const;
 };
@@ -92,6 +96,9 @@ struct RunResult {
   /// Metrics registry (counters/gauges/histograms); empty unless
   /// RunnerOptions::observe.
   obs::Metrics metrics;
+  /// Windowed temporal telemetry; empty unless observed with
+  /// RunnerOptions::timeseries_window_s > 0.
+  obs::TimeSeries timeseries;
 };
 
 class ExperimentRunner {

@@ -72,7 +72,20 @@ void GatewayService::submit(const PullRequest& request) {
   now_ = request.time;
   ++stats_.arrivals;
   const bool record = collector_ && collector_->enabled();
-  if (record) collector_->count("gateway/arrivals");
+  if (record) {
+    collector_->count("gateway/arrivals");
+    collector_->ts_count("gateway/arrivals", request.time);
+    // Windowed state samples (per-window max): queue depth, outstanding
+    // requests, and whether the breaker is open at this arrival.
+    collector_->ts_gauge("gateway/queue_depth", request.time,
+                         static_cast<double>(queue_.size()));
+    collector_->ts_gauge("gateway/outstanding", request.time,
+                         static_cast<double>(outstanding_));
+    collector_->ts_gauge(
+        "gateway/breaker_open", request.time,
+        breaker_.state(request.time) == CircuitBreaker::State::Open ? 1.0
+                                                                    : 0.0);
+  }
 
   const std::string& digest = catalog_.digest(request.image);
   const std::uint64_t bytes = catalog_.bytes(request.image);
@@ -93,10 +106,21 @@ void GatewayService::submit(const PullRequest& request) {
       collector_->count(tier == CacheTier::Local ? "gateway/hits_local"
                                                  : "gateway/hits_shared");
       collector_->observe("gateway/start_latency_s", latency);
+      collector_->ts_count("gateway/cache_lookups", request.time);
+      collector_->ts_count("gateway/cache_hits", request.time);
+      collector_->ts_count("gateway/completed", request.time + latency);
+      // Latency samples land in the window the request *finished* in, so
+      // a brownout shows up in the windows it actually covers.
+      collector_->ts_observe("gateway/start_latency_s",
+                             request.time + latency, latency);
     }
     return;
   }
-  if (record) collector_->count("gateway/misses");
+  if (record) {
+    collector_->count("gateway/misses");
+    collector_->ts_count("gateway/cache_lookups", request.time);
+    collector_->ts_count("gateway/misses", request.time);
+  }
 
   // Miss: admission control first (sheds load before any queue grows),
   // then single-flight coalescing, then the bounded conversion queue.
@@ -105,6 +129,7 @@ void GatewayService::submit(const PullRequest& request) {
     if (record) {
       collector_->instant(0, "reject-admission", "gateway", request.time);
       collector_->count("gateway/rejected_admission");
+      collector_->ts_count("gateway/rejected_admission", request.time);
     }
     return;
   }
@@ -134,6 +159,7 @@ void GatewayService::submit(const PullRequest& request) {
       if (record) {
         collector_->instant(0, "reject-queue", "gateway", request.time);
         collector_->count("gateway/rejected_queue");
+        collector_->ts_count("gateway/rejected_queue", request.time);
       }
       return;
     }
@@ -217,7 +243,10 @@ void GatewayService::start_next_job(int worker, double now) {
     const double wait = now - group.enqueued_at;
     stats_.queue_wait.add(wait);
     const bool record = collector_ && collector_->enabled();
-    if (record) collector_->observe("gateway/queue_wait_s", wait);
+    if (record) {
+      collector_->observe("gateway/queue_wait_s", wait);
+      collector_->ts_observe("gateway/queue_wait_s", now, wait);
+    }
 
     // Upstream fetch with per-tenant named retry streams: a failed
     // attempt wastes a drawn fraction of the transfer and pays the
@@ -259,10 +288,13 @@ void GatewayService::start_next_job(int worker, double now) {
     // The fetch outcome is known analytically at dispatch, so the
     // breaker registers it at dispatch time — deterministic probe
     // timing with no reordering hazards.
+    const std::uint64_t opens_before = breaker_.opens();
     if (exhausted)
       breaker_.on_failure(now);
     else
       breaker_.on_success();
+    if (record && breaker_.opens() > opens_before)
+      collector_->ts_count("gateway/breaker_opens", now);
 
     stats_.upstream_retries += static_cast<std::uint64_t>(failures);
     group.failed = exhausted;
@@ -283,6 +315,8 @@ void GatewayService::start_next_job(int worker, double now) {
                             {{"failures", std::to_string(failures)}});
         collector_->count("gateway/upstream_retries",
                           static_cast<double>(failures));
+        collector_->ts_count("gateway/upstream_retries", now,
+                             static_cast<double>(failures));
       }
       if (race.hedge_launched) {
         collector_->instant(track,
@@ -383,6 +417,10 @@ void GatewayService::serve_stale(const Waiter& waiter, std::uint64_t bytes,
     collector_->count("gateway/stale_served");
     collector_->observe("gateway/start_latency_s",
                         now + latency - waiter.arrival);
+    collector_->ts_count("gateway/stale_served", now);
+    collector_->ts_count("gateway/completed", now + latency);
+    collector_->ts_observe("gateway/start_latency_s", now + latency,
+                           now + latency - waiter.arrival);
   }
 }
 
@@ -391,6 +429,7 @@ void GatewayService::shed_breaker(double now) {
   if (collector_ && collector_->enabled()) {
     collector_->instant(0, "breaker-shed", "gateway", now);
     collector_->count("gateway/breaker_fastfail");
+    collector_->ts_count("gateway/breaker_fastfail", now);
   }
 }
 
@@ -399,6 +438,7 @@ void GatewayService::shed_deadline(double now) {
   if (collector_ && collector_->enabled()) {
     collector_->instant(0, "deadline-shed", "gateway", now);
     collector_->count("gateway/deadline_sheds");
+    collector_->ts_count("gateway/deadline_sheds", now);
   }
 }
 
@@ -418,6 +458,7 @@ double GatewayService::apply_crashes(int worker, double start,
       collector_->span(1 + worker, "worker-restart", "fault", crash,
                        config_.worker_recovery_s);
       collector_->count("gateway/worker_crashes");
+      collector_->ts_count("gateway/worker_crashes", crash);
     }
     // The job restarts from scratch once the worker recovers.
     t0 = crash + config_.worker_recovery_s;
@@ -441,6 +482,8 @@ void GatewayService::complete_job(int worker, const std::string& digest,
                           {{"digest", digest}});
       collector_->count("gateway/failed",
                         static_cast<double>(group.waiters.size()));
+      collector_->ts_count("gateway/failed", end,
+                           static_cast<double>(group.waiters.size()));
     }
     return;
   }
@@ -463,9 +506,14 @@ void GatewayService::complete_job(int worker, const std::string& digest,
       collector_->span(0, "request", "gateway", waiter.arrival, latency,
                        {{"tier", "upstream"}});
       collector_->observe("gateway/start_latency_s", latency);
+      collector_->ts_count("gateway/completed", end + read);
+      collector_->ts_observe("gateway/start_latency_s", end + read, latency);
     }
   }
-  if (record) collector_->count("gateway/upstream_fetches");
+  if (record) {
+    collector_->count("gateway/upstream_fetches");
+    collector_->ts_count("gateway/upstream_fetches", end);
+  }
 }
 
 const GatewayStats& GatewayService::finish() {

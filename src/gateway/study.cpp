@@ -8,6 +8,7 @@
 #include "core/thread_pool.hpp"
 #include "fault/spec.hpp"
 #include "obs/export.hpp"
+#include "obs/slo.hpp"
 #include "sim/csv.hpp"
 #include "sim/rng.hpp"
 
@@ -38,6 +39,9 @@ void GatewayGridSpec::validate() const {
     if (churn <= 0)
       throw std::invalid_argument("GatewayGridSpec: churns must be > 0");
   for (const std::string& f : faults) (void)fault::FaultSpec::preset(f);
+  if (timeseries_window_s < 0 || !std::isfinite(timeseries_window_s))
+    throw std::invalid_argument(
+        "GatewayGridSpec: timeseries_window_s must be >= 0");
   config.validate();
   workload.validate();
 }
@@ -86,11 +90,24 @@ GatewayCellResult run_gateway_cell(const GatewayGridSpec& spec, double load,
   const std::shared_ptr<obs::MemorySink> sink =
       observe ? std::make_shared<obs::MemorySink>() : nullptr;
   obs::Collector collector(sink);  // null sink = disabled, zero cost
+  if (spec.timeseries_window_s > 0)
+    collector.enable_timeseries(spec.timeseries_window_s);
 
   GatewayService service(spec.config, runtime, catalog, std::move(injector),
                          workload.horizon_s, &collector);
   while (const auto request = arrivals.next()) service.submit(*request);
   cell.stats = service.finish();
+  if (collector.timeseries_enabled()) {
+    // SLO burn-rate pass over this cell's windows; alert intervals land
+    // on their own track (above the workers and the hazard lane) so they
+    // read as service-level annotations in the trace viewer.
+    cell.timeseries = collector.timeseries();
+    const int slo_track = 2 + spec.config.workers;
+    for (const obs::SloReport& report :
+         obs::evaluate_slos(cell.timeseries,
+                            obs::default_slos(cell.timeseries)))
+      obs::emit_slo_alerts(collector, slo_track, report);
+  }
   if (observe) {
     cell.trace = sink->take();
     cell.metrics = collector.metrics();
@@ -235,6 +252,30 @@ obs::Metrics GatewayGridResult::aggregate_metrics() const {
 
 bool GatewayGridResult::save_metrics_json(const std::string& path) const {
   return aggregate_metrics().save_json(path);
+}
+
+obs::TimeSeries GatewayGridResult::aggregate_timeseries() const {
+  obs::TimeSeries total;
+  for (const GatewayCellResult& cell : cells) total.merge(cell.timeseries);
+  return total;
+}
+
+void GatewayGridResult::write_timeseries_csv(std::ostream& out) const {
+  sim::CsvWriter csv(out, obs::TimeSeries::csv_header());
+  for (const GatewayCellResult& cell : cells)
+    cell.timeseries.write_csv_rows(csv, cell.key);
+  aggregate_timeseries().write_csv_rows(csv, "(aggregate)");
+}
+
+bool GatewayGridResult::save_timeseries_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_timeseries_csv(out);
+  return out.good();
+}
+
+bool GatewayGridResult::save_timeseries_json(const std::string& path) const {
+  return aggregate_timeseries().save_json(path);
 }
 
 }  // namespace hpcs::gateway

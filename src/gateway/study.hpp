@@ -38,6 +38,10 @@ struct GatewayGridSpec {
   GatewayConfig config;
   WorkloadSpec workload;  ///< base; load/catalog are overridden per cell
   std::uint64_t seed = 42;
+  /// Windowed-telemetry window width in simulated seconds; 0 (the
+  /// default) leaves temporal telemetry off.  Only takes effect when the
+  /// grid runs observed — telemetry never exists without a collector.
+  double timeseries_window_s = 0.0;
 
   /// \throws std::invalid_argument when any axis is empty or a fault
   ///         preset name is unknown.
@@ -52,8 +56,9 @@ struct GatewayCellResult {
   std::string faults = "none";
   container::RuntimeKind runtime = container::RuntimeKind::Docker;
   GatewayStats stats;
-  obs::TraceData trace;   ///< empty unless observed
-  obs::Metrics metrics;   ///< empty unless observed
+  obs::TraceData trace;        ///< empty unless observed
+  obs::Metrics metrics;        ///< empty unless observed
+  obs::TimeSeries timeseries;  ///< empty unless timeseries_window_s > 0
 };
 
 struct GatewayGridResult {
@@ -72,6 +77,16 @@ struct GatewayGridResult {
   /// Per-cell metric registries folded in grid order.
   obs::Metrics aggregate_metrics() const;
   bool save_metrics_json(const std::string& path) const;
+
+  /// Per-cell windowed stores folded in grid order (empty when telemetry
+  /// was off) — the associative merge keeps the result `--jobs`-invariant.
+  obs::TimeSeries aggregate_timeseries() const;
+  /// Time-series CSV: one scope per cell in grid order plus a final
+  /// "(aggregate)" scope.  Deterministic bytes.
+  void write_timeseries_csv(std::ostream& out) const;
+  bool save_timeseries_csv(const std::string& path) const;
+  /// Aggregate store as "hpcs-timeseries-v1" JSON (hpcs-report input).
+  bool save_timeseries_json(const std::string& path) const;
 };
 
 /// The cell key ("load-2/churn-8/moderate/Docker") — also the seed name.

@@ -110,6 +110,30 @@ void Collector::observe(std::string_view name, double value) {
   metrics_.observe(name, value);
 }
 
+void Collector::enable_timeseries(double window_s, SketchConfig sketch) {
+  if (!sink_) return;
+  timeseries_ = std::make_unique<TimeSeries>(window_s, sketch);
+}
+
+void Collector::ts_count(std::string_view name, double t, double delta) {
+  if (!timeseries_) return;
+  timeseries_->count(name, t, delta);
+}
+
+void Collector::ts_gauge(std::string_view name, double t, double value) {
+  if (!timeseries_) return;
+  timeseries_->gauge(name, t, value);
+}
+
+void Collector::ts_observe(std::string_view name, double t, double value) {
+  if (!timeseries_) return;
+  timeseries_->observe(name, t, value);
+}
+
+TimeSeries Collector::timeseries() const {
+  return timeseries_ ? *timeseries_ : TimeSeries{};
+}
+
 double Collector::cursor(int track) const {
   std::lock_guard lock(mutex_);
   const auto it = cursors_.find(track);

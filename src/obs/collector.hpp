@@ -28,6 +28,7 @@
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 
 namespace hpcs::obs {
 
@@ -113,6 +114,23 @@ class Collector {
   const Metrics& metrics() const noexcept { return metrics_; }
   Metrics& metrics() noexcept { return metrics_; }
 
+  /// Opts this collector into windowed time-series recording.  Separate
+  /// from enabled() on purpose: trace/metrics output must stay
+  /// byte-identical whether or not telemetry is on, so the ts_* calls
+  /// write to their own store and nothing else.  No-op when disabled.
+  /// \throws std::invalid_argument for window_s <= 0.
+  void enable_timeseries(double window_s, SketchConfig sketch = {});
+  bool timeseries_enabled() const noexcept { return timeseries_ != nullptr; }
+
+  /// Windowed shortcuts at simulated time \p t (no-ops unless
+  /// enable_timeseries() was called: one null check, no allocation).
+  void ts_count(std::string_view name, double t, double delta = 1.0);
+  void ts_gauge(std::string_view name, double t, double value);
+  void ts_observe(std::string_view name, double t, double value);
+
+  /// Snapshot of the windowed store (empty when telemetry is off).
+  TimeSeries timeseries() const;
+
   /// Latest simulated time seen on \p track (max span/instant end); used
   /// by SpanScope destructors to close unclosed spans.
   double cursor(int track) const;
@@ -140,6 +158,7 @@ class Collector {
 
   std::shared_ptr<Sink> sink_;  ///< null = disabled
   Metrics metrics_;
+  std::unique_ptr<TimeSeries> timeseries_;  ///< null = telemetry off
   mutable std::mutex mutex_;
   std::map<int, std::vector<OpenSpan>> open_;  ///< per-track span stacks
   std::map<int, double> cursors_;

@@ -168,4 +168,75 @@ sim::Timeline to_timeline(const TraceData& data, double origin) {
   return t;
 }
 
+namespace {
+
+/// Prometheus metric-name charset: [a-zA-Z0-9_:]; everything else (our
+/// slash-path separators in particular) becomes '_'.
+std::string prom_name(const std::string& series) {
+  std::string out = "hpcs_";
+  for (const char c : series) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prom_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string window_labels(const TimeSeries& ts, std::int64_t w) {
+  char buf[80];
+  std::snprintf(buf, sizeof buf, "window=\"%lld\",start_s=\"%.6g\"",
+                static_cast<long long>(w), ts.window_start(w));
+  return buf;
+}
+
+}  // namespace
+
+void write_prom_exposition(std::ostream& out, const TimeSeries& ts) {
+  for (const auto& [name, windows] : ts.counters()) {
+    const std::string metric = prom_name(name) + "_total";
+    out << "# TYPE " << metric << " counter\n";
+    for (const auto& [w, v] : windows)
+      out << metric << "{" << window_labels(ts, w) << "} " << prom_num(v)
+          << "\n";
+  }
+  for (const auto& [name, windows] : ts.gauges()) {
+    const std::string metric = prom_name(name);
+    out << "# TYPE " << metric << " gauge\n";
+    for (const auto& [w, v] : windows)
+      out << metric << "{" << window_labels(ts, w) << "} " << prom_num(v)
+          << "\n";
+  }
+  for (const auto& [name, windows] : ts.sketches()) {
+    const std::string metric = prom_name(name);
+    out << "# TYPE " << metric << " summary\n";
+    for (const auto& [w, sketch] : windows) {
+      const std::string labels = window_labels(ts, w);
+      for (const double q : {0.5, 0.95, 0.99}) {
+        // Conventional short quantile labels ("0.95", not the %.17g
+        // round-trip form reserved for sample values).
+        char qbuf[16];
+        std::snprintf(qbuf, sizeof qbuf, "%g", q);
+        out << metric << "{" << labels << ",quantile=\"" << qbuf << "\"} "
+            << prom_num(sketch.quantile(q)) << "\n";
+      }
+      out << metric << "_sum{" << labels << "} " << prom_num(sketch.sum())
+          << "\n";
+      out << metric << "_count{" << labels << "} " << sketch.count() << "\n";
+    }
+  }
+}
+
+bool save_prom_exposition(const std::string& path, const TimeSeries& ts) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_prom_exposition(out, ts);
+  return out.good();
+}
+
 }  // namespace hpcs::obs

@@ -66,4 +66,13 @@ bool save_phase_csv(const std::string& path, const TraceData& data);
 /// the trace).  Keeps the pre-obs Timeline API and tests working.
 sim::Timeline to_timeline(const TraceData& data, double origin = 0.0);
 
+/// Prometheus-style text exposition of a windowed time-series store:
+/// counters as `hpcs_<name>_total`, gauges as `hpcs_<name>`, sketches as
+/// summaries (quantile/sum/count), one sample per populated window with
+/// `window` and `start_s` labels.  Series names sanitize slashes to
+/// underscores; output order is canonical (kind-major, then name, then
+/// window), so identical stores expose identical bytes.
+void write_prom_exposition(std::ostream& out, const TimeSeries& ts);
+bool save_prom_exposition(const std::string& path, const TimeSeries& ts);
+
 }  // namespace hpcs::obs

@@ -196,12 +196,16 @@ std::vector<CheckOutcome> run_checks(const std::vector<CellReport>& cells,
         }
       }
     }
-    if (comparisons == 0)
+    if (comparisons == 0) {
       check.detail = skipped_detail();
-    else if (check.passed)
-      check.detail = std::to_string(comparisons) +
-                     " comparisons, max deviation " +
-                     format_fraction(worst);
+    } else {
+      check.measured = worst;
+      check.has_measured = true;
+      if (check.passed)
+        check.detail = std::to_string(comparisons) +
+                       " comparisons, max deviation " +
+                       format_fraction(worst);
+    }
     out.push_back(std::move(check));
   }
 
@@ -214,14 +218,17 @@ std::vector<CheckOutcome> run_checks(const std::vector<CellReport>& cells,
         .passed = true,
         .detail = {}};
     int comparisons = 0;
+    double min_margin = 0.0;
     for (const auto& [point, group] : groups) {
       const CellReport* bm = bare_metal_of(group);
       if (bm == nullptr) continue;
       const double bm_frac = exec_comm_fraction(bm->attr);
       for (const CellReport* cell : group) {
         if (cell->runtime_class != "docker") continue;
-        ++comparisons;
         const double frac = exec_comm_fraction(cell->attr);
+        const double margin = frac - bm_frac;
+        min_margin = comparisons == 0 ? margin : std::min(min_margin, margin);
+        ++comparisons;
         if (frac <= bm_frac && check.passed) {
           check.passed = false;
           check.detail = cell->key + ": comm fraction " +
@@ -230,10 +237,14 @@ std::vector<CheckOutcome> run_checks(const std::vector<CellReport>& cells,
         }
       }
     }
-    if (comparisons == 0)
+    if (comparisons == 0) {
       check.detail = skipped_detail();
-    else if (check.passed)
-      check.detail = std::to_string(comparisons) + " comparisons";
+    } else {
+      check.measured = min_margin;
+      check.has_measured = true;
+      if (check.passed)
+        check.detail = std::to_string(comparisons) + " comparisons";
+    }
     out.push_back(std::move(check));
   }
 
@@ -246,11 +257,15 @@ std::vector<CheckOutcome> run_checks(const std::vector<CellReport>& cells,
         .passed = true,
         .detail = {}};
     int comparisons = 0;
+    double min_delta = 0.0;
     for (const auto& [point, group] : groups) {
       const CellReport* bm = bare_metal_of(group);
       if (bm == nullptr) continue;
       for (const CellReport* cell : group) {
         if (!is_containerized(cell->runtime_class)) continue;
+        const double delta = cell->attr.container_overhead_s -
+                             bm->attr.container_overhead_s;
+        min_delta = comparisons == 0 ? delta : std::min(min_delta, delta);
         ++comparisons;
         if (cell->attr.container_overhead_s + 1e-12 <
                 bm->attr.container_overhead_s &&
@@ -263,10 +278,14 @@ std::vector<CheckOutcome> run_checks(const std::vector<CellReport>& cells,
         }
       }
     }
-    if (comparisons == 0)
+    if (comparisons == 0) {
       check.detail = skipped_detail();
-    else if (check.passed)
-      check.detail = std::to_string(comparisons) + " comparisons";
+    } else {
+      check.measured = min_delta;
+      check.has_measured = true;
+      if (check.passed)
+        check.detail = std::to_string(comparisons) + " comparisons";
+    }
     out.push_back(std::move(check));
   }
 
@@ -300,10 +319,13 @@ std::vector<CheckOutcome> run_checks(const std::vector<CellReport>& cells,
         check.detail = cell.key + ": bucket invariant violated";
       }
     }
-    if (checked == 0)
+    if (checked == 0) {
       check.detail = "skipped: no successful cells";
-    else if (check.passed)
-      check.detail = std::to_string(checked) + " cells";
+    } else {
+      check.measured = static_cast<double>(checked);
+      check.has_measured = true;
+      if (check.passed) check.detail = std::to_string(checked) + " cells";
+    }
     out.push_back(std::move(check));
   }
 
@@ -402,6 +424,25 @@ void write_attribution_json(std::ostream& out,
     out << "      \"description\": " << quoted(check.description) << ",\n";
     out << "      \"passed\": " << (check.passed ? "true" : "false")
         << ",\n";
+    out << "      \"detail\": " << quoted(check.detail) << "\n    }";
+  }
+  out << (checks.empty() ? "" : "\n  ") << "]\n}\n";
+}
+
+void write_checks_json(std::ostream& out,
+                       const std::vector<CheckOutcome>& checks) {
+  bool all_passed = true;
+  for (const CheckOutcome& check : checks) all_passed &= check.passed;
+  out << "{\n  \"schema\": \"hpcs-checks-v1\",\n  \"passed\": "
+      << (all_passed ? "true" : "false") << ",\n  \"checks\": [";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    const CheckOutcome& check = checks[i];
+    out << (i ? ",\n" : "\n") << "    {\n";
+    out << "      \"id\": " << quoted(check.id) << ",\n";
+    out << "      \"description\": " << quoted(check.description) << ",\n";
+    out << "      \"passed\": " << (check.passed ? "true" : "false") << ",\n";
+    out << "      \"measured\": "
+        << (check.has_measured ? num(check.measured) : "null") << ",\n";
     out << "      \"detail\": " << quoted(check.detail) << "\n    }";
   }
   out << (checks.empty() ? "" : "\n  ") << "]\n}\n";

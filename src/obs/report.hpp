@@ -69,6 +69,8 @@ struct CheckOutcome {
   std::string description;  ///< what the figure claims
   bool passed = true;
   std::string detail;       ///< evidence: counts, worst offender
+  double measured = 0.0;    ///< headline number behind the verdict
+  bool has_measured = false;
 };
 
 struct CheckOptions {
@@ -93,6 +95,13 @@ void write_attribution_csv(std::ostream& out,
 void write_attribution_json(std::ostream& out,
                             const std::vector<CellReport>& cells,
                             const std::vector<CheckOutcome>& checks);
+
+/// Machine-readable verdicts ("hpcs-checks-v1"): per-check pass/fail,
+/// detail, and the measured value when one exists.  Shared by
+/// `hpcs-report --check --check-json` and the `--slo` verdict, so CI can
+/// assert on structured fields instead of grepping tables.
+void write_checks_json(std::ostream& out,
+                       const std::vector<CheckOutcome>& checks);
 
 /// Critical path as CSV ("depth,track,category,name,start,duration,
 /// slack"), root first.

@@ -1,0 +1,133 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hpcs::obs {
+
+void SketchConfig::validate() const {
+  if (!(min_value > 0.0) || !std::isfinite(min_value))
+    throw std::invalid_argument("SketchConfig: min_value must be > 0");
+  if (!(max_value > min_value) || !std::isfinite(max_value))
+    throw std::invalid_argument("SketchConfig: max_value must be > min_value");
+  if (buckets_per_decade < 1)
+    throw std::invalid_argument(
+        "SketchConfig: buckets_per_decade must be >= 1");
+}
+
+bool SketchConfig::operator==(const SketchConfig& other) const noexcept {
+  return min_value == other.min_value && max_value == other.max_value &&
+         buckets_per_decade == other.buckets_per_decade;
+}
+
+QuantileSketch::QuantileSketch(SketchConfig config) : config_(config) {
+  config_.validate();
+}
+
+int QuantileSketch::bucket_index(double value) const {
+  if (!(value > config_.min_value)) return 0;
+  const double clamped = std::min(value, config_.max_value);
+  const double decades = std::log10(clamped / config_.min_value);
+  const int index =
+      static_cast<int>(std::ceil(decades * config_.buckets_per_decade));
+  return std::max(index, 1);
+}
+
+double QuantileSketch::bucket_value(int index) const {
+  if (index <= 0) return config_.min_value;
+  // Geometric midpoint of (min * B^(i-1), min * B^i].
+  const double exponent =
+      (static_cast<double>(index) - 0.5) / config_.buckets_per_decade;
+  return config_.min_value * std::pow(10.0, exponent);
+}
+
+void QuantileSketch::add(double value, std::uint64_t weight) {
+  if (!std::isfinite(value) || weight == 0) return;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += weight;
+  sum_ += value * static_cast<double>(weight);
+  buckets_[bucket_index(value)] += weight;
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    // An empty sketch is the merge identity: adopt the other's layout so
+    // default-constructed accumulators fold cleanly into configured ones.
+    *this = other;
+    return;
+  }
+  if (!(config_ == other.config_))
+    throw std::invalid_argument("QuantileSketch::merge: layout mismatch");
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+double QuantileSketch::mean() const noexcept {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+
+double QuantileSketch::max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+
+double QuantileSketch::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  const double clamped_q = std::min(std::max(q, 0.0), 1.0);
+  // Nearest-rank: the r-th smallest sample, r in [1, count].
+  const auto rank = static_cast<std::uint64_t>(std::max(
+      1.0, std::ceil(clamped_q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (const auto& [index, n] : buckets_) {
+    cumulative += n;
+    if (cumulative >= rank) {
+      // Clamp the midpoint into the exact observed range: the true
+      // quantile lies in [min, max], so this only tightens the answer and
+      // makes the edge buckets (underflow / overflow clamp) exact.
+      return std::min(std::max(bucket_value(index), min_), max_);
+    }
+  }
+  return max_;
+}
+
+std::uint64_t QuantileSketch::count_above(double threshold) const {
+  std::uint64_t above = 0;
+  for (const auto& [index, n] : buckets_)
+    if (bucket_value(index) > threshold) above += n;
+  return above;
+}
+
+double QuantileSketch::fraction_above(double threshold) const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(count_above(threshold)) /
+         static_cast<double>(count_);
+}
+
+double QuantileSketch::relative_error_bound() const {
+  return std::pow(10.0, 0.5 / config_.buckets_per_decade) - 1.0;
+}
+
+QuantileSketch QuantileSketch::restore(SketchConfig config, std::uint64_t count,
+                                       double sum, double min, double max,
+                                       std::map<int, std::uint64_t> buckets) {
+  QuantileSketch sketch(config);
+  sketch.count_ = count;
+  sketch.sum_ = sum;
+  sketch.min_ = min;
+  sketch.max_ = max;
+  sketch.buckets_ = std::move(buckets);
+  return sketch;
+}
+
+}  // namespace hpcs::obs

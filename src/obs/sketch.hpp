@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file sketch.hpp
+/// \brief Deterministic mergeable quantile sketch (log-bucketed histogram).
+///
+/// HDR-histogram-style: the value axis is divided into geometric buckets
+/// (`buckets_per_decade` per power of ten), so any quantile can be answered
+/// with a bounded *relative* error of `sqrt(base) - 1` where
+/// `base = 10^(1/buckets_per_decade)` — about 1.8% at the default
+/// resolution.  Unlike the "collect every sample, sort at the end"
+/// approach, memory is bounded by the number of occupied buckets and two
+/// sketches merge by adding bucket counts, which is associative and
+/// commutative — the property the campaign layer relies on to keep
+/// aggregated time-series byte-identical across `--jobs` worker counts.
+///
+/// Everything is integer bucket arithmetic over a sparse ordered map; there
+/// is no randomization and no wall clock, so identical inputs produce
+/// identical sketches on every run.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+
+namespace hpcs::obs {
+
+/// Bucket layout shared by every sketch that wants to merge.
+struct SketchConfig {
+  /// Values at or below this land in bucket 0 (the underflow bucket).
+  double min_value = 1e-6;
+  /// Values above this clamp into the top bucket.
+  double max_value = 1e6;
+  /// Geometric resolution; relative error bound = 10^(0.5/n) - 1.
+  int buckets_per_decade = 64;
+
+  /// \throws std::invalid_argument for non-positive bounds, min >= max,
+  /// or buckets_per_decade < 1.
+  void validate() const;
+
+  bool operator==(const SketchConfig& other) const noexcept;
+};
+
+/// Mergeable log-bucketed quantile sketch.
+class QuantileSketch {
+ public:
+  QuantileSketch() = default;
+  explicit QuantileSketch(SketchConfig config);
+
+  /// Records \p weight samples of \p value.  Non-finite values are
+  /// dropped; values outside [min_value, max_value] clamp to the edge
+  /// buckets (the exact min/max are still tracked separately).
+  void add(double value, std::uint64_t weight = 1);
+
+  /// Adds \p other's bucket counts into this sketch.  Associative and
+  /// commutative.  \throws std::invalid_argument on layout mismatch.
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  double mean() const noexcept;
+  /// Exact extremes of the recorded values (0 when empty).
+  double min() const noexcept;
+  double max() const noexcept;
+
+  /// Value at quantile \p q in [0, 1] (nearest-rank, bucket geometric
+  /// midpoint; exact extremes for the edge buckets).  0 when empty.
+  double quantile(double q) const;
+
+  /// Fraction of recorded samples whose bucket midpoint exceeds
+  /// \p threshold; 0 when empty.  Used by the SLO engine to split
+  /// samples into good/bad without keeping raw values.
+  double fraction_above(double threshold) const;
+  /// Number of samples counted as above \p threshold by fraction_above.
+  std::uint64_t count_above(double threshold) const;
+
+  /// Guaranteed bound on |quantile(q) - exact| / exact.
+  double relative_error_bound() const;
+
+  /// Bucket index for \p value under this layout (clamped to range).
+  int bucket_index(double value) const;
+  /// Geometric midpoint of bucket \p index (the reported representative).
+  double bucket_value(int index) const;
+
+  const SketchConfig& config() const noexcept { return config_; }
+  /// Sparse occupied buckets, ordered by index.
+  const std::map<int, std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+
+  /// Restores a sketch from serialized pieces (used by the JSON reader).
+  static QuantileSketch restore(SketchConfig config, std::uint64_t count,
+                                double sum, double min, double max,
+                                std::map<int, std::uint64_t> buckets);
+
+ private:
+  SketchConfig config_{};
+  std::map<int, std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace hpcs::obs

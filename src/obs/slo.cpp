@@ -1,0 +1,184 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "obs/collector.hpp"
+
+namespace hpcs::obs {
+
+namespace {
+
+std::string num6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// Trailing average of the last \p length entries ending at index \p i,
+/// zero-padded before the start (no traffic before the run = no burn).
+double trailing_average(const std::vector<double>& burns, std::size_t i,
+                        int length) {
+  double sum = 0.0;
+  const std::size_t first = i + 1 >= static_cast<std::size_t>(length)
+                                ? i + 1 - static_cast<std::size_t>(length)
+                                : 0;
+  for (std::size_t j = first; j <= i; ++j) sum += burns[j];
+  return sum / static_cast<double>(length);
+}
+
+}  // namespace
+
+void SloSpec::validate() const {
+  if (name.empty() || series.empty())
+    throw std::invalid_argument("SloSpec: name and series are required");
+  if (kind == Kind::ErrorRate && total_series.empty())
+    throw std::invalid_argument("SloSpec: ErrorRate needs total_series");
+  if (kind == Kind::LatencyThreshold && !(threshold_s > 0.0))
+    throw std::invalid_argument("SloSpec: threshold_s must be > 0");
+  if (!(objective > 0.0) || !(objective < 1.0))
+    throw std::invalid_argument("SloSpec: objective must be in (0, 1)");
+  if (!(fast_burn > 0.0) || !(slow_burn > 0.0))
+    throw std::invalid_argument("SloSpec: burn thresholds must be > 0");
+  if (fast_windows < 1 || slow_windows < fast_windows)
+    throw std::invalid_argument(
+        "SloSpec: need 1 <= fast_windows <= slow_windows");
+}
+
+SloReport evaluate_slo(const TimeSeries& ts, const SloSpec& spec) {
+  spec.validate();
+  SloReport report;
+  report.spec = spec;
+  std::int64_t lo = 0;
+  std::int64_t hi = -1;
+  if (!ts.window_span(lo, hi)) return report;
+
+  const auto sketches = ts.sketches();
+  const double budget = 1.0 - spec.objective;
+  std::vector<double> burns;
+  burns.reserve(static_cast<std::size_t>(hi - lo + 1));
+  double total_good = 0.0;
+  double total_bad = 0.0;
+
+  for (std::int64_t w = lo; w <= hi; ++w) {
+    SloWindowRow row;
+    row.window = w;
+    row.start_s = ts.window_start(w);
+    if (spec.kind == SloSpec::Kind::LatencyThreshold) {
+      const auto series = sketches.find(spec.series);
+      if (series != sketches.end()) {
+        const auto sketch = series->second.find(w);
+        if (sketch != series->second.end()) {
+          row.bad = static_cast<double>(
+              sketch->second.count_above(spec.threshold_s));
+          row.good = static_cast<double>(sketch->second.count()) - row.bad;
+        }
+      }
+    } else {
+      row.bad = ts.counter_value(spec.series, w);
+      row.good =
+          std::max(0.0, ts.counter_value(spec.total_series, w) - row.bad);
+    }
+    const double total = row.good + row.bad;
+    row.bad_fraction = total > 0.0 ? row.bad / total : 0.0;
+    row.burn = row.bad_fraction / budget;
+    total_good += row.good;
+    total_bad += row.bad;
+    burns.push_back(row.burn);
+    const std::size_t i = burns.size() - 1;
+    row.fast_rate = trailing_average(burns, i, spec.fast_windows);
+    row.slow_rate = trailing_average(burns, i, spec.slow_windows);
+    row.alerting =
+        row.fast_rate >= spec.fast_burn && row.slow_rate >= spec.slow_burn;
+    report.peak_burn = std::max(report.peak_burn, row.burn);
+    report.windows.push_back(row);
+  }
+
+  const double grand_total = total_good + total_bad;
+  report.total_bad_fraction =
+      grand_total > 0.0 ? total_bad / grand_total : 0.0;
+
+  for (std::size_t i = 0; i < report.windows.size(); ++i) {
+    if (!report.windows[i].alerting) continue;
+    SloAlert alert;
+    alert.start_s = report.windows[i].start_s;
+    alert.peak_burn = report.windows[i].burn;
+    while (i + 1 < report.windows.size() && report.windows[i + 1].alerting) {
+      ++i;
+      alert.peak_burn = std::max(alert.peak_burn, report.windows[i].burn);
+    }
+    alert.end_s = report.windows[i].start_s + ts.window_s();
+    report.alerts.push_back(alert);
+  }
+  return report;
+}
+
+std::vector<SloReport> evaluate_slos(const TimeSeries& ts,
+                                     const std::vector<SloSpec>& specs) {
+  std::vector<SloReport> reports;
+  reports.reserve(specs.size());
+  for (const auto& spec : specs) reports.push_back(evaluate_slo(ts, spec));
+  return reports;
+}
+
+std::vector<SloSpec> default_slos(const TimeSeries& ts) {
+  std::vector<SloSpec> specs;
+  const auto sketches = ts.sketches();
+  const auto counters = ts.counters();
+  const auto has_counter = [&](const std::string& name) {
+    return counters.find(name) != counters.end();
+  };
+
+  const auto add_latency = [&](const std::string& label,
+                               const std::string& series) {
+    const auto it = sketches.find(series);
+    if (it == sketches.end()) return;
+    QuantileSketch all(ts.sketch_config());
+    for (const auto& [w, sketch] : it->second) all.merge(sketch);
+    if (all.count() == 0) return;
+    SloSpec spec;
+    spec.name = label;
+    spec.kind = SloSpec::Kind::LatencyThreshold;
+    spec.series = series;
+    // Self-calibrating: a stationary healthy run keeps well under 5% of
+    // samples past 4x its own p95, while a sustained brownout that
+    // multiplies the tail pushes whole windows over and burns fast.
+    spec.threshold_s = std::max(4.0 * all.quantile(0.95), 1.0);
+    spec.objective = 0.95;
+    specs.push_back(spec);
+  };
+  add_latency("gateway-start-latency", "gateway/start_latency_s");
+  add_latency("sched-start-latency", "sched/start_latency_s");
+
+  const auto add_error_rate = [&](const std::string& label,
+                                  const std::string& bad,
+                                  const std::string& total) {
+    if (!has_counter(total)) return;
+    SloSpec spec;
+    spec.name = label;
+    spec.kind = SloSpec::Kind::ErrorRate;
+    spec.series = bad;
+    spec.total_series = total;
+    spec.objective = 0.99;
+    specs.push_back(spec);
+  };
+  add_error_rate("gateway-error-rate", "gateway/failed", "gateway/arrivals");
+  add_error_rate("sched-error-rate", "sched/failed", "sched/submitted");
+  return specs;
+}
+
+void emit_slo_alerts(Collector& collector, int track,
+                     const SloReport& report) {
+  if (!collector.enabled()) return;
+  for (const auto& alert : report.alerts) {
+    collector.instant(track, "slo-alert-start", "slo", alert.start_s,
+                      {{"slo", report.spec.name},
+                       {"peak_burn", num6(alert.peak_burn)}});
+    collector.instant(track, "slo-alert-end", "slo", alert.end_s,
+                      {{"slo", report.spec.name},
+                       {"peak_burn", num6(alert.peak_burn)}});
+  }
+}
+
+}  // namespace hpcs::obs

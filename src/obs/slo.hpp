@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file slo.hpp
+/// \brief SLO specs and multi-window burn-rate evaluation over TimeSeries.
+///
+/// An SLO splits each window's events into *good* and *bad* — either by a
+/// latency threshold against a per-window quantile sketch, or by a pair of
+/// counter series (bad events over total events).  The **burn rate** of a
+/// window is `bad_fraction / (1 - objective)`: burn 1 means the error
+/// budget is being spent exactly as fast as the objective allows; burn 10
+/// means ten times faster.  Alerting uses the standard two-window rule: a
+/// window alerts when the trailing *fast* (short) average burn exceeds
+/// `fast_burn` AND the trailing *slow* (long) average exceeds `slow_burn`
+/// — the short window confirms the problem is current, the long window
+/// suppresses one-window blips.  Contiguous alerting windows coalesce into
+/// alert intervals, which can be stamped onto the trace as instant events.
+///
+/// Evaluation is pure arithmetic over the deterministic TimeSeries, so
+/// verdicts are byte-identical across `--jobs` worker counts.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace hpcs::obs {
+
+class Collector;
+
+/// One service-level objective over named series.
+struct SloSpec {
+  enum class Kind { LatencyThreshold, ErrorRate };
+
+  std::string name;       ///< verdict label, e.g. "gateway-start-latency"
+  Kind kind = Kind::LatencyThreshold;
+  /// Sketch series (LatencyThreshold) or bad-event counter (ErrorRate).
+  std::string series;
+  /// Total-event counter series (ErrorRate only).
+  std::string total_series;
+  /// A latency sample is bad when it exceeds this (LatencyThreshold).
+  double threshold_s = 30.0;
+  /// Target good fraction; error budget = 1 - objective.
+  double objective = 0.95;
+  double fast_burn = 10.0;  ///< trailing fast-window burn that pages
+  double slow_burn = 2.0;   ///< trailing slow-window burn that pages
+  int fast_windows = 2;     ///< fast trailing average length (windows)
+  int slow_windows = 12;    ///< slow trailing average length (windows)
+
+  /// \throws std::invalid_argument for empty series, objective outside
+  /// (0, 1), non-positive thresholds/window counts, or a missing
+  /// total_series on an ErrorRate spec.
+  void validate() const;
+};
+
+/// Per-window evaluation row.
+struct SloWindowRow {
+  std::int64_t window = 0;
+  double start_s = 0.0;
+  double good = 0.0;
+  double bad = 0.0;
+  double bad_fraction = 0.0;  ///< bad / (good + bad); 0 for empty windows
+  double burn = 0.0;          ///< bad_fraction / (1 - objective)
+  double fast_rate = 0.0;     ///< trailing fast-window average burn
+  double slow_rate = 0.0;     ///< trailing slow-window average burn
+  bool alerting = false;
+};
+
+/// A maximal run of contiguous alerting windows.
+struct SloAlert {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double peak_burn = 0.0;
+};
+
+/// One SLO's verdict over a run.
+struct SloReport {
+  SloSpec spec;
+  std::vector<SloWindowRow> windows;
+  std::vector<SloAlert> alerts;
+  double total_bad_fraction = 0.0;  ///< bad / total across all windows
+  double peak_burn = 0.0;           ///< worst single-window burn
+
+  bool breached() const noexcept { return !alerts.empty(); }
+};
+
+/// Evaluates one SLO against \p ts over its populated window span
+/// (windows with no events burn nothing).  \throws std::invalid_argument
+/// for an invalid spec.
+SloReport evaluate_slo(const TimeSeries& ts, const SloSpec& spec);
+
+std::vector<SloReport> evaluate_slos(const TimeSeries& ts,
+                                     const std::vector<SloSpec>& specs);
+
+/// Builds objectives for the well-known series present in \p ts: latency
+/// SLOs for "gateway/start_latency_s" and "sched/start_latency_s" (the
+/// threshold self-calibrates to 4x the run's aggregate p95, so a healthy
+/// stationary run never pages while a sustained brownout does), and
+/// error-rate SLOs for gateway failures/arrivals and sched failures/
+/// submitted.  Deterministic: derived only from the series contents.
+std::vector<SloSpec> default_slos(const TimeSeries& ts);
+
+/// Stamps each alert interval onto the trace as "slo-alert-start" /
+/// "slo-alert-end" instants (category "slo") on \p track, with the spec
+/// name and peak burn as args.  No-op for a disabled collector.
+void emit_slo_alerts(Collector& collector, int track, const SloReport& report);
+
+}  // namespace hpcs::obs

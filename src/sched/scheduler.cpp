@@ -158,11 +158,18 @@ void BatchScheduler::on_submit(int job) {
     if (collector_) {
       collector_->count("sched/shed");
       collector_->instant(1 + job, "shed", "scheduler", now);
+      collector_->ts_count("sched/submitted", now);
+      collector_->ts_count("sched/shed", now);
     }
     return;
   }
   ++queued_count_;
   enqueue(job);
+  if (collector_) {
+    collector_->ts_count("sched/submitted", now);
+    collector_->ts_gauge("sched/queue_length", now,
+                         static_cast<double>(queued_count_));
+  }
   schedule_pass();
 }
 
@@ -275,16 +282,25 @@ void BatchScheduler::start_job(int job, bool backfilled) {
     rec.first_start_s = now;
     const double wait = now - rec.spec.submit_s;
     stats_.queue_wait_s.add(wait);
-    if (collector_) collector_->observe("sched/queue_wait_s", wait);
+    if (collector_) {
+      collector_->observe("sched/queue_wait_s", wait);
+      collector_->ts_observe("sched/queue_wait_s", now, wait);
+    }
   }
   if (backfilled) {
     rec.backfilled = true;
     ++stats_.backfill_starts;
-    if (collector_) collector_->count("sched/backfill_start");
+    if (collector_) {
+      collector_->count("sched/backfill_start");
+      collector_->ts_count("sched/backfill_start", now);
+    }
   }
-  if (collector_)
+  if (collector_) {
     collector_->span(1 + job, "queue-wait", "scheduler", rt.queued_since,
                      now - rt.queued_since);
+    collector_->ts_gauge("sched/queue_length", now,
+                         static_cast<double>(queued_count_));
+  }
 
   AllocationInterval interval;
   interval.job = job;
@@ -295,6 +311,7 @@ void BatchScheduler::start_job(int job, bool backfilled) {
   rt.interval = allocations_.size();
   allocations_.push_back(std::move(interval));
   rt.allocated = true;
+  sample_utilization(now);
   rt.walltime_ev = engine_.schedule_at(now + rec.spec.walltime_s,
                                        [this, job] { on_walltime(job); });
   pipeline_.start(job, rec.spec.runtime, rec.spec.image, rec.spec.nodes,
@@ -313,10 +330,14 @@ void BatchScheduler::on_deploy_ready(int job, double now) {
   if (first_compute) {
     const double latency = now - rec.spec.submit_s;
     stats_.start_latency_s.add(latency);
-    if (collector_) collector_->observe("sched/start_latency_s", latency);
+    if (collector_) {
+      collector_->observe("sched/start_latency_s", latency);
+      collector_->ts_observe("sched/start_latency_s", now, latency);
+    }
   }
   if (collector_) {
     collector_->observe("sched/deploy_s", deploy);
+    collector_->ts_observe("sched/deploy_s", now, deploy);
     collector_->span(1 + job, "deploy", "deployment", rec.start_s, deploy);
   }
 
@@ -361,6 +382,16 @@ void BatchScheduler::release_job(int job) {
                 config_.policy.alloc);
   rt.allocated = false;
   stats_.makespan_s = std::max(stats_.makespan_s, now);
+  sample_utilization(now);
+}
+
+void BatchScheduler::sample_utilization(double now) {
+  if (!collector_) return;
+  const double total = static_cast<double>(pool_.total_cores());
+  const double busy = total - static_cast<double>(pool_.free_cores());
+  collector_->ts_gauge("sched/busy_cores", now, busy);
+  collector_->ts_gauge("sched/node_utilization", now,
+                       total > 0.0 ? busy / total : 0.0);
 }
 
 void BatchScheduler::on_complete(int job) {
@@ -380,7 +411,10 @@ void BatchScheduler::on_complete(int job) {
   rec.end_s = now;
   ++stats_.completed;
   stats_.turnaround_s.add(now - rec.spec.submit_s);
-  if (collector_) collector_->count("sched/completed");
+  if (collector_) {
+    collector_->count("sched/completed");
+    collector_->ts_count("sched/completed", now);
+  }
   schedule_pass();
 }
 
@@ -394,6 +428,7 @@ void BatchScheduler::requeue_or_fail(int job) {
     rec.state = JobState::Queued;
     if (collector_) {
       collector_->count("sched/requeue");
+      collector_->ts_count("sched/requeue", now);
       collector_->span(1 + job, "requeue", "fault", now,
                        config_.requeue_delay_s);
     }
@@ -406,7 +441,10 @@ void BatchScheduler::requeue_or_fail(int job) {
   rec.state = JobState::Failed;
   rec.end_s = now;
   ++stats_.failed;
-  if (collector_) collector_->count("sched/failed");
+  if (collector_) {
+    collector_->count("sched/failed");
+    collector_->ts_count("sched/failed", now);
+  }
 }
 
 void BatchScheduler::on_crash(int job) {
@@ -422,6 +460,7 @@ void BatchScheduler::on_crash(int job) {
   ++stats_.crashes;
   if (collector_) {
     collector_->count("sched/crash");
+    collector_->ts_count("sched/crash", now);
     collector_->instant(1 + job, "crash", "fault", now);
     collector_->span(1 + job, "compute", "phase", rec.deploy_done_s,
                      now - rec.deploy_done_s);
@@ -456,13 +495,17 @@ void BatchScheduler::on_walltime(int job) {
   ++stats_.timeouts;
   if (collector_) {
     collector_->count("sched/timeout");
+    collector_->ts_count("sched/timeout", now);
     collector_->instant(1 + job, "timeout", "fault", now);
   }
   release_job(job);
   rec.state = JobState::Failed;
   rec.end_s = now;
   ++stats_.failed;
-  if (collector_) collector_->count("sched/failed");
+  if (collector_) {
+    collector_->count("sched/failed");
+    collector_->ts_count("sched/failed", now);
+  }
   schedule_pass();
 }
 
@@ -493,6 +536,7 @@ void BatchScheduler::on_burst(const fault::FaultEvent& crash) {
     ++stats_.crashes;
     if (collector_) {
       collector_->count("sched/crash");
+      collector_->ts_count("sched/crash", now);
       collector_->instant(1 + job, "rack-burst", "fault", now);
       if (rec.state == JobState::Running)
         collector_->span(1 + job, "compute", "phase", rec.deploy_done_s,

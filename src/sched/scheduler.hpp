@@ -170,6 +170,9 @@ class BatchScheduler {
   void requeue_or_fail(int job);
   void release_job(int job);
   void enqueue(int job);
+  /// Windowed busy-core / utilization gauges after every allocation
+  /// change (no-op unless temporal telemetry is enabled).
+  void sample_utilization(double now);
   /// Earliest future time the blocked head provably fits, simulating
   /// walltime-bounded releases of every active job.
   double compute_reservation(int job) const;

@@ -1,6 +1,7 @@
 #include "sched/study.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <memory>
 #include <stdexcept>
@@ -12,6 +13,7 @@
 #include "fault/spec.hpp"
 #include "gateway/workload.hpp"
 #include "obs/export.hpp"
+#include "obs/slo.hpp"
 #include "sim/csv.hpp"
 #include "sim/rng.hpp"
 
@@ -58,6 +60,9 @@ void SchedGridSpec::validate() const {
       throw std::invalid_argument("SchedGridSpec: loads must be > 0");
   (void)fault::FaultSpec::preset(faults);
   (void)fault::HazardSpec::preset(hazards);
+  if (timeseries_window_s < 0 || !std::isfinite(timeseries_window_s))
+    throw std::invalid_argument(
+        "SchedGridSpec: timeseries_window_s must be >= 0");
   config.validate();
   workload.validate();
 }
@@ -100,12 +105,24 @@ SchedCellResult run_sched_cell(const SchedGridSpec& spec,
   const std::shared_ptr<obs::MemorySink> sink =
       observe ? std::make_shared<obs::MemorySink>() : nullptr;
   obs::Collector collector(sink);  // null sink = disabled, zero cost
+  if (spec.timeseries_window_s > 0)
+    collector.enable_timeseries(spec.timeseries_window_s);
 
   BatchScheduler scheduler(config, std::move(jobs), catalog,
                            std::move(faults), std::move(hazards),
                            &collector);
   SchedResult result = scheduler.run();
   cell.stats = std::move(result.stats);
+  if (collector.timeseries_enabled()) {
+    // SLO burn-rate pass over this cell's windows; alert intervals land
+    // on track 0 — the service-level lane (jobs occupy tracks 1+job) —
+    // so they read as facility annotations in the trace viewer.
+    cell.timeseries = collector.timeseries();
+    for (const obs::SloReport& report :
+         obs::evaluate_slos(cell.timeseries,
+                            obs::default_slos(cell.timeseries)))
+      obs::emit_slo_alerts(collector, 0, report);
+  }
   if (observe) {
     cell.trace = sink->take();
     cell.metrics = collector.metrics();
@@ -253,6 +270,30 @@ obs::Metrics SchedGridResult::aggregate_metrics() const {
 
 bool SchedGridResult::save_metrics_json(const std::string& path) const {
   return aggregate_metrics().save_json(path);
+}
+
+obs::TimeSeries SchedGridResult::aggregate_timeseries() const {
+  obs::TimeSeries total;
+  for (const SchedCellResult& cell : cells) total.merge(cell.timeseries);
+  return total;
+}
+
+void SchedGridResult::write_timeseries_csv(std::ostream& out) const {
+  sim::CsvWriter csv(out, obs::TimeSeries::csv_header());
+  for (const SchedCellResult& cell : cells)
+    cell.timeseries.write_csv_rows(csv, cell.key);
+  aggregate_timeseries().write_csv_rows(csv, "(aggregate)");
+}
+
+bool SchedGridResult::save_timeseries_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_timeseries_csv(out);
+  return out.good();
+}
+
+bool SchedGridResult::save_timeseries_json(const std::string& path) const {
+  return aggregate_timeseries().save_json(path);
 }
 
 }  // namespace hpcs::sched
